@@ -1,0 +1,178 @@
+// Package aero is the public API of this repository: a from-scratch Go
+// reproduction of AERO, the two-stage anomaly detection framework for
+// astronomical observations from "From Chaos to Clarity: Time Series
+// Anomaly Detection in Astronomical Observations" (Hao et al., ICDE 2024).
+//
+// # Overview
+//
+// Astronomical survey telescopes produce one magnitude (brightness) series
+// per star. Two properties make the resulting multivariate time series
+// unusual: variates are physically independent (stars do not influence one
+// another), yet environmental interference — clouds, dawn sky background,
+// atmospheric drift — hits many stars *simultaneously*, producing
+// "concurrent noise" that is spatially and temporally random. Standard
+// detectors either ignore cross-star structure (univariate methods: every
+// cloud becomes a false alarm) or assume stable inter-variate correlations
+// (multivariate methods: wrong during the noise-free majority of time).
+//
+// AERO resolves the tension with two stages: a Transformer encoder–decoder
+// models each star independently and flags anomaly candidates by
+// reconstruction error, then a graph convolution over a *window-wise
+// learned graph* (re-derived from the stage-1 error patterns at every
+// sliding window) reconstructs exactly the errors shared by several stars,
+// cancelling concurrent noise while leaving genuine single-star events —
+// flares, novae, occultations — prominent.
+//
+// # Quick start
+//
+//	d := aero.SyntheticMiddle().Generate()
+//	det, _ := aero.New(aero.SmallConfig(), d.Train.N())
+//	_ = det.Fit(d.Train)
+//	labels, _ := det.Detect(d.Test)
+//
+// See examples/ for runnable programs and internal/experiments for the
+// harness regenerating every table and figure of the paper.
+package aero
+
+import (
+	"aero/internal/anomaly"
+	"aero/internal/baselines"
+	"aero/internal/core"
+	"aero/internal/dataset"
+	"aero/internal/evt"
+)
+
+// Model is a trainable/trained AERO detector. See core.Model.
+type Model = core.Model
+
+// Config holds AERO hyperparameters.
+type Config = core.Config
+
+// Variant selects a model ablation (Table IV); VariantFull is normal AERO.
+type Variant = core.Variant
+
+// Ablation variants of the AERO model.
+const (
+	VariantFull                = core.VariantFull
+	VariantNoTemporal          = core.VariantNoTemporal
+	VariantMultivariateInput   = core.VariantMultivariateInput
+	VariantNoShortWindow       = core.VariantNoShortWindow
+	VariantNoNoise             = core.VariantNoNoise
+	VariantNoNoiseMultivariate = core.VariantNoNoiseMultivariate
+	VariantStaticGraph         = core.VariantStaticGraph
+	VariantDynamicGraph        = core.VariantDynamicGraph
+)
+
+// New constructs an untrained AERO model for n variates (stars).
+func New(cfg Config, n int) (*Model, error) { return core.New(cfg, n) }
+
+// Load restores a model previously persisted with Model.Save; it is ready
+// for Scores/Detect without retraining.
+func Load(path string) (*Model, error) { return core.Load(path) }
+
+// StreamDetector performs frame-at-a-time online detection (§III-F).
+type StreamDetector = core.StreamDetector
+
+// Frame is one observation instant for streaming detection.
+type Frame = core.Frame
+
+// Alarm is one threshold crossing reported by the stream detector.
+type Alarm = core.Alarm
+
+// NewStreamDetector wraps a fitted model for online, frame-at-a-time
+// detection with bounded memory.
+func NewStreamDetector(m *Model) (*StreamDetector, error) {
+	return core.NewStreamDetector(m)
+}
+
+// DefaultConfig returns the paper's hyperparameters (W=200, ω=60, d_m=64,
+// 4 heads, 1 encoder layer, Adam 1e-3, POT level 0.99 / q 1e-3).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SmallConfig returns a CPU-friendly profile with the same architecture at
+// reduced size, suitable for laptops and CI.
+func SmallConfig() Config { return core.SmallConfig() }
+
+// Series is a multivariate magnitude series with ground-truth annotations.
+type Series = dataset.Series
+
+// Dataset couples an unlabelled training split with a labelled test split.
+type Dataset = dataset.Dataset
+
+// Stats summarizes a dataset as in the paper's Table I.
+type Stats = dataset.Stats
+
+// SyntheticConfig parameterizes the paper's synthetic benchmark generator.
+type SyntheticConfig = dataset.SyntheticConfig
+
+// GWACConfig parameterizes the simulated GWAC Astroset generator.
+type GWACConfig = dataset.GWACConfig
+
+// Preset dataset configurations matching the paper's Table I.
+var (
+	SyntheticMiddle = dataset.SyntheticMiddle
+	SyntheticHigh   = dataset.SyntheticHigh
+	SyntheticLow    = dataset.SyntheticLow
+	AstrosetMiddle  = dataset.AstrosetMiddle
+	AstrosetHigh    = dataset.AstrosetHigh
+	AstrosetLow     = dataset.AstrosetLow
+)
+
+// ComputeStats derives Table I statistics from a dataset.
+func ComputeStats(d *Dataset) Stats { return dataset.ComputeStats(d) }
+
+// WriteDataset / ReadDataset persist datasets as CSV files.
+var (
+	WriteDataset = dataset.WriteDataset
+	ReadDataset  = dataset.ReadDataset
+)
+
+// Confusion aggregates detection counts and derives precision/recall/F1.
+type Confusion = anomaly.Confusion
+
+// EvaluateAdjusted applies the point-adjust protocol and evaluates
+// predictions against ground truth for one variate.
+func EvaluateAdjusted(pred, truth []bool) Confusion {
+	return anomaly.EvaluateAdjusted(pred, truth)
+}
+
+// PointAdjust applies the point-adjust protocol used by the paper's
+// evaluation (§IV-C).
+func PointAdjust(pred, truth []bool) []bool { return anomaly.PointAdjust(pred, truth) }
+
+// POTThreshold calibrates an anomaly threshold from scores with
+// Peaks-Over-Threshold extreme value theory (level/q as in §IV-B).
+func POTThreshold(scores []float64, level, q float64) (float64, error) {
+	th, err := evt.POT(scores, level, q)
+	return th.Z, err
+}
+
+// BaselineDetector is the contract implemented by all eleven baselines.
+type BaselineDetector = baselines.Detector
+
+// BaselineConfig carries hyperparameters shared by the learned baselines.
+type BaselineConfig = baselines.Config
+
+// Baselines returns fresh instances of all eleven comparison methods from
+// the paper's evaluation, in table order.
+func Baselines(cfg BaselineConfig) []BaselineDetector {
+	return []BaselineDetector{
+		baselines.NewTemplateMatching(),
+		baselines.NewSR(),
+		baselines.NewSPOT(),
+		baselines.NewFluxEV(),
+		baselines.NewDonut(cfg),
+		baselines.NewOmniAnomaly(cfg),
+		baselines.NewAnomalyTransformer(cfg),
+		baselines.NewTranAD(cfg),
+		baselines.NewGDN(cfg),
+		baselines.NewESG(cfg),
+		baselines.NewTimesNet(cfg),
+	}
+}
+
+// DefaultBaselineConfig mirrors the paper's baseline setup.
+func DefaultBaselineConfig() BaselineConfig { return baselines.DefaultConfig() }
+
+// SmallBaselineConfig is the CPU-friendly baseline profile.
+func SmallBaselineConfig() BaselineConfig { return baselines.SmallConfig() }

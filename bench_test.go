@@ -1,0 +1,199 @@
+// Benchmarks regenerating every table and figure of the paper at
+// ScaleTiny (shape-preserving smoke profile; run cmd/aerobench with
+// -scale small or -scale paper for meaningful numbers), plus targeted
+// benchmarks for AERO's training/inference cost and the EvalStride
+// approximation called out in DESIGN.md.
+package aero_test
+
+import (
+	"io"
+	"testing"
+
+	"aero"
+	"aero/internal/core"
+	"aero/internal/dataset"
+	"aero/internal/experiments"
+)
+
+func tinyOpts() experiments.Options {
+	return experiments.Options{Scale: experiments.ScaleTiny}
+}
+
+// BenchmarkTable1DatasetStats regenerates Table I (dataset statistics).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable1(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkTable2Synthetic regenerates Table II (12 methods × 3 synthetic
+// datasets).
+func BenchmarkTable2Synthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkTable3Astrosets regenerates Table III (12 methods × 3 simulated
+// GWAC Astrosets).
+func BenchmarkTable3Astrosets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkTable4Ablation regenerates Table IV (8 AERO variants × 3
+// datasets).
+func BenchmarkTable4Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable4(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkFig5AnomalyShapes regenerates Fig. 5 (injected anomaly shapes).
+func BenchmarkFig5AnomalyShapes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig5(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkFig6Efficiency regenerates Fig. 6 (train/inference time per
+// method).
+func BenchmarkFig6Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkFig7Scalability regenerates Fig. 7 (memory + inference time vs
+// number of stars).
+func BenchmarkFig7Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig7(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkFig8GraphStructure regenerates Fig. 8 (window-wise graphs vs
+// ground truth).
+func BenchmarkFig8GraphStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkFig9StageErrors regenerates Fig. 9 (stage-1 vs final errors).
+func BenchmarkFig9StageErrors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig9(io.Discard, tinyOpts())
+	}
+}
+
+// BenchmarkFig10Sensitivity regenerates Fig. 10 (hyperparameter sweeps).
+func BenchmarkFig10Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig10(io.Discard, tinyOpts())
+	}
+}
+
+// benchDataset builds the small field reused by the targeted benchmarks.
+func benchDataset() *dataset.Dataset {
+	return dataset.SyntheticConfig{
+		Name: "bench", N: 6, TrainLen: 350, TestLen: 300,
+		NoiseVariates: 4, AnomalySegments: 1, NoisePct: 2,
+		VariableFrac: 0.5, Seed: 3,
+	}.Generate()
+}
+
+func benchConfig() aero.Config {
+	c := aero.SmallConfig()
+	c.LongWindow = 48
+	c.ShortWindow = 16
+	c.MaxEpochs = 3
+	c.TrainStride = 24
+	c.EvalStride = 16
+	return c
+}
+
+// BenchmarkAEROTrain measures two-stage training cost.
+func BenchmarkAEROTrain(b *testing.B) {
+	d := benchDataset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := aero.New(benchConfig(), d.Train.N())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(d.Train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAEROInference measures online scoring cost over a test split.
+func BenchmarkAEROInference(b *testing.B) {
+	d := benchDataset()
+	m, err := aero.New(benchConfig(), d.Train.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Scores(d.Test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEvalStride quantifies the cost of the stride-k online
+// scoring approximation vs the paper-exact stride 1 (DESIGN.md deviation).
+func BenchmarkAblationEvalStride(b *testing.B) {
+	d := benchDataset()
+	for _, stride := range []int{1, 8, 16} {
+		stride := stride
+		b.Run(map[int]string{1: "stride1-paper-exact", 8: "stride8", 16: "stride16"}[stride], func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.EvalStride = stride
+			m, err := aero.New(cfg, d.Train.N())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Fit(d.Train); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Scores(d.Test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGraphVariants compares the window-wise graph against
+// the static and dynamic graph ablations at equal budget.
+func BenchmarkAblationGraphVariants(b *testing.B) {
+	d := benchDataset()
+	for _, v := range []core.Variant{core.VariantFull, core.VariantStaticGraph, core.VariantDynamicGraph} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Variant = v
+				m, err := aero.New(cfg, d.Train.N())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Fit(d.Train); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Command aerobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aerobench -exp table2 -scale small
+//	aerobench -exp all -scale paper > results.txt
+//
+// Experiments: table1, table2, table3, table4, fig5, fig6, fig7, fig8,
+// fig9, fig10, all. Scale "small" finishes in minutes on a laptop;
+// "paper" uses the paper's dataset sizes and hyperparameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aero/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1..table4, fig5..fig10, all")
+	scale := flag.String("scale", "small", "compute scale: small or paper")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "seed offset for datasets and models")
+	flag.Parse()
+
+	opts := experiments.Options{Workers: *workers, Seed: *seed}
+	switch *scale {
+	case "small":
+		opts.Scale = experiments.ScaleSmall
+	case "paper":
+		opts.Scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	runners := map[string]func(){
+		"table1": func() { experiments.RunTable1(os.Stdout, opts) },
+		"table2": func() { experiments.RunTable2(os.Stdout, opts) },
+		"table3": func() { experiments.RunTable3(os.Stdout, opts) },
+		"table4": func() { experiments.RunTable4(os.Stdout, opts) },
+		"fig5":   func() { experiments.RunFig5(os.Stdout, opts) },
+		"fig6":   func() { experiments.RunFig6(os.Stdout, opts) },
+		"fig7":   func() { experiments.RunFig7(os.Stdout, opts) },
+		"fig8":   func() { experiments.RunFig8(os.Stdout, opts) },
+		"fig9":   func() { experiments.RunFig9(os.Stdout, opts) },
+		"fig10":  func() { experiments.RunFig10(os.Stdout, opts) },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s or all)\n", name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	start := time.Now()
+	for _, name := range selected {
+		t0 := time.Now()
+		runners[name]()
+		fmt.Printf("[%s done in %.1fs]\n", name, time.Since(t0).Seconds())
+	}
+	fmt.Printf("\nall selected experiments done in %.1fs\n", time.Since(start).Seconds())
+}

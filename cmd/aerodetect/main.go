@@ -1,0 +1,79 @@
+// Command aerodetect trains AERO on a CSV dataset and reports detections.
+//
+// Usage:
+//
+//	aerogen -out data -dataset SyntheticMiddle
+//	aerodetect -dir data -dataset SyntheticMiddle -config small
+//
+// It prints the calibrated threshold, per-star alarm segments, and — when
+// ground-truth labels are present — point-adjusted precision/recall/F1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aero"
+	"aero/internal/anomaly"
+)
+
+func main() {
+	dir := flag.String("dir", "data", "dataset directory (as written by aerogen)")
+	name := flag.String("dataset", "SyntheticMiddle", "dataset name")
+	config := flag.String("config", "small", "model configuration: small or paper")
+	verbose := flag.Bool("v", false, "log training progress")
+	flag.Parse()
+
+	d, err := aero.ReadDataset(*dir, *name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := aero.SmallConfig()
+	if *config == "paper" {
+		cfg = aero.DefaultConfig()
+	}
+	if *verbose {
+		cfg.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	}
+
+	model, err := aero.New(cfg, d.Train.N())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "model: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("training AERO on %s (%d stars, %d samples)...\n", *name, d.Train.N(), d.Train.Len())
+	if err := model.Fit(d.Train); err != nil {
+		fmt.Fprintf(os.Stderr, "fit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained: stage1 %d epochs, stage2 %d epochs, POT threshold %.4f\n",
+		model.Epochs1, model.Epochs2, model.Threshold())
+
+	pred, err := model.Detect(d.Test)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detect: %v\n", err)
+		os.Exit(1)
+	}
+
+	totalAlarms := 0
+	for v := range pred {
+		for _, seg := range anomaly.Segments(pred[v]) {
+			fmt.Printf("ALARM star %d: samples [%d, %d) (t=%.0fs..%.0fs)\n",
+				v, seg.Start, seg.End, d.Test.Time[seg.Start], d.Test.Time[seg.End-1])
+			totalAlarms++
+		}
+	}
+	fmt.Printf("%d alarm segments\n", totalAlarms)
+
+	if d.Test.AnomalyPoints() > 0 {
+		var c aero.Confusion
+		for v := range pred {
+			c.Add(aero.EvaluateAdjusted(pred[v], d.Test.Labels[v]))
+		}
+		fmt.Printf("point-adjusted: precision %.2f%% recall %.2f%% F1 %.2f%%\n",
+			100*c.Precision(), 100*c.Recall(), 100*c.F1())
+	}
+}

@@ -1,0 +1,55 @@
+// Command aerogen generates the benchmark datasets as CSV files.
+//
+// Usage:
+//
+//	aerogen -out data -dataset all
+//	aerogen -out data -dataset SyntheticMiddle
+//
+// Each dataset produces six files: <name>.{train,test}.{data,labels,noise}.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aero/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	name := flag.String("dataset", "all", "dataset name or all")
+	flag.Parse()
+
+	gens := map[string]func() *dataset.Dataset{
+		"SyntheticMiddle": func() *dataset.Dataset { return dataset.SyntheticMiddle().Generate() },
+		"SyntheticHigh":   func() *dataset.Dataset { return dataset.SyntheticHigh().Generate() },
+		"SyntheticLow":    func() *dataset.Dataset { return dataset.SyntheticLow().Generate() },
+		"AstrosetMiddle":  func() *dataset.Dataset { return dataset.AstrosetMiddle().Generate() },
+		"AstrosetHigh":    func() *dataset.Dataset { return dataset.AstrosetHigh().Generate() },
+		"AstrosetLow":     func() *dataset.Dataset { return dataset.AstrosetLow().Generate() },
+	}
+
+	var names []string
+	if *name == "all" {
+		names = []string{"SyntheticMiddle", "SyntheticHigh", "SyntheticLow",
+			"AstrosetMiddle", "AstrosetHigh", "AstrosetLow"}
+	} else {
+		if _, ok := gens[*name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *name)
+			os.Exit(2)
+		}
+		names = []string{*name}
+	}
+
+	for _, n := range names {
+		d := gens[n]()
+		if err := dataset.WriteDataset(*out, d); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		st := dataset.ComputeStats(d)
+		fmt.Printf("%s: %d variates, train %d, test %d, anomaly %.3f%%, noise %.3f%% -> %s/\n",
+			n, st.Variates, st.TrainLen, st.TestLen, st.AnomalyPct, st.NoisePct, *out)
+	}
+}

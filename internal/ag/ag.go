@@ -1,0 +1,645 @@
+// Package ag implements reverse-mode automatic differentiation over dense
+// matrices (a "tape" or Wengert list).
+//
+// A Tape records every operation applied to Nodes; Backward replays the
+// tape in reverse, accumulating gradients. Parameters (Param) live outside
+// any tape so that the same weights can be used across many forward passes
+// and across goroutines: each Backward call accumulates into Param.Grad
+// under the parameter's lock, which makes data-parallel training safe.
+//
+// The operator set is the minimum needed for the models in this repository:
+// Transformer encoder–decoders, GRUs, VAEs, graph convolutions and
+// inception-style convolutions. Every operator's gradient is validated
+// against central finite differences in the package tests.
+package ag
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"aero/internal/tensor"
+)
+
+// Param is a trainable parameter: a value matrix plus an accumulated
+// gradient. Params are shared between tapes; gradient accumulation is
+// guarded by mu so concurrent Backward calls are safe.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+
+	mu sync.Mutex
+}
+
+// NewParam creates a named parameter wrapping value.
+func NewParam(name string, value *tensor.Dense) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// addGrad accumulates g into p.Grad under the parameter lock.
+func (p *Param) addGrad(g *tensor.Dense) {
+	p.mu.Lock()
+	p.Grad.AddInPlace(g)
+	p.mu.Unlock()
+}
+
+// Node is one value in the computation graph. Value is set at construction;
+// Grad is populated during Backward.
+type Node struct {
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+
+	back  func() // propagates this node's Grad into its parents' Grads
+	param *Param // non-nil when the node is a parameter leaf
+}
+
+func (n *Node) grad() *tensor.Dense {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// Rows returns the row count of the node's value.
+func (n *Node) Rows() int { return n.Value.Rows }
+
+// Cols returns the column count of the node's value.
+func (n *Node) Cols() int { return n.Value.Cols }
+
+// Tape records operations for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; build one tape per goroutine.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// node registers a freshly computed value with its backward closure.
+func (t *Tape) node(v *tensor.Dense, back func()) *Node {
+	n := &Node{Value: v, back: back}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const introduces a leaf whose gradient is tracked but not propagated
+// anywhere (inputs, stop-gradient values).
+func (t *Tape) Const(v *tensor.Dense) *Node {
+	return t.node(v, nil)
+}
+
+// Param introduces a parameter leaf. After Backward, the leaf's gradient is
+// accumulated into p.Grad.
+func (t *Tape) Param(p *Param) *Node {
+	n := &Node{Value: p.Value, param: p}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Backward seeds loss (which must be 1×1) with gradient 1 and propagates
+// gradients through the tape in reverse order, accumulating parameter
+// gradients into their Params.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("ag: Backward expects scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
+	}
+	loss.grad().Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.Grad == nil {
+			continue // not on any path to the loss
+		}
+		if n.back != nil {
+			n.back()
+		}
+		if n.param != nil {
+			n.param.addGrad(n.Grad)
+		}
+	}
+}
+
+// Reset drops all recorded nodes so the tape can be reused, keeping the
+// backing slice to avoid reallocation.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len reports the number of recorded nodes (useful in tests).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// --- elementwise binary ops -------------------------------------------------
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Node) *Node {
+	v := a.Value.Add(b.Value)
+	n := t.node(v, nil)
+	n.back = func() {
+		a.grad().AddInPlace(n.Grad)
+		b.grad().AddInPlace(n.Grad)
+	}
+	return n
+}
+
+// Sub returns a − b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	v := a.Value.Sub(b.Value)
+	n := t.node(v, nil)
+	n.back = func() {
+		a.grad().AddInPlace(n.Grad)
+		b.grad().AddScaled(-1, n.Grad)
+	}
+	return n
+}
+
+// Mul returns the Hadamard product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	v := a.Value.MulElem(b.Value)
+	n := t.node(v, nil)
+	n.back = func() {
+		ga, gb := a.grad(), b.grad()
+		for i, g := range n.Grad.Data {
+			ga.Data[i] += g * b.Value.Data[i]
+			gb.Data[i] += g * a.Value.Data[i]
+		}
+	}
+	return n
+}
+
+// Div returns the elementwise quotient a / b.
+func (t *Tape) Div(a, b *Node) *Node {
+	v := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i := range v.Data {
+		v.Data[i] = a.Value.Data[i] / b.Value.Data[i]
+	}
+	n := t.node(v, nil)
+	n.back = func() {
+		ga, gb := a.grad(), b.grad()
+		for i, g := range n.Grad.Data {
+			bi := b.Value.Data[i]
+			ga.Data[i] += g / bi
+			gb.Data[i] -= g * a.Value.Data[i] / (bi * bi)
+		}
+	}
+	return n
+}
+
+// AddRow broadcasts the 1×C row vector v across the rows of a.
+func (t *Tape) AddRow(a, v *Node) *Node {
+	if v.Value.Rows != 1 || v.Value.Cols != a.Value.Cols {
+		panic(fmt.Sprintf("ag: AddRow wants 1x%d, got %dx%d", a.Value.Cols, v.Value.Rows, v.Value.Cols))
+	}
+	out := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		row := a.Value.Row(i)
+		dst := out.Row(i)
+		for j, x := range row {
+			dst[j] = x + v.Value.Data[j]
+		}
+	}
+	n := t.node(out, nil)
+	n.back = func() {
+		a.grad().AddInPlace(n.Grad)
+		gv := v.grad()
+		for i := 0; i < n.Grad.Rows; i++ {
+			row := n.Grad.Row(i)
+			for j, g := range row {
+				gv.Data[j] += g
+			}
+		}
+	}
+	return n
+}
+
+// --- scalar ops --------------------------------------------------------------
+
+// Scale returns s·a for a constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	n := t.node(a.Value.Scale(s), nil)
+	n.back = func() { a.grad().AddScaled(s, n.Grad) }
+	return n
+}
+
+// AddConst returns a + c for a constant c.
+func (t *Tape) AddConst(a *Node, c float64) *Node {
+	n := t.node(a.Value.Apply(func(x float64) float64 { return x + c }), nil)
+	n.back = func() { a.grad().AddInPlace(n.Grad) }
+	return n
+}
+
+// Neg returns −a.
+func (t *Tape) Neg(a *Node) *Node { return t.Scale(a, -1) }
+
+// --- matrix ops --------------------------------------------------------------
+
+// MatMul returns a · b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	n := t.node(a.Value.MatMul(b.Value), nil)
+	n.back = func() {
+		// dA += dC·Bᵀ ; dB += Aᵀ·dC
+		a.grad().AddInPlace(n.Grad.MatMulT(b.Value))
+		b.grad().AddInPlace(a.Value.TMatMul(n.Grad))
+	}
+	return n
+}
+
+// MatMulT returns a · bᵀ.
+func (t *Tape) MatMulT(a, b *Node) *Node {
+	n := t.node(a.Value.MatMulT(b.Value), nil)
+	n.back = func() {
+		// C = A·Bᵀ: dA += dC·B ; dB += dCᵀ·A
+		a.grad().AddInPlace(n.Grad.MatMul(b.Value))
+		b.grad().AddInPlace(n.Grad.TMatMul(a.Value))
+	}
+	return n
+}
+
+// Transpose returns aᵀ.
+func (t *Tape) Transpose(a *Node) *Node {
+	n := t.node(a.Value.T(), nil)
+	n.back = func() { a.grad().AddInPlace(n.Grad.T()) }
+	return n
+}
+
+// Reshape reinterprets a as r×c (row-major order preserved).
+func (t *Tape) Reshape(a *Node, r, c int) *Node {
+	if r*c != a.Value.Rows*a.Value.Cols {
+		panic(fmt.Sprintf("ag: reshape %dx%d -> %dx%d", a.Value.Rows, a.Value.Cols, r, c))
+	}
+	v := tensor.FromSlice(r, c, append([]float64(nil), a.Value.Data...))
+	n := t.node(v, nil)
+	n.back = func() {
+		ga := a.grad()
+		for i, g := range n.Grad.Data {
+			ga.Data[i] += g
+		}
+	}
+	return n
+}
+
+// SliceCols returns columns [lo, hi) of a.
+func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
+	n := t.node(a.Value.SliceCols(lo, hi), nil)
+	n.back = func() {
+		ga := a.grad()
+		for i := 0; i < n.Grad.Rows; i++ {
+			src := n.Grad.Row(i)
+			dst := ga.Row(i)[lo:hi]
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+	return n
+}
+
+// SliceRows returns rows [lo, hi) of a.
+func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
+	n := t.node(a.Value.SliceRows(lo, hi), nil)
+	n.back = func() {
+		ga := a.grad()
+		for i := 0; i < n.Grad.Rows; i++ {
+			src := n.Grad.Row(i)
+			dst := ga.Row(lo + i)
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+	return n
+}
+
+// ConcatCols concatenates nodes horizontally.
+func (t *Tape) ConcatCols(parts ...*Node) *Node {
+	vs := make([]*tensor.Dense, len(parts))
+	for i, p := range parts {
+		vs[i] = p.Value
+	}
+	n := t.node(tensor.ConcatCols(vs...), nil)
+	n.back = func() {
+		at := 0
+		for _, p := range parts {
+			g := p.grad()
+			for i := 0; i < g.Rows; i++ {
+				src := n.Grad.Row(i)[at : at+g.Cols]
+				dst := g.Row(i)
+				for j, gv := range src {
+					dst[j] += gv
+				}
+			}
+			at += p.Value.Cols
+		}
+	}
+	return n
+}
+
+// ConcatRows concatenates nodes vertically.
+func (t *Tape) ConcatRows(parts ...*Node) *Node {
+	vs := make([]*tensor.Dense, len(parts))
+	for i, p := range parts {
+		vs[i] = p.Value
+	}
+	n := t.node(tensor.ConcatRows(vs...), nil)
+	n.back = func() {
+		at := 0
+		for _, p := range parts {
+			g := p.grad()
+			for i := 0; i < g.Rows; i++ {
+				src := n.Grad.Row(at + i)
+				dst := g.Row(i)
+				for j, gv := range src {
+					dst[j] += gv
+				}
+			}
+			at += p.Value.Rows
+		}
+	}
+	return n
+}
+
+// --- elementwise nonlinearities ----------------------------------------------
+
+func (t *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
+	v := a.Value.Apply(f)
+	n := t.node(v, nil)
+	n.back = func() {
+		ga := a.grad()
+		for i, g := range n.Grad.Data {
+			ga.Data[i] += g * df(a.Value.Data[i], v.Data[i])
+		}
+	}
+	return n
+}
+
+// Sigmoid returns 1/(1+e^{-a}) elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// Tanh returns tanh(a) elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	return t.unary(a, math.Tanh,
+		func(_, y float64) float64 { return 1 - y*y })
+}
+
+// ReLU returns max(a, 0) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// GELU returns the Gaussian error linear unit (tanh approximation).
+func (t *Tape) GELU(a *Node) *Node {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	f := func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	df := func(x, _ float64) float64 {
+		u := c * (x + 0.044715*x*x*x)
+		th := math.Tanh(u)
+		du := c * (1 + 3*0.044715*x*x)
+		return 0.5*(1+th) + 0.5*x*(1-th*th)*du
+	}
+	return t.unary(a, f, df)
+}
+
+// Exp returns e^a elementwise.
+func (t *Tape) Exp(a *Node) *Node {
+	return t.unary(a, math.Exp, func(_, y float64) float64 { return y })
+}
+
+// Log returns ln(a) elementwise.
+func (t *Tape) Log(a *Node) *Node {
+	return t.unary(a, math.Log, func(x, _ float64) float64 { return 1 / x })
+}
+
+// Sqrt returns √a elementwise.
+func (t *Tape) Sqrt(a *Node) *Node {
+	return t.unary(a, math.Sqrt, func(_, y float64) float64 { return 0.5 / y })
+}
+
+// Square returns a² elementwise.
+func (t *Tape) Square(a *Node) *Node {
+	return t.unary(a, func(x float64) float64 { return x * x },
+		func(x, _ float64) float64 { return 2 * x })
+}
+
+// Sin returns sin(a) elementwise.
+func (t *Tape) Sin(a *Node) *Node {
+	return t.unary(a, math.Sin, func(x, _ float64) float64 { return math.Cos(x) })
+}
+
+// Cos returns cos(a) elementwise.
+func (t *Tape) Cos(a *Node) *Node {
+	return t.unary(a, math.Cos, func(x, _ float64) float64 { return -math.Sin(x) })
+}
+
+// Abs returns |a| elementwise (subgradient 0 at 0).
+func (t *Tape) Abs(a *Node) *Node {
+	return t.unary(a, math.Abs, func(x, _ float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// Dropout zeroes each element with probability rate and scales survivors by
+// 1/(1-rate) (inverted dropout). With train=false it is the identity.
+func (t *Tape) Dropout(a *Node, rate float64, rng *rand.Rand, train bool) *Node {
+	if !train || rate <= 0 {
+		return a
+	}
+	keep := 1 - rate
+	mask := tensor.New(a.Value.Rows, a.Value.Cols)
+	v := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		if rng.Float64() < keep {
+			mask.Data[i] = 1 / keep
+			v.Data[i] = x / keep
+		}
+	}
+	n := t.node(v, nil)
+	n.back = func() {
+		ga := a.grad()
+		for i, g := range n.Grad.Data {
+			ga.Data[i] += g * mask.Data[i]
+		}
+	}
+	return n
+}
+
+// --- row-wise structured ops ---------------------------------------------------
+
+// SoftmaxRows applies a numerically stable softmax to each row of a.
+func (t *Tape) SoftmaxRows(a *Node) *Node {
+	v := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		src := a.Value.Row(i)
+		dst := v.Row(i)
+		mx := math.Inf(-1)
+		for _, x := range src {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		for j, x := range src {
+			e := math.Exp(x - mx)
+			dst[j] = e
+			sum += e
+		}
+		for j := range dst {
+			dst[j] /= sum
+		}
+	}
+	n := t.node(v, nil)
+	n.back = func() {
+		ga := a.grad()
+		for i := 0; i < v.Rows; i++ {
+			y := v.Row(i)
+			gy := n.Grad.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * gy[j]
+			}
+			dst := ga.Row(i)
+			for j := range y {
+				dst[j] += y[j] * (gy[j] - dot)
+			}
+		}
+	}
+	return n
+}
+
+// LayerNormRows normalizes each row of a to zero mean and unit variance,
+// then applies the learnable 1×C gain and bias.
+func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
+	rows, cols := a.Value.Rows, a.Value.Cols
+	if gain.Value.Cols != cols || bias.Value.Cols != cols {
+		panic("ag: layernorm gain/bias width mismatch")
+	}
+	xhat := tensor.New(rows, cols)
+	invStd := make([]float64, rows)
+	v := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		src := a.Value.Row(i)
+		var mean float64
+		for _, x := range src {
+			mean += x
+		}
+		mean /= float64(cols)
+		var va float64
+		for _, x := range src {
+			d := x - mean
+			va += d * d
+		}
+		va /= float64(cols)
+		is := 1 / math.Sqrt(va+eps)
+		invStd[i] = is
+		xh := xhat.Row(i)
+		dst := v.Row(i)
+		for j, x := range src {
+			xh[j] = (x - mean) * is
+			dst[j] = xh[j]*gain.Value.Data[j] + bias.Value.Data[j]
+		}
+	}
+	n := t.node(v, nil)
+	n.back = func() {
+		ga, gg, gb := a.grad(), gain.grad(), bias.grad()
+		for i := 0; i < rows; i++ {
+			gy := n.Grad.Row(i)
+			xh := xhat.Row(i)
+			// gain/bias grads
+			for j := range gy {
+				gg.Data[j] += gy[j] * xh[j]
+				gb.Data[j] += gy[j]
+			}
+			// input grad: dx = invStd*(dxh - mean(dxh) - xh*mean(dxh*xh))
+			var m1, m2 float64
+			dxh := make([]float64, cols)
+			for j := range gy {
+				dxh[j] = gy[j] * gain.Value.Data[j]
+				m1 += dxh[j]
+				m2 += dxh[j] * xh[j]
+			}
+			m1 /= float64(cols)
+			m2 /= float64(cols)
+			dst := ga.Row(i)
+			for j := range dxh {
+				dst[j] += invStd[i] * (dxh[j] - m1 - xh[j]*m2)
+			}
+		}
+	}
+	return n
+}
+
+// --- reductions and losses -----------------------------------------------------
+
+// SumAll returns the 1×1 sum of all elements of a.
+func (t *Tape) SumAll(a *Node) *Node {
+	v := tensor.FromSlice(1, 1, []float64{a.Value.Sum()})
+	n := t.node(v, nil)
+	n.back = func() {
+		g := n.Grad.Data[0]
+		ga := a.grad()
+		for i := range ga.Data {
+			ga.Data[i] += g
+		}
+	}
+	return n
+}
+
+// MeanAll returns the 1×1 mean of all elements of a.
+func (t *Tape) MeanAll(a *Node) *Node {
+	return t.Scale(t.SumAll(a), 1/float64(len(a.Value.Data)))
+}
+
+// MSE returns the 1×1 mean squared error between a and b.
+func (t *Tape) MSE(a, b *Node) *Node {
+	d := t.Sub(a, b)
+	return t.MeanAll(t.Square(d))
+}
+
+// RowSums returns an R×1 node whose entries are the row sums of a.
+func (t *Tape) RowSums(a *Node) *Node {
+	v := tensor.New(a.Value.Rows, 1)
+	for i := 0; i < a.Value.Rows; i++ {
+		var s float64
+		for _, x := range a.Value.Row(i) {
+			s += x
+		}
+		v.Data[i] = s
+	}
+	n := t.node(v, nil)
+	n.back = func() {
+		ga := a.grad()
+		for i := 0; i < a.Value.Rows; i++ {
+			g := n.Grad.Data[i]
+			dst := ga.Row(i)
+			for j := range dst {
+				dst[j] += g
+			}
+		}
+	}
+	return n
+}

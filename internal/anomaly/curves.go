@@ -1,0 +1,101 @@
+package anomaly
+
+import "sort"
+
+// PRPoint is one operating point on a precision-recall curve.
+type PRPoint struct {
+	Threshold         float64
+	Precision, Recall float64
+}
+
+// PRCurve sweeps thresholds over the observed scores (subsampled to at
+// most ~maxPoints operating points) and returns the point-adjusted
+// precision-recall curve in increasing-threshold order.
+func PRCurve(scores []float64, truth []bool, maxPoints int) []PRPoint {
+	if maxPoints < 2 {
+		maxPoints = 2
+	}
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	step := len(uniq) / maxPoints
+	if step < 1 {
+		step = 1
+	}
+	var curve []PRPoint
+	for i := 0; i < len(uniq); i += step {
+		thr := uniq[i]
+		c := EvaluateAdjusted(Threshold(scores, thr), truth)
+		curve = append(curve, PRPoint{Threshold: thr, Precision: c.Precision(), Recall: c.Recall()})
+	}
+	// Anchor the zero-recall end at precision 1 (the standard PR
+	// convention for the threshold above every score).
+	if len(curve) == 0 || curve[len(curve)-1].Recall > 0 {
+		top := uniq[len(uniq)-1]
+		curve = append(curve, PRPoint{Threshold: top + 1, Precision: 1, Recall: 0})
+	}
+	return curve
+}
+
+// AUPRC returns the area under the point-adjusted precision-recall curve
+// by trapezoidal integration over recall.
+func AUPRC(scores []float64, truth []bool) float64 {
+	curve := PRCurve(scores, truth, 200)
+	if len(curve) < 2 {
+		return 0
+	}
+	// Collapse ties: at each achieved recall keep the best precision (the
+	// interpolated PR curve), then integrate over recall.
+	best := map[float64]float64{}
+	for _, p := range curve {
+		if p.Precision > best[p.Recall] {
+			best[p.Recall] = p.Precision
+		}
+	}
+	recalls := make([]float64, 0, len(best))
+	for r := range best {
+		recalls = append(recalls, r)
+	}
+	sort.Float64s(recalls)
+	var area float64
+	for i := 1; i < len(recalls); i++ {
+		dr := recalls[i] - recalls[i-1]
+		area += dr * 0.5 * (best[recalls[i]] + best[recalls[i-1]])
+	}
+	return area
+}
+
+// DetectionDelay reports, for each ground-truth anomaly segment, how many
+// samples elapsed between the segment's start and the first predicted
+// point inside it; missed segments report -1. Lower is better — telescope
+// follow-up must be triggered while the transient is still active.
+func DetectionDelay(pred, truth []bool) []int {
+	segs := Segments(truth)
+	delays := make([]int, len(segs))
+	for i, seg := range segs {
+		delays[i] = -1
+		for t := seg.Start; t < seg.End; t++ {
+			if pred[t] {
+				delays[i] = t - seg.Start
+				break
+			}
+		}
+	}
+	return delays
+}
+
+// MeanDetectionDelay averages the delays of detected segments and reports
+// the number of missed segments separately.
+func MeanDetectionDelay(pred, truth []bool) (mean float64, detected, missed int) {
+	for _, d := range DetectionDelay(pred, truth) {
+		if d < 0 {
+			missed++
+			continue
+		}
+		mean += float64(d)
+		detected++
+	}
+	if detected > 0 {
+		mean /= float64(detected)
+	}
+	return mean, detected, missed
+}

@@ -1,0 +1,160 @@
+// Package anomaly provides evaluation machinery for time series anomaly
+// detection: confusion counts, precision/recall/F1, the point-adjust
+// protocol used throughout the TSAD literature (and by the paper, §IV-C),
+// anomaly segment extraction, and a best-F1 threshold sweep.
+package anomaly
+
+import "sort"
+
+// Confusion aggregates binary classification counts.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates another confusion matrix.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Segment is a half-open run [Start, End) of consecutive anomalous points.
+type Segment struct {
+	Start, End int
+}
+
+// Len returns the segment length.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Segments extracts maximal runs of true values.
+func Segments(labels []bool) []Segment {
+	var segs []Segment
+	for i := 0; i < len(labels); {
+		if !labels[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(labels) && labels[j] {
+			j++
+		}
+		segs = append(segs, Segment{Start: i, End: j})
+		i = j
+	}
+	return segs
+}
+
+// PointAdjust applies the standard point-adjust protocol: if any point
+// inside a ground-truth anomaly segment is predicted anomalous, the entire
+// segment is considered detected. It returns the adjusted predictions.
+func PointAdjust(pred, truth []bool) []bool {
+	adj := append([]bool(nil), pred...)
+	for _, seg := range Segments(truth) {
+		hit := false
+		for i := seg.Start; i < seg.End; i++ {
+			if pred[i] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			for i := seg.Start; i < seg.End; i++ {
+				adj[i] = true
+			}
+		}
+	}
+	return adj
+}
+
+// Evaluate compares predictions against ground truth point-wise.
+func Evaluate(pred, truth []bool) Confusion {
+	if len(pred) != len(truth) {
+		panic("anomaly: prediction/truth length mismatch")
+	}
+	var c Confusion
+	for i := range pred {
+		switch {
+		case pred[i] && truth[i]:
+			c.TP++
+		case pred[i] && !truth[i]:
+			c.FP++
+		case !pred[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// EvaluateAdjusted point-adjusts pred against truth and evaluates.
+func EvaluateAdjusted(pred, truth []bool) Confusion {
+	return Evaluate(PointAdjust(pred, truth), truth)
+}
+
+// EvaluateMultivariate point-adjusts and evaluates per variate, summing the
+// confusion counts (scores[v][t] thresholded at thr[v]).
+func EvaluateMultivariate(scores [][]float64, thr []float64, truth [][]bool) Confusion {
+	var total Confusion
+	for v := range scores {
+		pred := Threshold(scores[v], thr[v])
+		total.Add(EvaluateAdjusted(pred, truth[v]))
+	}
+	return total
+}
+
+// Threshold converts scores to binary predictions at ≥ thr.
+func Threshold(scores []float64, thr float64) []bool {
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s >= thr
+	}
+	return out
+}
+
+// BestF1 sweeps candidate thresholds over the observed score values and
+// returns the best point-adjusted F1 along with the threshold achieving it.
+// Used for analysis; headline results use POT thresholds.
+func BestF1(scores []float64, truth []bool) (best Confusion, thr float64) {
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	// At most ~200 candidates for tractability on long series.
+	step := len(uniq) / 200
+	if step < 1 {
+		step = 1
+	}
+	bestF1 := -1.0
+	for i := 0; i < len(uniq); i += step {
+		c := EvaluateAdjusted(Threshold(scores, uniq[i]), truth)
+		if f := c.F1(); f > bestF1 {
+			bestF1, best, thr = f, c, uniq[i]
+		}
+	}
+	return best, thr
+}

@@ -1,0 +1,238 @@
+package anomaly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 8, TN: 82}
+	if c.Precision() != 0.8 {
+		t.Fatalf("precision %v", c.Precision())
+	}
+	if c.Recall() != 0.5 {
+		t.Fatalf("recall %v", c.Recall())
+	}
+	wantF1 := 2 * 0.8 * 0.5 / 1.3
+	if d := c.F1() - wantF1; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("f1 %v want %v", c.F1(), wantF1)
+	}
+}
+
+func TestConfusionZeroSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must yield zeros, not NaN")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	labels := []bool{false, true, true, false, true, false, false, true}
+	segs := Segments(labels)
+	want := []Segment{{1, 3}, {4, 5}, {7, 8}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %v want %v", i, segs[i], want[i])
+		}
+	}
+	if Segments([]bool{false, false}) != nil {
+		t.Fatal("no segments expected")
+	}
+	if s := Segments([]bool{true, true}); len(s) != 1 || s[0].Len() != 2 {
+		t.Fatal("full-width segment expected")
+	}
+}
+
+func TestPointAdjustExpandsHits(t *testing.T) {
+	truth := []bool{false, true, true, true, false}
+	pred := []bool{false, false, true, false, false}
+	adj := PointAdjust(pred, truth)
+	for i := 1; i <= 3; i++ {
+		if !adj[i] {
+			t.Fatal("hit segment must be fully credited")
+		}
+	}
+	if adj[0] || adj[4] {
+		t.Fatal("points outside segments must be untouched")
+	}
+}
+
+func TestPointAdjustMissedSegmentUnchanged(t *testing.T) {
+	truth := []bool{true, true, false}
+	pred := []bool{false, false, true}
+	adj := PointAdjust(pred, truth)
+	if adj[0] || adj[1] {
+		t.Fatal("missed segment must not be credited")
+	}
+	if !adj[2] {
+		t.Fatal("false positive must survive adjustment")
+	}
+}
+
+func TestPointAdjustNeverReducesPredictions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		pred := make([]bool, n)
+		truth := make([]bool, n)
+		for i := 0; i < n; i++ {
+			pred[i] = rng.Float64() < 0.3
+			truth[i] = rng.Float64() < 0.3
+		}
+		adj := PointAdjust(pred, truth)
+		for i := range pred {
+			if pred[i] && !adj[i] {
+				return false
+			}
+		}
+		// Recall after adjustment >= before.
+		return EvaluateAdjusted(pred, truth).Recall() >= Evaluate(pred, truth).Recall()-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	pred := []bool{true, true, false, false}
+	truth := []bool{true, false, true, false}
+	c := Evaluate(pred, truth)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestEvaluateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate([]bool{true}, []bool{true, false})
+}
+
+func TestThreshold(t *testing.T) {
+	pred := Threshold([]float64{0.1, 0.5, 0.9}, 0.5)
+	if pred[0] || !pred[1] || !pred[2] {
+		t.Fatalf("threshold %v", pred)
+	}
+}
+
+func TestEvaluateMultivariateSums(t *testing.T) {
+	scores := [][]float64{{0, 1, 0}, {1, 0, 0}}
+	truth := [][]bool{{false, true, false}, {false, false, false}}
+	c := EvaluateMultivariate(scores, []float64{0.5, 0.5}, truth)
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestBestF1FindsPerfectThreshold(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.9, 0.95, 0.15}
+	truth := []bool{false, false, true, true, false}
+	best, thr := BestF1(scores, truth)
+	if best.F1() != 1 {
+		t.Fatalf("best F1 %v at %v", best.F1(), thr)
+	}
+	if thr <= 0.2 || thr > 0.9 {
+		t.Fatalf("threshold %v outside separating gap", thr)
+	}
+}
+
+func TestBestF1AtLeastPOTStyleThreshold(t *testing.T) {
+	// BestF1 is an oracle: it must dominate any fixed threshold.
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if i%50 == 0 {
+			scores[i] += 1
+			truth[i] = true
+		}
+	}
+	best, _ := BestF1(scores, truth)
+	fixed := EvaluateAdjusted(Threshold(scores, 0.8), truth)
+	if best.F1() < fixed.F1()-1e-12 {
+		t.Fatalf("oracle %v below fixed %v", best.F1(), fixed.F1())
+	}
+}
+
+func TestPRCurveMonotonicEndpoints(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.2, 0.8, 0.3}
+	truth := []bool{false, true, false, true, false}
+	curve := PRCurve(scores, truth, 10)
+	if len(curve) < 2 {
+		t.Fatal("curve too short")
+	}
+	// Lowest threshold predicts everything: recall 1.
+	if curve[0].Recall != 1 {
+		t.Fatalf("lowest threshold recall %v", curve[0].Recall)
+	}
+	for _, p := range curve {
+		if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 {
+			t.Fatalf("point out of range %+v", p)
+		}
+	}
+}
+
+func TestAUPRCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.1, 0.1, 0.9, 0.9, 0.1}
+	truth := []bool{false, false, true, true, false}
+	if auc := AUPRC(scores, truth); auc < 0.9 {
+		t.Fatalf("perfect separation AUPRC %v", auc)
+	}
+}
+
+func TestAUPRCRandomScoresLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 600
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = i%100 == 0 // rare anomalies, unrelated to scores
+	}
+	perfect := make([]float64, n)
+	for i := range perfect {
+		if truth[i] {
+			perfect[i] = 1
+		}
+	}
+	if AUPRC(scores, truth) >= AUPRC(perfect, truth) {
+		t.Fatal("random scores should not beat perfect scores")
+	}
+}
+
+func TestDetectionDelay(t *testing.T) {
+	truth := []bool{false, true, true, true, false, true, true, false}
+	pred := []bool{false, false, true, false, false, false, false, false}
+	delays := DetectionDelay(pred, truth)
+	if len(delays) != 2 {
+		t.Fatalf("delays %v", delays)
+	}
+	if delays[0] != 1 {
+		t.Fatalf("first segment delay %d, want 1", delays[0])
+	}
+	if delays[1] != -1 {
+		t.Fatalf("missed segment should be -1, got %d", delays[1])
+	}
+	mean, detected, missed := MeanDetectionDelay(pred, truth)
+	if mean != 1 || detected != 1 || missed != 1 {
+		t.Fatalf("mean %v detected %d missed %d", mean, detected, missed)
+	}
+}
+
+func TestMeanDetectionDelayAllMissed(t *testing.T) {
+	truth := []bool{true, true}
+	pred := []bool{false, false}
+	mean, detected, missed := MeanDetectionDelay(pred, truth)
+	if mean != 0 || detected != 0 || missed != 1 {
+		t.Fatalf("mean %v detected %d missed %d", mean, detected, missed)
+	}
+}

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"aero/internal/ag"
+	"aero/internal/dataset"
+	"aero/internal/nn"
+	"aero/internal/tensor"
+	"aero/internal/window"
+)
+
+// AnomalyTransformer (Xu et al., ICLR 2022) scores anomalies by
+// *association discrepancy*: normal points attend broadly across the
+// window (series association ≈ a wide distribution) while anomalies attend
+// only to their immediate neighbourhood, so the KL divergence between the
+// learned series attention and a local Gaussian prior is small exactly at
+// anomalies. The final score multiplies reconstruction error by
+// softmax(−discrepancy).
+//
+// Simplifications: a single encoder layer, a fixed (not learned) prior
+// width, and the minimax training schedule collapsed to one phase with a
+// discrepancy regularizer.
+type AnomalyTransformer struct {
+	cfg Config
+	// PriorSigma is the width (in timesteps) of the Gaussian prior
+	// association. Fixed rather than learned per position.
+	PriorSigma float64
+	// Lambda weights the association-discrepancy term in the loss.
+	Lambda float64
+
+	embed *nn.Linear
+	attn  *nn.MultiHeadAttention
+	ln1   *nn.LayerNorm
+	ffn   *nn.FFN
+	ln2   *nn.LayerNorm
+	head  *nn.Linear
+	prior *tensor.Dense // W×W row-stochastic Gaussian prior
+	pars  []*ag.Param
+
+	norm   *window.Normalizer
+	n      int
+	fitted bool
+}
+
+// NewAnomalyTransformer returns an untrained detector.
+func NewAnomalyTransformer(cfg Config) *AnomalyTransformer {
+	return &AnomalyTransformer{cfg: cfg.normalized(), PriorSigma: 5, Lambda: 0.1}
+}
+
+// Name implements Detector.
+func (d *AnomalyTransformer) Name() string { return "AT" }
+
+func (d *AnomalyTransformer) build(rng *rand.Rand) {
+	h := d.cfg.Hidden
+	heads := 2
+	if h%heads != 0 {
+		heads = 1
+	}
+	d.embed = nn.NewLinear("at.embed", d.n, h, rng)
+	d.attn = nn.NewMultiHeadAttention("at.attn", h, heads, rng)
+	d.ln1 = nn.NewLayerNorm("at.ln1", h)
+	d.ffn = nn.NewFFN("at.ffn", h, 2*h, h, rng)
+	d.ln2 = nn.NewLayerNorm("at.ln2", h)
+	d.head = nn.NewLinear("at.head", h, d.n, rng)
+	d.pars = nn.CollectParams(d.embed, d.attn, d.ln1, d.ffn, d.ln2, d.head)
+	d.prior = gaussianPrior(d.cfg.Window, d.PriorSigma)
+}
+
+// gaussianPrior builds the row-normalized |i−j| Gaussian association.
+func gaussianPrior(w int, sigma float64) *tensor.Dense {
+	p := tensor.New(w, w)
+	for i := 0; i < w; i++ {
+		row := p.Row(i)
+		var sum float64
+		for j := 0; j < w; j++ {
+			v := math.Exp(-0.5 * float64((i-j)*(i-j)) / (sigma * sigma))
+			row[j] = v
+			sum += v
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return p
+}
+
+// forward runs the encoder, returning the reconstruction (W×N) and the
+// per-head series attention maps.
+func (d *AnomalyTransformer) forward(t *ag.Tape, win *tensor.Dense) (*ag.Node, []*ag.Node) {
+	x := d.embed.Forward(t, t.Const(win))
+	att, maps := d.attn.AttentionWeights(t, x, x, x)
+	m := d.ln1.Forward(t, t.Add(x, att))
+	out := d.ln2.Forward(t, t.Add(m, d.ffn.Forward(t, m)))
+	return t.Sigmoid(d.head.Forward(t, out)), maps
+}
+
+// discrepancy computes the per-position association discrepancy: the
+// symmetric KL between the Gaussian prior rows and the series attention
+// rows, averaged over heads. Returned as a W-length vector node.
+func (d *AnomalyTransformer) discrepancy(t *ag.Tape, maps []*ag.Node) *ag.Node {
+	w := d.cfg.Window
+	priorN := t.Const(d.prior)
+	var acc *ag.Node
+	for _, s := range maps {
+		sSafe := t.AddConst(s, 1e-9)
+		pSafe := t.AddConst(priorN, 1e-9)
+		// KL(P‖S) + KL(S‖P) rows.
+		klPS := t.RowSums(t.Mul(priorN, t.Sub(t.Log(pSafe), t.Log(sSafe))))
+		klSP := t.RowSums(t.Mul(s, t.Sub(t.Log(sSafe), t.Log(pSafe))))
+		sum := t.Add(klPS, klSP)
+		if acc == nil {
+			acc = sum
+		} else {
+			acc = t.Add(acc, sum)
+		}
+	}
+	return t.Scale(acc, 1/float64(len(maps)*w))
+}
+
+// Fit trains the encoder with the discrepancy-regularized objective.
+func (d *AnomalyTransformer) Fit(train *dataset.Series) error {
+	if err := d.cfg.validate(); err != nil {
+		return err
+	}
+	d.n = train.N()
+	if train.Len() < d.cfg.Window {
+		return checkSeries(train, d.n, d.cfg.Window, true)
+	}
+	rng := newRand(d.cfg.Seed)
+	d.norm = window.FitNormalizer(train.Data)
+	d.build(rng)
+	data := d.norm.Transform(train.Data)
+	insts := window.Indices(train.Len(), d.cfg.Window, d.cfg.TrainStride)
+	opt := nn.NewAdam(d.cfg.LR)
+	opt.MaxGradNorm = 5
+
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(insts), func(i, j int) { insts[i], insts[j] = insts[j], insts[i] })
+		for _, inst := range insts {
+			t := ag.NewTape()
+			win := tensor.FromRows(windowMatrix(data, inst.End, d.cfg.Window))
+			recon, maps := d.forward(t, win)
+			// Maximize discrepancy on normal data (anomalies will then
+			// stand out by failing to reach it).
+			loss := t.Sub(t.MSE(recon, t.Const(win)), t.Scale(t.MeanAll(d.discrepancy(t, maps)), d.Lambda))
+			t.Backward(loss)
+			opt.Step(d.pars)
+		}
+	}
+	d.fitted = true
+	return nil
+}
+
+// Scores implements Detector: reconstruction error reweighted by
+// softmax(−discrepancy), evaluated at each window's final position.
+func (d *AnomalyTransformer) Scores(s *dataset.Series) ([][]float64, error) {
+	if err := checkSeries(s, d.n, d.cfg.Window, d.fitted); err != nil {
+		return nil, err
+	}
+	data := d.norm.Transform(s.Data)
+	w := d.cfg.Window
+	return assembleWindowScores(s.Len(), w, d.cfg.EvalStride, d.n, d.cfg.Workers, func(end int) []float64 {
+		t := ag.NewTape()
+		win := tensor.FromRows(windowMatrix(data, end, w))
+		recon, maps := d.forward(t, win)
+		disc := d.discrepancy(t, maps)
+		// softmax(−disc) over window positions.
+		weights := make([]float64, w)
+		var sum float64
+		for i := 0; i < w; i++ {
+			weights[i] = math.Exp(-disc.Value.Data[i])
+			sum += weights[i]
+		}
+		factor := weights[w-1] / sum * float64(w) // ≈1 when uniform
+		scores := make([]float64, d.n)
+		for v := 0; v < d.n; v++ {
+			diff := math.Abs(win.At(w-1, v) - recon.Value.At(w-1, v))
+			scores[v] = diff * factor
+		}
+		return scores
+	}), nil
+}

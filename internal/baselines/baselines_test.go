@@ -1,0 +1,346 @@
+package baselines
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"aero/internal/dataset"
+	"aero/internal/stats"
+	"aero/internal/tensor"
+)
+
+// tensorFromRows builds a dense matrix from rows (test helper).
+func tensorFromRows(rows [][]float64) *tensor.Dense { return tensor.FromRows(rows) }
+
+var tinyOnce sync.Once
+var tinyD *dataset.Dataset
+
+func tiny() *dataset.Dataset {
+	tinyOnce.Do(func() {
+		cfg := dataset.SyntheticConfig{
+			Name: "tiny", N: 5, TrainLen: 360, TestLen: 360,
+			NoiseVariates: 3, AnomalySegments: 2, NoisePct: 2.5,
+			VariableFrac: 0.4, Seed: 9,
+		}
+		tinyD = cfg.Generate()
+	})
+	return tinyD
+}
+
+func tinyConfig() Config {
+	c := SmallConfig()
+	c.Window = 48
+	c.Epochs = 4
+	c.TrainStride = 20
+	c.EvalStride = 8
+	return c
+}
+
+// allDetectors instantiates every baseline with the tiny config.
+func allDetectors() []Detector {
+	cfg := tinyConfig()
+	return []Detector{
+		NewTemplateMatching(),
+		NewSR(),
+		NewSPOT(),
+		NewFluxEV(),
+		NewDonut(cfg),
+		NewOmniAnomaly(cfg),
+		NewAnomalyTransformer(cfg),
+		NewTranAD(cfg),
+		NewGDN(cfg),
+		NewESG(cfg),
+		NewTimesNet(cfg),
+	}
+}
+
+func TestDetectorNamesMatchPaper(t *testing.T) {
+	want := map[string]bool{
+		"TM": true, "SR": true, "SPOT": true, "FluxEV": true, "Donut": true,
+		"OA": true, "AT": true, "TranAD": true, "GDN": true, "ESG": true,
+		"TimesNet": true,
+	}
+	for _, d := range allDetectors() {
+		if !want[d.Name()] {
+			t.Fatalf("unexpected detector name %q", d.Name())
+		}
+		delete(want, d.Name())
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing detectors: %v", want)
+	}
+}
+
+func TestAllDetectorsFitAndScore(t *testing.T) {
+	d := tiny()
+	for _, det := range allDetectors() {
+		det := det
+		t.Run(det.Name(), func(t *testing.T) {
+			t.Parallel()
+			if err := det.Fit(d.Train); err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			scores, err := det.Scores(d.Test)
+			if err != nil {
+				t.Fatalf("Scores: %v", err)
+			}
+			if len(scores) != d.Test.N() {
+				t.Fatalf("got %d variate scores, want %d", len(scores), d.Test.N())
+			}
+			for v := range scores {
+				if len(scores[v]) != d.Test.Len() {
+					t.Fatalf("variate %d: got %d scores, want %d", v, len(scores[v]), d.Test.Len())
+				}
+				for i, s := range scores[v] {
+					if math.IsNaN(s) || math.IsInf(s, 0) {
+						t.Fatalf("variate %d t=%d: invalid score %v", v, i, s)
+					}
+				}
+			}
+			// Scores must not be all identical (degenerate detector).
+			flat := scores[0]
+			_, std := stats.MeanStd(flat[len(flat)/2:])
+			if std == 0 {
+				t.Fatal("scores are constant")
+			}
+		})
+	}
+}
+
+func TestScoresBeforeFit(t *testing.T) {
+	d := tiny()
+	for _, det := range allDetectors() {
+		if _, err := det.Scores(d.Test); err == nil {
+			t.Fatalf("%s: expected not-fitted error", det.Name())
+		}
+	}
+}
+
+func TestSPOTSeparatesExtremes(t *testing.T) {
+	d := tiny()
+	det := NewSPOT()
+	if err := det.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := det.Scores(d.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anom, norm []float64
+	for v := range scores {
+		for i, s := range scores[v] {
+			if d.Test.Labels[v][i] {
+				anom = append(anom, s)
+			} else if !d.Test.NoiseMask[v][i] {
+				norm = append(norm, s)
+			}
+		}
+	}
+	if stats.Mean(anom) <= stats.Mean(norm) {
+		t.Fatalf("SPOT should elevate extreme anomalies: anom %.3f norm %.3f",
+			stats.Mean(anom), stats.Mean(norm))
+	}
+}
+
+func TestSPOTFlagsConcurrentNoiseToo(t *testing.T) {
+	// The paper's key claim: univariate extreme-value methods cannot tell
+	// concurrent noise from true anomalies — noise points score high too.
+	d := tiny()
+	det := NewSPOT()
+	if err := det.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := det.Scores(d.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noise, norm []float64
+	for v := range scores {
+		for i, s := range scores[v] {
+			if d.Test.Labels[v][i] {
+				continue
+			}
+			if d.Test.NoiseMask[v][i] {
+				noise = append(noise, s)
+			} else {
+				norm = append(norm, s)
+			}
+		}
+	}
+	if stats.Mean(noise) <= stats.Mean(norm) {
+		t.Fatalf("concurrent noise should look extreme to SPOT: noise %.3f norm %.3f",
+			stats.Mean(noise), stats.Mean(norm))
+	}
+}
+
+func TestSRSaliencyPeaksAtSpike(t *testing.T) {
+	det := NewSR()
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	x[180] += 4 // spike
+	sal := det.Saliency(x)
+	if stats.Argmax(sal) != 180 {
+		t.Fatalf("saliency peak at %d, want 180", stats.Argmax(sal))
+	}
+}
+
+func TestFluxEVSuppressesPeriodicFluctuation(t *testing.T) {
+	det := NewFluxEV()
+	// Periodic series: recurring fluctuations should be suppressed after
+	// the first cycle; a novel spike should stand out.
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+	}
+	x[250] += 3
+	f := det.extract(x)
+	spikeScore := f[250]
+	periodMax := stats.Max(f[100:240])
+	if spikeScore <= periodMax {
+		t.Fatalf("novel spike (%.3f) should exceed periodic residue (%.3f)", spikeScore, periodMax)
+	}
+}
+
+func TestTemplateMatchingFiresOnFlare(t *testing.T) {
+	d := tiny()
+	det := NewTemplateMatching()
+	if err := det.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	// Build a clean series with one flare and check TM peaks near it.
+	s := dataset.NewSeries(1, 300)
+	dataset.InjectAnomaly(s, dataset.AnomalyEvent{
+		Kind: dataset.AnomalyFlare, Variate: 0, Start: 150, Length: 40, Amp: 3, HalfLife: 5,
+	})
+	one := &dataset.Series{Data: s.Data[:1], Time: s.Time, Labels: s.Labels[:1], NoiseMask: s.NoiseMask[:1]}
+	det2 := NewTemplateMatching()
+	if err := det2.Fit(one); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := det2.Scores(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := stats.Argmax(scores[0])
+	if peak < 150 || peak > 200 {
+		t.Fatalf("TM peak at %d, want within the flare [150, 190]", peak)
+	}
+}
+
+func TestGDNAttentionRowStochastic(t *testing.T) {
+	d := tiny()
+	det := NewGDN(tinyConfig())
+	if err := det.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	a := det.attention()
+	for i := 0; i < a.Rows; i++ {
+		var sum float64
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) < 0 {
+				t.Fatal("negative attention")
+			}
+			sum += a.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestTimesNetPeriodDetection(t *testing.T) {
+	det := NewTimesNet(tinyConfig())
+	det.n = 1
+	w := 64
+	win := make([][]float64, w)
+	for i := range win {
+		win[i] = []float64{math.Sin(2 * math.Pi * float64(i) / 16)}
+	}
+	periods, weights := det.dominantPeriods(tensorFromRows(win))
+	if len(periods) == 0 {
+		t.Fatal("no periods found")
+	}
+	if periods[0] != 16 {
+		t.Fatalf("dominant period %d, want 16", periods[0])
+	}
+	var sum float64
+	for _, x := range weights {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestPhaseAveragerRowStochastic(t *testing.T) {
+	m := phaseAverager(10, 3)
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for j := 0; j < m.Cols; j++ {
+			sum += m.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+		// Only same-phase positions contribute.
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) > 0 && j%3 != i%3 {
+				t.Fatal("cross-phase averaging")
+			}
+		}
+	}
+}
+
+func TestGaussianPriorRowStochastic(t *testing.T) {
+	p := gaussianPrior(20, 4)
+	for i := 0; i < p.Rows; i++ {
+		var sum float64
+		best := 0
+		for j := 0; j < p.Cols; j++ {
+			sum += p.At(i, j)
+			if p.At(i, j) > p.At(i, best) {
+				best = j
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+		if best != i {
+			t.Fatalf("prior row %d peaks at %d", i, best)
+		}
+	}
+}
+
+func TestAssembleWindowScoresCoversTail(t *testing.T) {
+	out := assembleWindowScores(50, 10, 7, 2, 1, func(end int) []float64 {
+		return []float64{float64(end), float64(end)}
+	})
+	if out[0][49] == 0 {
+		t.Fatal("final timestamp unscored")
+	}
+	for _, s := range out[0][:9] {
+		if s != 0 {
+			t.Fatal("pre-window timestamps should stay zero")
+		}
+	}
+	// Monotone stamps: each timestamp carries the nearest later window end.
+	if out[0][10] < 10 {
+		t.Fatalf("stamp %v", out[0][10])
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := SmallConfig()
+	c.Window = 1
+	if c.validate() == nil {
+		t.Fatal("window 1 should fail")
+	}
+	c = SmallConfig()
+	c.LR = 0
+	if c.validate() == nil {
+		t.Fatal("lr 0 should fail")
+	}
+}

@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"aero/internal/ag"
+	"aero/internal/dataset"
+	"aero/internal/nn"
+	"aero/internal/tensor"
+	"aero/internal/window"
+)
+
+// ESG (Ye et al., KDD 2022) learns an *evolving* graph: per-node hidden
+// states are advanced by a recurrent cell as new observations arrive, the
+// graph at each step is derived from the current states, and a one-step
+// forecast propagates information over that graph. Adapted for anomaly
+// detection (as in the paper's §IV-B) by using single-step prediction
+// errors as anomaly scores.
+//
+// Simplifications: the multi-scale pyramid of the original is reduced to a
+// single scale, and training uses truncated backpropagation (states are
+// detached between steps).
+type ESG struct {
+	cfg Config
+	// ChunkLen is the number of trailing values fed to the state GRU at
+	// each evolution step.
+	ChunkLen int
+
+	gru  *nn.GRUCell
+	out  *nn.FFN
+	pars []*ag.Param
+
+	norm   *window.Normalizer
+	n      int
+	fitted bool
+}
+
+// NewESG returns an untrained ESG.
+func NewESG(cfg Config) *ESG { return &ESG{cfg: cfg.normalized(), ChunkLen: 8} }
+
+// Name implements Detector.
+func (d *ESG) Name() string { return "ESG" }
+
+func (d *ESG) build(rng *rand.Rand) {
+	h := d.cfg.Hidden
+	d.gru = nn.NewGRUCell("esg.gru", d.ChunkLen, h, rng)
+	d.out = nn.NewFFN("esg.out", 2*h, 2*h, 1, rng)
+	d.pars = append(d.gru.Params(), d.out.Params()...)
+}
+
+// chunk extracts the N×ChunkLen block ending at end.
+func (d *ESG) chunk(data [][]float64, end int) *tensor.Dense {
+	c := tensor.New(d.n, d.ChunkLen)
+	for v := 0; v < d.n; v++ {
+		copy(c.Row(v), window.Slice(data[v], end, d.ChunkLen))
+	}
+	return c
+}
+
+// step advances the node states with the chunk ending at end and returns
+// the new states plus the one-step forecast node (N×1). prev is treated as
+// a constant (truncated BPTT).
+func (d *ESG) step(t *ag.Tape, data [][]float64, end int, prev *tensor.Dense) (*ag.Node, *ag.Node) {
+	state := d.gru.Step(t, t.Const(d.chunk(data, end)), t.Const(prev)) // N×h
+	// Evolving graph: row-softmax of state affinities.
+	adj := t.SoftmaxRows(t.MatMulT(state, state))
+	agg := t.MatMul(adj, state)
+	joint := t.ConcatCols(state, agg)
+	pred := t.Sigmoid(d.out.Forward(t, joint)) // N×1
+	return state, pred
+}
+
+// Fit trains the evolving forecaster over the training stream.
+func (d *ESG) Fit(train *dataset.Series) error {
+	if err := d.cfg.validate(); err != nil {
+		return err
+	}
+	d.n = train.N()
+	if train.Len() < d.cfg.Window {
+		return checkSeries(train, d.n, d.cfg.Window, true)
+	}
+	rng := newRand(d.cfg.Seed)
+	d.norm = window.FitNormalizer(train.Data)
+	d.build(rng)
+	data := d.norm.Transform(train.Data)
+	ends := window.Indices(train.Len()-1, d.ChunkLen, d.cfg.TrainStride)
+	opt := nn.NewAdam(d.cfg.LR)
+	opt.MaxGradNorm = 5
+
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		state := tensor.New(d.n, d.cfg.Hidden)
+		for _, inst := range ends { // sequential: the graph evolves in time
+			t := ag.NewTape()
+			next, pred := d.step(t, data, inst.End, state)
+			target := tensor.New(d.n, 1)
+			for v := 0; v < d.n; v++ {
+				target.Data[v] = data[v][inst.End+1]
+			}
+			loss := t.MSE(pred, t.Const(target))
+			t.Backward(loss)
+			opt.Step(d.pars)
+			state = next.Value.Clone()
+		}
+		_ = rng
+	}
+	d.fitted = true
+	return nil
+}
+
+// Scores implements Detector: one-step forecast errors along the evolving
+// state trajectory.
+func (d *ESG) Scores(s *dataset.Series) ([][]float64, error) {
+	if err := checkSeries(s, d.n, d.cfg.Window, d.fitted); err != nil {
+		return nil, err
+	}
+	data := d.norm.Transform(s.Data)
+	T := s.Len()
+	out := make([][]float64, d.n)
+	for v := range out {
+		out[v] = make([]float64, T)
+	}
+	ends := window.Indices(T-1, d.ChunkLen, d.cfg.EvalStride)
+	state := tensor.New(d.n, d.cfg.Hidden)
+	prevStamp := ends[0].End
+	for _, inst := range ends {
+		t := ag.NewTape()
+		next, pred := d.step(t, data, inst.End, state)
+		state = next.Value.Clone()
+		for tt := prevStamp + 1; tt <= inst.End+1 && tt < T; tt++ {
+			for v := 0; v < d.n; v++ {
+				out[v][tt] = math.Abs(data[v][tt] - pred.Value.Data[v])
+			}
+		}
+		prevStamp = inst.End + 1
+	}
+	return out, nil
+}

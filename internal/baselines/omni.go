@@ -1,0 +1,131 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"aero/internal/ag"
+	"aero/internal/dataset"
+	"aero/internal/nn"
+	"aero/internal/tensor"
+	"aero/internal/window"
+)
+
+// OmniAnomaly (Su et al., KDD 2019) models multivariate windows with a
+// stochastic recurrent network: a GRU consumes the window, its final state
+// parameterizes a Gaussian latent, and a decoder reconstructs the current
+// observation. Points with low reconstruction likelihood are anomalous.
+//
+// Simplifications: the planar normalizing flow and linear-Gaussian state
+// space smoothing of the original are omitted (plain GRU-VAE, the
+// architecture's core), and the likelihood is replaced by per-variate
+// reconstruction error.
+type OmniAnomaly struct {
+	cfg Config
+
+	gru          *nn.GRUCell
+	encMu, encLV *nn.Linear
+	decH, decOut *nn.Linear
+	params       []*ag.Param
+
+	norm   *window.Normalizer
+	n      int
+	fitted bool
+}
+
+// NewOmniAnomaly returns an untrained OmniAnomaly with the configuration.
+func NewOmniAnomaly(cfg Config) *OmniAnomaly { return &OmniAnomaly{cfg: cfg.normalized()} }
+
+// Name implements Detector.
+func (d *OmniAnomaly) Name() string { return "OA" }
+
+func (d *OmniAnomaly) build(rng *rand.Rand) {
+	h, k := d.cfg.Hidden, d.cfg.Latent
+	d.gru = nn.NewGRUCell("oa.gru", d.n, h, rng)
+	d.encMu = nn.NewLinear("oa.mu", h, k, rng)
+	d.encLV = nn.NewLinear("oa.lv", h, k, rng)
+	d.decH = nn.NewLinear("oa.decH", k+h, h, rng)
+	d.decOut = nn.NewLinear("oa.out", h, d.n, rng)
+	d.params = nn.CollectParams(d.gru, d.encMu, d.encLV, d.decH, d.decOut)
+}
+
+// run consumes the window rows through the GRU and returns the final state.
+func (d *OmniAnomaly) run(t *ag.Tape, win [][]float64) *ag.Node {
+	h := d.gru.InitState(t, 1)
+	for _, row := range win {
+		x := t.Const(tensor.FromSlice(1, d.n, append([]float64(nil), row...)))
+		h = d.gru.Step(t, x, h)
+	}
+	return h
+}
+
+// reconstruct decodes the final observation from the latent and the GRU
+// state (the recurrent skip connection of the original).
+func (d *OmniAnomaly) reconstruct(t *ag.Tape, h, z *ag.Node) *ag.Node {
+	joint := t.ConcatCols(z, h)
+	return t.Sigmoid(d.decOut.Forward(t, t.ReLU(d.decH.Forward(t, joint))))
+}
+
+// Fit trains on multivariate windows.
+func (d *OmniAnomaly) Fit(train *dataset.Series) error {
+	if err := d.cfg.validate(); err != nil {
+		return err
+	}
+	d.n = train.N()
+	if train.Len() < d.cfg.Window {
+		return checkSeries(train, d.n, d.cfg.Window, true)
+	}
+	rng := newRand(d.cfg.Seed)
+	d.norm = window.FitNormalizer(train.Data)
+	d.build(rng)
+	data := d.norm.Transform(train.Data)
+	insts := window.Indices(train.Len(), d.cfg.Window, d.cfg.TrainStride)
+	opt := nn.NewAdam(d.cfg.LR)
+	opt.MaxGradNorm = 5
+
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(insts), func(i, j int) { insts[i], insts[j] = insts[j], insts[i] })
+		for _, inst := range insts {
+			t := ag.NewTape()
+			win := windowMatrix(data, inst.End, d.cfg.Window)
+			h := d.run(t, win)
+			mu := d.encMu.Forward(t, h)
+			logvar := d.encLV.Forward(t, h)
+			eps := tensor.Randn(1, d.cfg.Latent, 1, rng)
+			z := t.Add(mu, t.Mul(t.Const(eps), t.Exp(t.Scale(logvar, 0.5))))
+			recon := d.reconstruct(t, h, z)
+			target := t.Const(tensor.FromSlice(1, d.n, append([]float64(nil), win[len(win)-1]...)))
+			kl := t.Scale(t.MeanAll(t.Sub(t.Sub(t.Exp(logvar), t.AddConst(logvar, 1)), t.Neg(t.Square(mu)))), 0.5)
+			loss := t.Add(t.MSE(recon, target), t.Scale(kl, 0.01))
+			t.Backward(loss)
+			opt.Step(d.params)
+		}
+	}
+	d.fitted = true
+	return nil
+}
+
+// Scores implements Detector: per-variate absolute reconstruction error of
+// the window's final observation (deterministic z = μ).
+func (d *OmniAnomaly) Scores(s *dataset.Series) ([][]float64, error) {
+	if err := checkSeries(s, d.n, d.cfg.Window, d.fitted); err != nil {
+		return nil, err
+	}
+	data := d.norm.Transform(s.Data)
+	return assembleWindowScores(s.Len(), d.cfg.Window, d.cfg.EvalStride, d.n, d.cfg.Workers, func(end int) []float64 {
+		t := ag.NewTape()
+		win := windowMatrix(data, end, d.cfg.Window)
+		h := d.run(t, win)
+		mu := d.encMu.Forward(t, h)
+		recon := d.reconstruct(t, h, mu)
+		scores := make([]float64, d.n)
+		last := win[len(win)-1]
+		for v := 0; v < d.n; v++ {
+			diff := last[v] - recon.Value.Data[v]
+			if diff < 0 {
+				diff = -diff
+			}
+			scores[v] = diff
+		}
+		return scores
+	}), nil
+}

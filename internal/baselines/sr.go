@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"math"
+
+	"aero/internal/dataset"
+	"aero/internal/fourier"
+	"aero/internal/stats"
+)
+
+// SR is the Spectral Residual detector (Ren et al., KDD 2019), which
+// transplants the visual saliency model of Hou & Zhang into time series:
+// the log-amplitude spectrum minus its local average is the "spectral
+// residual"; transforming back with the original phase yields a saliency
+// map whose peaks are anomalies. SR needs no training.
+type SR struct {
+	// AvgFilter is the width of the moving-average filter applied to the
+	// log-amplitude spectrum (q in the paper).
+	AvgFilter int
+	// SaliencyWindow is the trailing window used to normalize the saliency
+	// map into a score.
+	SaliencyWindow int
+
+	n      int
+	fitted bool
+}
+
+// NewSR returns a Spectral Residual detector with the reference settings.
+func NewSR() *SR { return &SR{AvgFilter: 3, SaliencyWindow: 21} }
+
+// Name implements Detector.
+func (d *SR) Name() string { return "SR" }
+
+// Fit only records the dimensionality; SR has no trainable state.
+func (d *SR) Fit(train *dataset.Series) error {
+	d.n = train.N()
+	d.fitted = true
+	return nil
+}
+
+// Saliency computes the spectral-residual saliency map of one series.
+func (d *SR) Saliency(x []float64) []float64 {
+	n := len(x)
+	if n < 2 {
+		return make([]float64, n)
+	}
+	spec := fourier.FFTReal(x)
+	logAmp := make([]float64, n)
+	phase := make([]float64, n)
+	for i, c := range spec {
+		amp := math.Hypot(real(c), imag(c))
+		if amp < 1e-12 {
+			amp = 1e-12
+		}
+		logAmp[i] = math.Log(amp)
+		phase[i] = math.Atan2(imag(c), real(c))
+	}
+	avg := movingAverageCentered(logAmp, d.AvgFilter)
+	recon := make([]complex128, n)
+	for i := range recon {
+		r := math.Exp(logAmp[i] - avg[i]) // residual amplitude
+		recon[i] = complex(r*math.Cos(phase[i]), r*math.Sin(phase[i]))
+	}
+	sal := fourier.IFFT(recon)
+	out := make([]float64, n)
+	for i, c := range sal {
+		out[i] = math.Hypot(real(c), imag(c))
+	}
+	return out
+}
+
+// movingAverageCentered is a centered moving average with clamped edges.
+func movingAverageCentered(x []float64, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	half := w / 2
+	out := make([]float64, len(x))
+	for i := range x {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += x[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Scores implements Detector: per variate, the score is the relative
+// elevation of the saliency map above its trailing mean.
+func (d *SR) Scores(s *dataset.Series) ([][]float64, error) {
+	if err := checkSeries(s, d.n, 2, d.fitted); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, d.n)
+	parallelFor(d.n, 0, func(v int) {
+		sal := d.Saliency(s.Data[v])
+		base := stats.MovingMean(sal, d.SaliencyWindow)
+		scores := make([]float64, len(sal))
+		for i := range sal {
+			den := base[i]
+			if den < 1e-9 {
+				den = 1e-9
+			}
+			sc := (sal[i] - den) / den
+			if sc < 0 {
+				sc = 0
+			}
+			scores[i] = sc
+		}
+		out[v] = scores
+	})
+	return out, nil
+}

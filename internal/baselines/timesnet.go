@@ -1,0 +1,179 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"aero/internal/ag"
+	"aero/internal/dataset"
+	"aero/internal/fourier"
+	"aero/internal/nn"
+	"aero/internal/stats"
+	"aero/internal/tensor"
+	"aero/internal/window"
+)
+
+// TimesNet (Wu et al., ICLR 2023) models time series by discovering the
+// dominant periods with an FFT, folding the 1D series into a 2D
+// (period × cycle) tensor per period, capturing intra-period and
+// inter-period variation with 2D convolutions, and aggregating the period
+// branches weighted by their spectral amplitudes.
+//
+// Simplification: the inception-style 2D convolution stack is replaced by
+// a "same-phase mixing" layer — for each period p, every position is mixed
+// with the mean of all positions sharing its phase (t mod p), which is the
+// column-wise (inter-period) information flow the 2D convolution provides,
+// followed by a position-wise MLP for intra-period structure. The
+// FFT-based period selection and amplitude-weighted aggregation follow the
+// original.
+type TimesNet struct {
+	cfg Config
+	// TopK is the number of dominant periods aggregated per window.
+	TopK int
+
+	embed *nn.Linear
+	mix   *nn.Linear // (2h → h) same-phase mixing
+	head  *nn.Linear
+	pars  []*ag.Param
+
+	norm   *window.Normalizer
+	n      int
+	fitted bool
+}
+
+// NewTimesNet returns an untrained TimesNet.
+func NewTimesNet(cfg Config) *TimesNet { return &TimesNet{cfg: cfg.normalized(), TopK: 2} }
+
+// Name implements Detector.
+func (d *TimesNet) Name() string { return "TimesNet" }
+
+func (d *TimesNet) build(rng *rand.Rand) {
+	h := d.cfg.Hidden
+	d.embed = nn.NewLinear("tn.embed", d.n, h, rng)
+	d.mix = nn.NewLinear("tn.mix", 2*h, h, rng)
+	d.head = nn.NewLinear("tn.head", h, d.n, rng)
+	d.pars = nn.CollectParams(d.embed, d.mix, d.head)
+}
+
+// dominantPeriods returns up to TopK periods (≥2 samples) of the window's
+// cross-variate mean signal, with their normalized spectral powers.
+func (d *TimesNet) dominantPeriods(win *tensor.Dense) (periods []int, weights []float64) {
+	w := win.Rows
+	mean := make([]float64, w)
+	for i := 0; i < w; i++ {
+		mean[i] = stats.Mean(win.Row(i))
+	}
+	power, period := fourier.Periodogram(mean)
+	if len(power) == 0 {
+		return []int{2}, []float64{1}
+	}
+	order := stats.TopKIndices(power, len(power))
+	var total float64
+	for _, idx := range order {
+		p := int(math.Round(period[idx]))
+		if p < 2 || p > w/2 {
+			continue
+		}
+		periods = append(periods, p)
+		weights = append(weights, power[idx])
+		total += power[idx]
+		if len(periods) == d.TopK {
+			break
+		}
+	}
+	if len(periods) == 0 {
+		return []int{2}, []float64{1}
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return periods, weights
+}
+
+// phaseAverager builds the W×W constant matrix averaging positions that
+// share a phase modulo p (the inter-period "column" of the 2D fold).
+func phaseAverager(w, p int) *tensor.Dense {
+	m := tensor.New(w, w)
+	counts := make([]int, p)
+	for i := 0; i < w; i++ {
+		counts[i%p]++
+	}
+	for i := 0; i < w; i++ {
+		ph := i % p
+		inv := 1 / float64(counts[ph])
+		for j := ph; j < w; j += p {
+			m.Set(i, j, inv)
+		}
+	}
+	return m
+}
+
+// forward reconstructs the window (W×N).
+func (d *TimesNet) forward(t *ag.Tape, win *tensor.Dense) *ag.Node {
+	h := t.ReLU(d.embed.Forward(t, t.Const(win)))
+	periods, weights := d.dominantPeriods(win)
+	var agg *ag.Node
+	for i, p := range periods {
+		phase := t.MatMul(t.Const(phaseAverager(win.Rows, p)), h)
+		mixed := t.ReLU(d.mix.Forward(t, t.ConcatCols(h, phase)))
+		branch := t.Scale(mixed, weights[i])
+		if agg == nil {
+			agg = branch
+		} else {
+			agg = t.Add(agg, branch)
+		}
+	}
+	return t.Sigmoid(d.head.Forward(t, agg))
+}
+
+// Fit trains the reconstruction model.
+func (d *TimesNet) Fit(train *dataset.Series) error {
+	if err := d.cfg.validate(); err != nil {
+		return err
+	}
+	d.n = train.N()
+	if train.Len() < d.cfg.Window {
+		return checkSeries(train, d.n, d.cfg.Window, true)
+	}
+	rng := newRand(d.cfg.Seed)
+	d.norm = window.FitNormalizer(train.Data)
+	d.build(rng)
+	data := d.norm.Transform(train.Data)
+	insts := window.Indices(train.Len(), d.cfg.Window, d.cfg.TrainStride)
+	opt := nn.NewAdam(d.cfg.LR)
+	opt.MaxGradNorm = 5
+
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(insts), func(i, j int) { insts[i], insts[j] = insts[j], insts[i] })
+		for _, inst := range insts {
+			t := ag.NewTape()
+			win := tensor.FromRows(windowMatrix(data, inst.End, d.cfg.Window))
+			recon := d.forward(t, win)
+			loss := t.MSE(recon, t.Const(win))
+			t.Backward(loss)
+			opt.Step(d.pars)
+		}
+	}
+	d.fitted = true
+	return nil
+}
+
+// Scores implements Detector: per-variate reconstruction error at each
+// window's final position.
+func (d *TimesNet) Scores(s *dataset.Series) ([][]float64, error) {
+	if err := checkSeries(s, d.n, d.cfg.Window, d.fitted); err != nil {
+		return nil, err
+	}
+	data := d.norm.Transform(s.Data)
+	w := d.cfg.Window
+	return assembleWindowScores(s.Len(), w, d.cfg.EvalStride, d.n, d.cfg.Workers, func(end int) []float64 {
+		t := ag.NewTape()
+		win := tensor.FromRows(windowMatrix(data, end, w))
+		recon := d.forward(t, win)
+		scores := make([]float64, d.n)
+		for v := 0; v < d.n; v++ {
+			scores[v] = math.Abs(win.At(w-1, v) - recon.Value.At(w-1, v))
+		}
+		return scores
+	}), nil
+}

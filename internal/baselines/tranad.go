@@ -1,0 +1,136 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"aero/internal/ag"
+	"aero/internal/dataset"
+	"aero/internal/nn"
+	"aero/internal/tensor"
+	"aero/internal/window"
+)
+
+// TranAD (Tuli et al., VLDB 2022) is a Transformer encoder–decoder with
+// *self-conditioning*: a first pass reconstructs the window, the squared
+// first-pass error becomes a focus score concatenated to the input, and a
+// second decoder refines the reconstruction conditioned on where the model
+// already failed. The anomaly score averages both passes' errors.
+//
+// Simplifications: the GAN-style adversarial weighting between the two
+// decoders is replaced by a fixed equal-weight sum of both reconstruction
+// losses (the self-conditioning two-pass structure — TranAD's core idea —
+// is kept).
+type TranAD struct {
+	cfg Config
+
+	embed *nn.Linear // (2N → hidden): input ⊕ focus score
+	attn  *nn.MultiHeadAttention
+	ln    *nn.LayerNorm
+	dec1  *nn.FFN
+	dec2  *nn.FFN
+	pars  []*ag.Param
+
+	norm   *window.Normalizer
+	n      int
+	fitted bool
+}
+
+// NewTranAD returns an untrained TranAD.
+func NewTranAD(cfg Config) *TranAD { return &TranAD{cfg: cfg.normalized()} }
+
+// Name implements Detector.
+func (d *TranAD) Name() string { return "TranAD" }
+
+func (d *TranAD) build(rng *rand.Rand) {
+	h := d.cfg.Hidden
+	heads := 2
+	if h%heads != 0 {
+		heads = 1
+	}
+	d.embed = nn.NewLinear("tranad.embed", 2*d.n, h, rng)
+	d.attn = nn.NewMultiHeadAttention("tranad.attn", h, heads, rng)
+	d.ln = nn.NewLayerNorm("tranad.ln", h)
+	d.dec1 = nn.NewFFN("tranad.dec1", h, 2*h, d.n, rng)
+	d.dec2 = nn.NewFFN("tranad.dec2", h, 2*h, d.n, rng)
+	d.pars = nn.CollectParams(d.embed, d.attn, d.ln, d.dec1, d.dec2)
+}
+
+// encode embeds the window concatenated with the focus score and runs one
+// self-attention block.
+func (d *TranAD) encode(t *ag.Tape, win, focus *tensor.Dense) *ag.Node {
+	joint := tensor.ConcatCols(win, focus)
+	x := d.embed.Forward(t, t.Const(joint))
+	return d.ln.Forward(t, t.Add(x, d.attn.Forward(t, x, x, x)))
+}
+
+// twoPass runs both reconstruction phases, returning O1 and O2 (W×N each).
+func (d *TranAD) twoPass(t *ag.Tape, win *tensor.Dense) (*ag.Node, *ag.Node) {
+	w := win.Rows
+	zeros := tensor.New(w, d.n)
+	o1 := t.Sigmoid(d.dec1.Forward(t, d.encode(t, win, zeros)))
+	// Focus score: squared phase-1 error, detached (self-conditioning uses
+	// the error as an input signal, not a gradient path).
+	focus := tensor.New(w, d.n)
+	for i := range focus.Data {
+		diff := win.Data[i] - o1.Value.Data[i]
+		focus.Data[i] = diff * diff
+	}
+	o2 := t.Sigmoid(d.dec2.Forward(t, d.encode(t, win, focus)))
+	return o1, o2
+}
+
+// Fit trains both decoders jointly.
+func (d *TranAD) Fit(train *dataset.Series) error {
+	if err := d.cfg.validate(); err != nil {
+		return err
+	}
+	d.n = train.N()
+	if train.Len() < d.cfg.Window {
+		return checkSeries(train, d.n, d.cfg.Window, true)
+	}
+	rng := newRand(d.cfg.Seed)
+	d.norm = window.FitNormalizer(train.Data)
+	d.build(rng)
+	data := d.norm.Transform(train.Data)
+	insts := window.Indices(train.Len(), d.cfg.Window, d.cfg.TrainStride)
+	opt := nn.NewAdam(d.cfg.LR)
+	opt.MaxGradNorm = 5
+
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(insts), func(i, j int) { insts[i], insts[j] = insts[j], insts[i] })
+		for _, inst := range insts {
+			t := ag.NewTape()
+			win := tensor.FromRows(windowMatrix(data, inst.End, d.cfg.Window))
+			o1, o2 := d.twoPass(t, win)
+			target := t.Const(win)
+			loss := t.Add(t.MSE(o1, target), t.MSE(o2, target))
+			t.Backward(loss)
+			opt.Step(d.pars)
+		}
+	}
+	d.fitted = true
+	return nil
+}
+
+// Scores implements Detector: ½‖x−Ô1‖ + ½‖x−Ô2‖ at each window's last
+// position, per variate.
+func (d *TranAD) Scores(s *dataset.Series) ([][]float64, error) {
+	if err := checkSeries(s, d.n, d.cfg.Window, d.fitted); err != nil {
+		return nil, err
+	}
+	data := d.norm.Transform(s.Data)
+	w := d.cfg.Window
+	return assembleWindowScores(s.Len(), w, d.cfg.EvalStride, d.n, d.cfg.Workers, func(end int) []float64 {
+		t := ag.NewTape()
+		win := tensor.FromRows(windowMatrix(data, end, w))
+		o1, o2 := d.twoPass(t, win)
+		scores := make([]float64, d.n)
+		for v := 0; v < d.n; v++ {
+			e1 := math.Abs(win.At(w-1, v) - o1.Value.At(w-1, v))
+			e2 := math.Abs(win.At(w-1, v) - o2.Value.At(w-1, v))
+			scores[v] = 0.5*e1 + 0.5*e2
+		}
+		return scores
+	}), nil
+}

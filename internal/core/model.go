@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"aero/internal/ag"
+	"aero/internal/dataset"
+	"aero/internal/evt"
+	"aero/internal/nn"
+	"aero/internal/stats"
+	"aero/internal/tensor"
+	"aero/internal/window"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Model is a trained (or trainable) AERO detector over a fixed number of
+// variates. Create one with New, train with Fit, then call Scores or
+// Detect on test series.
+type Model struct {
+	cfg Config
+	n   int
+
+	temporal *temporalModule
+	noise    *noiseModule
+
+	norm    *window.Normalizer
+	dtScale float64
+	thr     evt.Threshold
+	trained bool
+
+	// Epochs1 and Epochs2 record how many epochs each stage actually ran
+	// (after early stopping); useful for efficiency reporting.
+	Epochs1, Epochs2 int
+}
+
+// New constructs an untrained AERO model for n variates.
+func New(cfg Config, n int) (*Model, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: need at least one variate, got %d", n)
+	}
+	rng := newRand(cfg.Seed)
+	inDim := 1
+	if cfg.multivariateInput() {
+		inDim = n
+	}
+	m := &Model{cfg: cfg, n: n, dtScale: 1}
+	if cfg.usesTemporal() {
+		m.temporal = newTemporalModule(cfg, inDim, rng)
+	}
+	if cfg.usesNoise() {
+		m.noise = newNoiseModule(cfg.ShortWindow, cfg.Seed+1)
+	}
+	return m, nil
+}
+
+// Config returns the model's (normalized) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// prepared holds a series after normalization, ready for windowing.
+type prepared struct {
+	data [][]float64 // normalized to [0, 1]
+	time []float64
+}
+
+func (m *Model) prepare(s *dataset.Series) *prepared {
+	return &prepared{data: m.norm.Transform(s.Data), time: s.Time}
+}
+
+// times assembles the window-local positions and normalized intervals for
+// the window ending at index end.
+func (m *Model) times(p *prepared, end int) windowTimes {
+	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
+	wt := windowTimes{
+		posL: make([]float64, w), dtL: make([]float64, w),
+		posS: make([]float64, omega), dtS: make([]float64, omega),
+	}
+	start := end - w + 1
+	for i := 0; i < w; i++ {
+		idx := start + i
+		wt.posL[i] = float64(i)
+		if idx > 0 {
+			wt.dtL[i] = (p.time[idx] - p.time[idx-1]) / m.dtScale
+		} else {
+			wt.dtL[i] = 1
+		}
+	}
+	copy(wt.posS, wt.posL[w-omega:])
+	copy(wt.dtS, wt.dtL[w-omega:])
+	return wt
+}
+
+// longShort extracts the long (W×inDim) and short (ω×inDim) input matrices
+// for the window ending at end. In univariate mode inDim is 1 and v selects
+// the variate; in multivariate mode v is ignored and columns are variates.
+func (m *Model) longShort(p *prepared, v, end int) (long, short *tensor.Dense) {
+	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
+	if m.cfg.multivariateInput() {
+		long = tensor.New(w, m.n)
+		for i := 0; i < w; i++ {
+			for vv := 0; vv < m.n; vv++ {
+				long.Set(i, vv, p.data[vv][end-w+1+i])
+			}
+		}
+		short = long.SliceRows(w-omega, w)
+		return long, short
+	}
+	long = tensor.New(w, 1)
+	src := window.Slice(p.data[v], end, w)
+	copy(long.Data, src)
+	short = tensor.New(omega, 1)
+	copy(short.Data, src[w-omega:])
+	return long, short
+}
+
+// yShort returns the normalized short-window targets as an N×ω matrix
+// (rows are variates), the layout stage 2 works in.
+func (m *Model) yShort(p *prepared, end int) *tensor.Dense {
+	omega := m.cfg.ShortWindow
+	y := tensor.New(m.n, omega)
+	for v := 0; v < m.n; v++ {
+		copy(y.Row(v), window.Slice(p.data[v], end, omega))
+	}
+	return y
+}
+
+// reconstruct runs the stage-1 forward for every variate and returns
+// Ŷ1 as an N×ω matrix. The result carries no gradients; training uses
+// stage1Step instead. Returns the all-zero matrix for VariantNoTemporal.
+func (m *Model) reconstruct(p *prepared, end int) *tensor.Dense {
+	omega := m.cfg.ShortWindow
+	out := tensor.New(m.n, omega)
+	if !m.cfg.usesTemporal() {
+		return out
+	}
+	wt := m.times(p, end)
+	if m.cfg.multivariateInput() {
+		t := newTape()
+		long, short := m.longShort(p, 0, end)
+		pred := m.temporal.forward(t, long, short, wt) // ω×N
+		for v := 0; v < m.n; v++ {
+			for i := 0; i < omega; i++ {
+				out.Set(v, i, pred.Value.At(i, v))
+			}
+		}
+		return out
+	}
+	m.parallelVariates(func(v int) {
+		t := newTape()
+		long, short := m.longShort(p, v, end)
+		pred := m.temporal.forward(t, long, short, wt) // ω×1
+		copy(out.Row(v), pred.Value.Data)
+	})
+	return out
+}
+
+// adjacency returns the graph for the window given its stage-1 errors,
+// respecting the graph ablation variants. dyn is non-nil only for
+// VariantDynamicGraph.
+func (m *Model) adjacency(e *tensor.Dense, dyn *dynamicGraphState) *tensor.Dense {
+	switch m.cfg.Variant {
+	case VariantStaticGraph:
+		return completeGraph(m.n)
+	case VariantDynamicGraph:
+		return dyn.next(windowGraph(e))
+	default:
+		return windowGraph(e)
+	}
+}
+
+// windowScores computes the final per-point anomaly scores
+// |Y − Ŷ1 − Ŷ2| for one window (N×ω), plus the intermediate stage-1
+// errors. dyn is the evolving-graph state for the dynamic ablation.
+func (m *Model) windowScores(p *prepared, end int, dyn *dynamicGraphState) (final, e1 *tensor.Dense) {
+	y := m.yShort(p, end)
+	yhat1 := m.reconstruct(p, end)
+	e := y.Sub(yhat1)
+	if !m.cfg.usesNoise() {
+		abs := e.Apply(math.Abs)
+		return abs, e
+	}
+	a := m.adjacency(e, dyn)
+	// Propagate the stage-1 *error patterns* (Algorithm 1: M2(Y−Ŷ1, Y);
+	// §III-D: a noise-affected variate "can be effectively reconstructed
+	// using the error patterns of other similarly affected variates").
+	h := propagate(a, e)
+	t := newTape()
+	yhat2 := m.noise.forward(t, h)
+	final = e.Sub(yhat2.Value).Apply(math.Abs)
+	return final, e
+}
+
+func newTape() *ag.Tape { return ag.NewTape() }
+
+// parallelVariates runs f(v) for every variate using the configured worker
+// count.
+func (m *Model) parallelVariates(f func(v int)) {
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.n {
+		workers = m.n
+	}
+	if workers <= 1 {
+		for v := 0; v < m.n; v++ {
+			f(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range ch {
+				f(v)
+			}
+		}()
+	}
+	for v := 0; v < m.n; v++ {
+		ch <- v
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Fit trains the model on the (unsupervised) training series following
+// Algorithm 1, then calibrates the POT threshold on the training scores
+// (Eq. 18).
+func (m *Model) Fit(train *dataset.Series) error {
+	if train.N() != m.n {
+		return fmt.Errorf("core: model built for %d variates, series has %d", m.n, train.N())
+	}
+	if train.Len() < m.cfg.LongWindow {
+		return fmt.Errorf("core: series length %d shorter than window %d", train.Len(), m.cfg.LongWindow)
+	}
+	m.norm = window.FitNormalizer(train.Data)
+	if d := stats.Median(stats.Diff(train.Time)); d > 0 {
+		m.dtScale = d
+	}
+	p := m.prepare(train)
+
+	if m.cfg.usesTemporal() {
+		m.Epochs1 = m.trainStage1(p)
+	}
+	if m.cfg.usesNoise() {
+		m.Epochs2 = m.trainStage2(p)
+	}
+
+	// Threshold calibration on training scores (paper Eq. 18: s is the
+	// collection of anomaly scores over training instances, pooled across
+	// variates into one global POT threshold).
+	scores := m.scoreSeries(p)
+	pool := make([]float64, 0, len(scores)*len(scores[0]))
+	for _, row := range scores {
+		pool = append(pool, row...)
+	}
+	th, err := evt.POT(pool, m.cfg.POTLevel, m.cfg.POTQ)
+	if err != nil && th.Z == 0 {
+		return fmt.Errorf("core: threshold calibration: %w", err)
+	}
+	m.thr = th
+	m.trained = true
+	return nil
+}
+
+// trainStage1 trains the temporal reconstruction module and returns the
+// number of epochs run.
+func (m *Model) trainStage1(p *prepared) int {
+	params := m.temporal.params()
+	opt := nn.NewAdam(m.cfg.LR)
+	opt.MaxGradNorm = 5
+	insts := window.Indices(len(p.time), m.cfg.LongWindow, m.cfg.TrainStride)
+	rng := newRand(m.cfg.Seed + 2)
+
+	best := math.Inf(1)
+	wait := 0
+	epoch := 0
+	for ; epoch < m.cfg.MaxEpochs; epoch++ {
+		rng.Shuffle(len(insts), func(i, j int) { insts[i], insts[j] = insts[j], insts[i] })
+		var epochLoss float64
+		for _, inst := range insts {
+			epochLoss += m.stage1Step(p, inst.End, opt, params)
+		}
+		epochLoss /= float64(len(insts))
+		m.cfg.Logf("stage1 epoch %d loss %.6f", epoch, epochLoss)
+		if epochLoss < best-1e-6 {
+			best = epochLoss
+			wait = 0
+		} else if wait++; wait >= m.cfg.Patience {
+			epoch++
+			break
+		}
+	}
+	return epoch
+}
+
+// stage1Step runs one optimizer step over all variates of one window and
+// returns the mean reconstruction loss.
+func (m *Model) stage1Step(p *prepared, end int, opt *nn.Adam, params []*ag.Param) float64 {
+	wt := m.times(p, end)
+	if m.cfg.multivariateInput() {
+		t := newTape()
+		long, short := m.longShort(p, 0, end)
+		pred := m.temporal.forward(t, long, short, wt)
+		loss := t.MSE(pred, t.Const(short))
+		t.Backward(loss)
+		opt.Step(params)
+		return loss.Value.Data[0]
+	}
+	losses := make([]float64, m.n)
+	m.parallelVariates(func(v int) {
+		t := newTape()
+		long, short := m.longShort(p, v, end)
+		pred := m.temporal.forward(t, long, short, wt)
+		loss := t.MSE(pred, t.Const(short))
+		t.Backward(loss)
+		losses[v] = loss.Value.Data[0]
+	})
+	opt.Step(params)
+	return stats.Mean(losses)
+}
+
+// trainStage2 trains the concurrent-noise module with stage 1 frozen and
+// returns the number of epochs run.
+func (m *Model) trainStage2(p *prepared) int {
+	params := m.noise.params()
+	opt := nn.NewAdam(m.cfg.LR)
+	opt.MaxGradNorm = 5
+	insts := window.Indices(len(p.time), m.cfg.LongWindow, m.cfg.TrainStride)
+
+	best := math.Inf(1)
+	wait := 0
+	epoch := 0
+	for ; epoch < m.cfg.MaxEpochs; epoch++ {
+		var dyn *dynamicGraphState
+		if m.cfg.Variant == VariantDynamicGraph {
+			dyn = newDynamicGraphState(m.n)
+		}
+		var epochLoss float64
+		for _, inst := range insts {
+			// Stage-1 outputs are treated as constants: the temporal
+			// module is frozen during stage 2 (Algorithm 1, line 7).
+			y := m.yShort(p, inst.End)
+			e := y.Sub(m.reconstruct(p, inst.End))
+			a := m.adjacency(e, dyn)
+			h := propagate(a, e)
+			t := newTape()
+			pred := m.noise.forward(t, h)
+			loss := t.MSE(pred, t.Const(e)) // loss2 = Y − Ŷ1 − Ŷ2 (Eq. 16)
+			t.Backward(loss)
+			opt.Step(params)
+			epochLoss += loss.Value.Data[0]
+		}
+		epochLoss /= float64(len(insts))
+		m.cfg.Logf("stage2 epoch %d loss %.6f", epoch, epochLoss)
+		if epochLoss < best-1e-6 {
+			best = epochLoss
+			wait = 0
+		} else if wait++; wait >= m.cfg.Patience {
+			epoch++
+			break
+		}
+	}
+	return epoch
+}
+
+// scoreSeries produces per-variate, per-timestamp anomaly scores for a
+// prepared series, following Algorithm 2 with the configured EvalStride.
+// Timestamps before the first full window score zero.
+func (m *Model) scoreSeries(p *prepared) [][]float64 {
+	T := len(p.time)
+	scores := make([][]float64, m.n)
+	for v := range scores {
+		scores[v] = make([]float64, T)
+	}
+	insts := window.Indices(T, m.cfg.LongWindow, m.cfg.EvalStride)
+	finals := make([]*tensor.Dense, len(insts))
+
+	if m.cfg.Variant == VariantDynamicGraph {
+		// The evolving graph is sequential by construction.
+		dyn := newDynamicGraphState(m.n)
+		for i, inst := range insts {
+			finals[i], _ = m.windowScores(p, inst.End, dyn)
+		}
+	} else {
+		m.parallelWindows(len(insts), func(i int) {
+			finals[i], _ = m.windowScores(p, insts[i].End, nil)
+		})
+	}
+
+	omega := m.cfg.ShortWindow
+	prevEnd := insts[0].End - omega // first window covers its whole suffix
+	for i, inst := range insts {
+		lo := prevEnd + 1
+		if lo < inst.End-omega+1 {
+			lo = inst.End - omega + 1
+		}
+		for t := lo; t <= inst.End; t++ {
+			col := omega - 1 - (inst.End - t)
+			for v := 0; v < m.n; v++ {
+				scores[v][t] = finals[i].At(v, col)
+			}
+		}
+		prevEnd = inst.End
+	}
+	return scores
+}
+
+// parallelWindows runs f(i) for i in [0, n) on the configured worker pool.
+func (m *Model) parallelWindows(n int, f func(i int)) {
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Scores returns anomaly scores (N×T) for a series. The model must have
+// been fitted.
+func (m *Model) Scores(s *dataset.Series) ([][]float64, error) {
+	if !m.trained {
+		return nil, fmt.Errorf("core: model not fitted")
+	}
+	if s.N() != m.n {
+		return nil, fmt.Errorf("core: model built for %d variates, series has %d", m.n, s.N())
+	}
+	if s.Len() < m.cfg.LongWindow {
+		return nil, fmt.Errorf("core: series length %d shorter than window %d", s.Len(), m.cfg.LongWindow)
+	}
+	return m.scoreSeries(m.prepare(s)), nil
+}
+
+// Threshold returns the calibrated POT threshold.
+func (m *Model) Threshold() float64 { return m.thr.Z }
+
+// ThresholdInfo returns the full POT calibration result.
+func (m *Model) ThresholdInfo() evt.Threshold { return m.thr }
+
+// Detect scores the series and applies the calibrated threshold, returning
+// binary labels (N×T).
+func (m *Model) Detect(s *dataset.Series) ([][]bool, error) {
+	scores, err := m.Scores(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]bool, m.n)
+	for v := range scores {
+		out[v] = make([]bool, len(scores[v]))
+		for t, sc := range scores[v] {
+			out[v][t] = sc >= m.thr.Z
+		}
+	}
+	return out, nil
+}
+
+// StageErrors returns the stage-1 reconstruction error |Y − Ŷ1| and the
+// final error |Y − Ŷ1 − Ŷ2| per variate and timestamp — the series
+// visualized in the paper's Fig. 9.
+func (m *Model) StageErrors(s *dataset.Series) (stage1, final [][]float64, err error) {
+	if !m.trained {
+		return nil, nil, fmt.Errorf("core: model not fitted")
+	}
+	p := m.prepare(s)
+	T := len(p.time)
+	stage1 = make([][]float64, m.n)
+	final = make([][]float64, m.n)
+	for v := 0; v < m.n; v++ {
+		stage1[v] = make([]float64, T)
+		final[v] = make([]float64, T)
+	}
+	insts := window.Indices(T, m.cfg.LongWindow, m.cfg.EvalStride)
+	var dyn *dynamicGraphState
+	if m.cfg.Variant == VariantDynamicGraph {
+		dyn = newDynamicGraphState(m.n)
+	}
+	omega := m.cfg.ShortWindow
+	prevEnd := insts[0].End - omega
+	for _, inst := range insts {
+		fin, e1 := m.windowScores(p, inst.End, dyn)
+		lo := prevEnd + 1
+		if lo < inst.End-omega+1 {
+			lo = inst.End - omega + 1
+		}
+		for t := lo; t <= inst.End; t++ {
+			col := omega - 1 - (inst.End - t)
+			for v := 0; v < m.n; v++ {
+				stage1[v][t] = math.Abs(e1.At(v, col))
+				final[v][t] = fin.At(v, col)
+			}
+		}
+		prevEnd = inst.End
+	}
+	return stage1, final, nil
+}
+
+// GraphAt returns the window-wise learned adjacency matrix (before
+// self-loop removal) for the window ending at index end — the structure
+// visualized in the paper's Fig. 8.
+func (m *Model) GraphAt(s *dataset.Series, end int) (*tensor.Dense, error) {
+	if !m.trained {
+		return nil, fmt.Errorf("core: model not fitted")
+	}
+	if end < m.cfg.LongWindow-1 || end >= s.Len() {
+		return nil, fmt.Errorf("core: window end %d out of range [%d, %d)", end, m.cfg.LongWindow-1, s.Len())
+	}
+	p := m.prepare(s)
+	y := m.yShort(p, end)
+	e := y.Sub(m.reconstruct(p, end))
+	return windowGraph(e), nil
+}

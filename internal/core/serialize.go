@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"aero/internal/evt"
+	"aero/internal/window"
+)
+
+// configJSON mirrors Config without the non-serializable Logf callback.
+type configJSON struct {
+	LongWindow, ShortWindow, ModelDim, Heads, EncoderLayers, FFNHidden int
+	LR                                                                 float64
+	MaxEpochs, Patience, TrainStride, EvalStride                       int
+	POTLevel, POTQ                                                     float64
+	Variant                                                            Variant
+	AttentionBand                                                      int
+	Workers                                                            int
+	Seed                                                               int64
+}
+
+func toConfigJSON(c Config) configJSON {
+	return configJSON{
+		LongWindow: c.LongWindow, ShortWindow: c.ShortWindow, ModelDim: c.ModelDim,
+		Heads: c.Heads, EncoderLayers: c.EncoderLayers, FFNHidden: c.FFNHidden,
+		LR: c.LR, MaxEpochs: c.MaxEpochs, Patience: c.Patience,
+		TrainStride: c.TrainStride, EvalStride: c.EvalStride,
+		POTLevel: c.POTLevel, POTQ: c.POTQ, Variant: c.Variant,
+		AttentionBand: c.AttentionBand, Workers: c.Workers, Seed: c.Seed,
+	}
+}
+
+func fromConfigJSON(j configJSON) Config {
+	return Config{
+		LongWindow: j.LongWindow, ShortWindow: j.ShortWindow, ModelDim: j.ModelDim,
+		Heads: j.Heads, EncoderLayers: j.EncoderLayers, FFNHidden: j.FFNHidden,
+		LR: j.LR, MaxEpochs: j.MaxEpochs, Patience: j.Patience,
+		TrainStride: j.TrainStride, EvalStride: j.EvalStride,
+		POTLevel: j.POTLevel, POTQ: j.POTQ, Variant: j.Variant,
+		AttentionBand: j.AttentionBand, Workers: j.Workers, Seed: j.Seed,
+	}
+}
+
+// modelState is the on-disk representation of a trained model. Parameters
+// are stored positionally in the deterministic order returned by params().
+type modelState struct {
+	Version   int
+	Config    configJSON
+	N         int
+	DTScale   float64
+	NormLo    []float64
+	NormHi    []float64
+	Threshold evt.Threshold
+	Epochs1   int
+	Epochs2   int
+	Params    [][]float64
+	Shapes    [][2]int
+}
+
+// params returns every trainable parameter in a deterministic order.
+func (m *Model) params() []*paramRef {
+	var out []*paramRef
+	if m.temporal != nil {
+		for _, p := range m.temporal.params() {
+			out = append(out, &paramRef{p.Name, p.Value.Rows, p.Value.Cols, p.Value.Data})
+		}
+	}
+	if m.noise != nil {
+		for _, p := range m.noise.params() {
+			out = append(out, &paramRef{p.Name, p.Value.Rows, p.Value.Cols, p.Value.Data})
+		}
+	}
+	return out
+}
+
+type paramRef struct {
+	name       string
+	rows, cols int
+	data       []float64
+}
+
+// Save writes the trained model to path as JSON. The model must be fitted.
+func (m *Model) Save(path string) error {
+	if !m.trained {
+		return fmt.Errorf("core: cannot save an unfitted model")
+	}
+	st := modelState{
+		Version: 1,
+		Config:  toConfigJSON(m.cfg),
+		N:       m.n,
+		DTScale: m.dtScale,
+		NormLo:  m.norm.Lo, NormHi: m.norm.Hi,
+		Threshold: m.thr,
+		Epochs1:   m.Epochs1, Epochs2: m.Epochs2,
+	}
+	for _, p := range m.params() {
+		st.Params = append(st.Params, p.data)
+		st.Shapes = append(st.Shapes, [2]int{p.rows, p.cols})
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("core: marshal model: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save and returns it ready for
+// Scores/Detect (no retraining needed).
+func Load(path string) (*Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	var st modelState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return nil, fmt.Errorf("core: parse model: %w", err)
+	}
+	if st.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported model version %d", st.Version)
+	}
+	m, err := New(fromConfigJSON(st.Config), st.N)
+	if err != nil {
+		return nil, err
+	}
+	refs := m.params()
+	if len(refs) != len(st.Params) {
+		return nil, fmt.Errorf("core: model has %d parameters, file has %d", len(refs), len(st.Params))
+	}
+	for i, p := range refs {
+		if st.Shapes[i] != [2]int{p.rows, p.cols} {
+			return nil, fmt.Errorf("core: parameter %d (%s) shape mismatch: file %v, model %dx%d",
+				i, p.name, st.Shapes[i], p.rows, p.cols)
+		}
+		if len(st.Params[i]) != len(p.data) {
+			return nil, fmt.Errorf("core: parameter %d (%s) size mismatch", i, p.name)
+		}
+		copy(p.data, st.Params[i])
+	}
+	m.norm = &window.Normalizer{Lo: st.NormLo, Hi: st.NormHi}
+	m.dtScale = st.DTScale
+	m.thr = st.Threshold
+	m.Epochs1, m.Epochs2 = st.Epochs1, st.Epochs2
+	m.trained = true
+	return m, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	m, d := shared(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Threshold() != m.Threshold() {
+		t.Fatalf("threshold drifted: %v vs %v", loaded.Threshold(), m.Threshold())
+	}
+	if loaded.Epochs1 != m.Epochs1 || loaded.Epochs2 != m.Epochs2 {
+		t.Fatal("epoch bookkeeping lost")
+	}
+	// The loaded model must score identically.
+	want, err := m.Scores(d.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Scores(d.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		for i := range want[v] {
+			if math.Abs(want[v][i]-got[v][i]) > 1e-12 {
+				t.Fatalf("score mismatch at v=%d t=%d: %v vs %v", v, i, want[v][i], got[v][i])
+			}
+		}
+	}
+}
+
+func TestSaveUnfittedFails(t *testing.T) {
+	m, err := New(testConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("expected error saving unfitted model")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	m, _ := shared(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st modelState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	st.Shapes[0][0]++ // corrupt the first parameter's shape
+	bad, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	m, _ := shared(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st modelState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	st.Version = 99
+	bad, _ := json.Marshal(st)
+	badPath := filepath.Join(t.TempDir(), "v99.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestBandedAttentionTrainsAndScores(t *testing.T) {
+	cfg := testConfig()
+	cfg.AttentionBand = 8
+	cfg.MaxEpochs = 2
+	m, d := fitTiny(t, cfg)
+	scores, err := m.Scores(d.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range scores {
+		for _, s := range row {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatal("invalid score with banded attention")
+			}
+		}
+	}
+}
+
+func TestBandedAttentionSurvivesSaveLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.AttentionBand = 8
+	cfg.MaxEpochs = 1
+	m, _ := fitTiny(t, cfg)
+	path := filepath.Join(t.TempDir(), "banded.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config().AttentionBand != 8 {
+		t.Fatal("attention band not persisted")
+	}
+}

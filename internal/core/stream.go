@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"aero/internal/dataset"
+	"aero/internal/tensor"
+)
+
+// StreamDetector wraps a trained Model for frame-at-a-time online
+// detection (§III-F): each arriving frame (one magnitude per star plus a
+// timestamp) is appended to an internal ring of the long-window length,
+// and once the window is full every frame is scored against the calibrated
+// POT threshold — the paper's Algorithm 2 with stride 1, incrementally.
+type StreamDetector struct {
+	m *Model
+
+	times []float64
+	data  [][]float64 // [variate][ring position], chronological
+	count int
+}
+
+// Frame is one observation instant: the magnitudes of all stars at Time.
+type Frame struct {
+	Time       float64
+	Magnitudes []float64
+}
+
+// Alarm reports one star crossing the anomaly threshold at a frame.
+type Alarm struct {
+	Variate int
+	Time    float64
+	Score   float64
+}
+
+// NewStreamDetector returns an online detector backed by the fitted model.
+func NewStreamDetector(m *Model) (*StreamDetector, error) {
+	if !m.trained {
+		return nil, fmt.Errorf("core: streaming requires a fitted model")
+	}
+	return &StreamDetector{
+		m:    m,
+		data: make([][]float64, m.n),
+	}, nil
+}
+
+// Ready reports whether enough frames have arrived to fill one window.
+func (s *StreamDetector) Ready() bool { return s.count >= s.m.cfg.LongWindow }
+
+// Push appends one frame and, once the window is warm, scores it,
+// returning the alarms raised at this instant (empty when none).
+func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
+	if len(f.Magnitudes) != s.m.n {
+		return nil, fmt.Errorf("core: frame has %d stars, model expects %d", len(f.Magnitudes), s.m.n)
+	}
+	if s.count > 0 && f.Time <= s.times[len(s.times)-1] {
+		return nil, fmt.Errorf("core: frame time %v not after previous %v", f.Time, s.times[len(s.times)-1])
+	}
+	w := s.m.cfg.LongWindow
+	s.times = append(s.times, f.Time)
+	for v := 0; v < s.m.n; v++ {
+		s.data[v] = append(s.data[v], f.Magnitudes[v])
+	}
+	// Keep only the trailing window to bound memory.
+	if len(s.times) > w {
+		s.times = s.times[len(s.times)-w:]
+		for v := range s.data {
+			s.data[v] = s.data[v][len(s.data[v])-w:]
+		}
+	}
+	s.count++
+	if !s.Ready() {
+		return nil, nil
+	}
+
+	scores := s.scoreLast()
+	var alarms []Alarm
+	for v, sc := range scores {
+		if sc >= s.m.thr.Z {
+			alarms = append(alarms, Alarm{Variate: v, Time: f.Time, Score: sc})
+		}
+	}
+	return alarms, nil
+}
+
+// scoreLast runs the two-stage forward pass over the current window and
+// returns the final anomaly score of the last timestamp per variate.
+func (s *StreamDetector) scoreLast() []float64 {
+	w := s.m.cfg.LongWindow
+	norm := make([][]float64, s.m.n)
+	for v := 0; v < s.m.n; v++ {
+		norm[v] = make([]float64, w)
+		for i, x := range s.data[v] {
+			norm[v][i] = s.m.norm.TransformValue(v, x)
+		}
+	}
+	p := &prepared{data: norm, time: s.times}
+	final, _ := s.m.windowScores(p, w-1, nil)
+	out := make([]float64, s.m.n)
+	omega := s.m.cfg.ShortWindow
+	for v := 0; v < s.m.n; v++ {
+		out[v] = final.At(v, omega-1)
+	}
+	return out
+}
+
+// Threshold returns the alarm threshold in use.
+func (s *StreamDetector) Threshold() float64 { return s.m.thr.Z }
+
+// Replay pushes every frame of a series through the detector and returns
+// all alarms, a convenience for backtesting archived nights.
+func (s *StreamDetector) Replay(series *dataset.Series) ([]Alarm, error) {
+	var all []Alarm
+	frame := Frame{Magnitudes: make([]float64, series.N())}
+	for t := 0; t < series.Len(); t++ {
+		frame.Time = series.Time[t]
+		for v := 0; v < series.N(); v++ {
+			frame.Magnitudes[v] = series.Data[v][t]
+		}
+		alarms, err := s.Push(frame)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, alarms...)
+	}
+	return all, nil
+}
+
+// GraphSnapshot returns the current window-wise learned adjacency, for
+// live monitoring dashboards (Fig. 8 in real time). Returns an error
+// before the window is warm.
+func (s *StreamDetector) GraphSnapshot() (*tensor.Dense, error) {
+	if !s.Ready() {
+		return nil, fmt.Errorf("core: window not yet full (%d/%d frames)", s.count, s.m.cfg.LongWindow)
+	}
+	w := s.m.cfg.LongWindow
+	norm := make([][]float64, s.m.n)
+	for v := 0; v < s.m.n; v++ {
+		norm[v] = make([]float64, w)
+		for i, x := range s.data[v] {
+			norm[v][i] = s.m.norm.TransformValue(v, x)
+		}
+	}
+	p := &prepared{data: norm, time: s.times}
+	y := s.m.yShort(p, w-1)
+	e := y.Sub(s.m.reconstruct(p, w-1))
+	return windowGraph(e), nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aero/internal/ag"
+	"aero/internal/nn"
+	"aero/internal/tensor"
+)
+
+// encoderLayer is one post-norm Transformer encoder block (paper Eq. 7):
+// M = LN(x + MHA(x,x,x)); out = LN(M + FFN(M)).
+type encoderLayer struct {
+	attn *nn.MultiHeadAttention
+	ln1  *nn.LayerNorm
+	ffn  *nn.FFN
+	ln2  *nn.LayerNorm
+}
+
+func newEncoderLayer(name string, dm, heads, hidden, band int, rng *rand.Rand) *encoderLayer {
+	attn := nn.NewMultiHeadAttention(name+".attn", dm, heads, rng)
+	attn.Band = band
+	return &encoderLayer{
+		attn: attn,
+		ln1:  nn.NewLayerNorm(name+".ln1", dm),
+		ffn:  nn.NewFFN(name+".ffn", dm, hidden, dm, rng),
+		ln2:  nn.NewLayerNorm(name+".ln2", dm),
+	}
+}
+
+func (e *encoderLayer) forward(t *ag.Tape, x *ag.Node) *ag.Node {
+	m := e.ln1.Forward(t, t.Add(x, e.attn.Forward(t, x, x, x)))
+	return e.ln2.Forward(t, t.Add(m, e.ffn.Forward(t, m)))
+}
+
+func (e *encoderLayer) params() []*ag.Param {
+	return nn.CollectParams(e.attn, e.ln1, e.ffn, e.ln2)
+}
+
+// temporalModule is the stage-1 Transformer encoder–decoder (paper §III-C).
+// It embeds the long window (length W) through the encoder and reconstructs
+// the short window (length ω) through a decoder with self- and
+// cross-attention, finishing with a sigmoid so outputs live in the
+// normalized [0, 1] magnitude space. The same weights are shared across all
+// variates (variate independence is expressed by feeding variates
+// separately, not by separate models).
+type temporalModule struct {
+	inDim, outDim int
+
+	te      *TimeEmbedding
+	encProj *nn.Linear // input embedding W_E (Eq. 4)
+	decProj *nn.Linear // input embedding W_D (Eq. 4)
+	enc     []*encoderLayer
+
+	decSelf  *nn.MultiHeadAttention
+	decLN1   *nn.LayerNorm
+	decCross *nn.MultiHeadAttention
+	decLN2   *nn.LayerNorm
+	outFFN   *nn.FFN // FFN + sigmoid output head (Eq. 9)
+}
+
+// newTemporalModule builds the module. inDim is 1 for the paper's
+// univariate-per-variate mode, or N for the multivariate-input ablation.
+func newTemporalModule(cfg Config, inDim int, rng *rand.Rand) *temporalModule {
+	dm := cfg.ModelDim
+	m := &temporalModule{
+		inDim:    inDim,
+		outDim:   inDim,
+		te:       NewTimeEmbedding(dm),
+		encProj:  nn.NewLinear("enc.proj", inDim, dm, rng),
+		decProj:  nn.NewLinear("dec.proj", inDim, dm, rng),
+		decSelf:  nn.NewMultiHeadAttention("dec.self", dm, cfg.Heads, rng),
+		decLN1:   nn.NewLayerNorm("dec.ln1", dm),
+		decCross: nn.NewMultiHeadAttention("dec.cross", dm, cfg.Heads, rng),
+		decLN2:   nn.NewLayerNorm("dec.ln2", dm),
+		outFFN:   nn.NewFFN("dec.out", dm, cfg.FFNHidden, inDim, rng),
+	}
+	m.decSelf.Band = cfg.AttentionBand
+	for i := 0; i < cfg.EncoderLayers; i++ {
+		m.enc = append(m.enc, newEncoderLayer(fmt.Sprintf("enc%d", i), dm, cfg.Heads, cfg.FFNHidden, cfg.AttentionBand, rng))
+	}
+	return m
+}
+
+// windowTimes carries the temporal metadata of one window: absolute
+// positions and normalized inter-observation intervals for the long window
+// and its short suffix.
+type windowTimes struct {
+	posL, dtL []float64
+	posS, dtS []float64
+}
+
+// forward reconstructs the short window. long is W×inDim, short is ω×inDim
+// (rows are timesteps); the result is ω×inDim in [0, 1].
+func (m *temporalModule) forward(t *ag.Tape, long, short *tensor.Dense, wt windowTimes) *ag.Node {
+	// Input embeddings IE/ID = proj(x) + TE (Eq. 4).
+	ie := t.Add(m.encProj.Forward(t, t.Const(long)), m.te.Forward(t, wt.posL, wt.dtL))
+	id := t.Add(m.decProj.Forward(t, t.Const(short)), m.te.Forward(t, wt.posS, wt.dtS))
+
+	// Encoder over the long context (Eq. 5–7).
+	oe := ie
+	for _, layer := range m.enc {
+		oe = layer.forward(t, oe)
+	}
+
+	// Decoder: masked-free self-attention on the short window, then
+	// cross-attention using the encoder output as keys/values (Eq. 8).
+	md := m.decLN1.Forward(t, t.Add(id, m.decSelf.Forward(t, id, id, id)))
+	od := m.decLN2.Forward(t, t.Add(md, m.decCross.Forward(t, md, oe, oe)))
+
+	// Output head with sigmoid normalization (Eq. 9).
+	return t.Sigmoid(m.outFFN.Forward(t, od))
+}
+
+// params returns all trainable parameters of the module.
+func (m *temporalModule) params() []*ag.Param {
+	ps := nn.CollectParams(m.te, m.encProj, m.decProj, m.decSelf, m.decLN1, m.decCross, m.decLN2, m.outFFN)
+	for _, layer := range m.enc {
+		ps = append(ps, layer.params()...)
+	}
+	return ps
+}

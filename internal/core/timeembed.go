@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+
+	"aero/internal/ag"
+	"aero/internal/tensor"
+)
+
+// TimeEmbedding is the interval-aware positional encoding of paper Eq. (1):
+//
+//	TE_t^j = sin(f_j·pos_t + α_j·Δt) + cos(f_j·pos_t + α_j·Δt)
+//
+// where f_j = (1/10000)^{j/d_m} are fixed angular frequencies, pos_t is the
+// absolute position, Δt the (normalized) interval to the previous
+// observation, and α_j are learnable phase shifts. Summing the sin and cos
+// terms follows the TranAD practice the paper adopts; the learnable α makes
+// the embedding sensitive to the irregular cadences of astronomical
+// observations.
+type TimeEmbedding struct {
+	// Alpha holds the learnable per-dimension phase shifts (1×d_m).
+	Alpha *ag.Param
+	freq  []float64
+	dm    int
+}
+
+// NewTimeEmbedding returns a time embedding of width dm with α initialised
+// to small values.
+func NewTimeEmbedding(dm int) *TimeEmbedding {
+	a := tensor.New(1, dm)
+	for j := range a.Data {
+		a.Data[j] = 0.1
+	}
+	freq := make([]float64, dm)
+	for j := 0; j < dm; j++ {
+		freq[j] = math.Pow(1.0/10000, float64(j)/float64(dm))
+	}
+	return &TimeEmbedding{Alpha: ag.NewParam("te.alpha", a), freq: freq, dm: dm}
+}
+
+// Forward produces the L×d_m embedding for absolute positions pos and
+// intervals dt (both length L).
+func (te *TimeEmbedding) Forward(t *ag.Tape, pos, dt []float64) *ag.Node {
+	L := len(pos)
+	// Fixed part: phase[l][j] = f_j · pos_l (constant).
+	phase := tensor.New(L, te.dm)
+	for l := 0; l < L; l++ {
+		row := phase.Row(l)
+		for j := 0; j < te.dm; j++ {
+			row[j] = te.freq[j] * pos[l]
+		}
+	}
+	// Learnable part: dtCol (L×1) · α (1×d_m).
+	dtCol := tensor.FromSlice(L, 1, append([]float64(nil), dt...))
+	theta := t.Add(t.Const(phase), t.MatMul(t.Const(dtCol), t.Param(te.Alpha)))
+	return t.Add(t.Sin(theta), t.Cos(theta))
+}
+
+// Params implements nn.Module.
+func (te *TimeEmbedding) Params() []*ag.Param { return []*ag.Param{te.Alpha} }

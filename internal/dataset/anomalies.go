@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AnomalyKind enumerates the injected true-anomaly shapes (paper Fig. 5:
+// flare-function events from Davenport et al. 2014 plus transient classes
+// modelled on the PLAsTiCC astronomical classification challenge).
+type AnomalyKind int
+
+const (
+	// AnomalyFlare is a stellar white-light flare: near-instant rise
+	// followed by a double-exponential decay (Davenport et al., ApJ 2014).
+	AnomalyFlare AnomalyKind = iota
+	// AnomalyNova is a nova-like transient: fast rise, slow decay over a
+	// longer span.
+	AnomalyNova
+	// AnomalyEclipse is an occultation-style dip with smooth ingress and
+	// egress.
+	AnomalyEclipse
+	// AnomalyBurst is a symmetric brightening bump (microlensing-like).
+	AnomalyBurst
+	numAnomalyKinds
+)
+
+// String implements fmt.Stringer.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyFlare:
+		return "flare"
+	case AnomalyNova:
+		return "nova"
+	case AnomalyEclipse:
+		return "eclipse"
+	case AnomalyBurst:
+		return "burst"
+	default:
+		return "unknown"
+	}
+}
+
+// FlareShape evaluates the Davenport et al. (2014) empirical white-light
+// flare template at phase tau, where tau is time in units of the flare's
+// half-width t_1/2 relative to the peak (tau = 0 at peak). Amplitude is
+// normalized to 1 at the peak.
+func FlareShape(tau float64) float64 {
+	switch {
+	case tau < -1 || tau > 6:
+		return 0
+	case tau < 0:
+		// Quartic rise fitted by Davenport et al.
+		return 1 + 1.941*tau - 0.175*tau*tau - 2.246*tau*tau*tau - 1.125*tau*tau*tau*tau
+	default:
+		// Double-exponential decay.
+		return 0.6890*math.Exp(-1.600*tau) + 0.3030*math.Exp(-0.2783*tau)
+	}
+}
+
+// NovaShape is a fast-rise exponential-decay transient normalized to peak 1
+// at u = riseFrac, for u in [0, 1].
+func NovaShape(u, riseFrac float64) float64 {
+	if u < 0 || u > 1 {
+		return 0
+	}
+	if u < riseFrac {
+		return u / riseFrac
+	}
+	// Exponential decay from peak to ~5% at u = 1.
+	k := 3.0
+	return math.Exp(-k * (u - riseFrac) / (1 - riseFrac))
+}
+
+// EclipseShape is a smooth occultation dip (negative) with cosine ingress
+// and egress, for u in [0, 1]; returns values in [-1, 0].
+func EclipseShape(u float64) float64 {
+	if u < 0 || u > 1 {
+		return 0
+	}
+	return -0.5 * (1 - math.Cos(2*math.Pi*u))
+}
+
+// BurstShape is a symmetric Paczynski-like bump peaking at u = 0.5 for u in
+// [0, 1].
+func BurstShape(u float64) float64 {
+	if u < 0 || u > 1 {
+		return 0
+	}
+	d := (u - 0.5) / 0.18
+	return math.Exp(-0.5 * d * d)
+}
+
+// AnomalyEvent describes one injected event.
+type AnomalyEvent struct {
+	Kind     AnomalyKind
+	Variate  int
+	Start    int // first affected timestamp
+	Length   int // number of affected timestamps
+	Amp      float64
+	HalfLife float64 // flare t_1/2 in samples (flares only)
+}
+
+// Shape evaluates the event's additive magnitude deviation at timestamp t.
+func (e AnomalyEvent) Shape(t int) float64 {
+	if t < e.Start || t >= e.Start+e.Length {
+		return 0
+	}
+	switch e.Kind {
+	case AnomalyFlare:
+		peak := e.Start + int(math.Max(1, e.HalfLife)) // rise occupies one half-width
+		tau := float64(t-peak) / math.Max(1, e.HalfLife)
+		return e.Amp * FlareShape(tau)
+	case AnomalyNova:
+		u := float64(t-e.Start) / float64(e.Length-1)
+		return e.Amp * NovaShape(u, 0.15)
+	case AnomalyEclipse:
+		u := float64(t-e.Start) / float64(e.Length-1)
+		return e.Amp * EclipseShape(u)
+	case AnomalyBurst:
+		u := float64(t-e.Start) / float64(e.Length-1)
+		return e.Amp * BurstShape(u)
+	}
+	return 0
+}
+
+// InjectAnomaly adds the event to the series and marks its labels. Points
+// whose shape magnitude is below 5% of the amplitude are left unlabelled so
+// that labels hug the visible deviation.
+func InjectAnomaly(s *Series, e AnomalyEvent) {
+	min := 0.05 * math.Abs(e.Amp)
+	for t := e.Start; t < e.Start+e.Length && t < s.Len(); t++ {
+		dv := e.Shape(t)
+		s.Data[e.Variate][t] += dv
+		if math.Abs(dv) >= min {
+			s.Labels[e.Variate][t] = true
+		}
+	}
+}
+
+// RandomAnomaly draws a random event of the given kind for a series of
+// length T on the given variate, with amplitude scaled by amp.
+func RandomAnomaly(rng *rand.Rand, kind AnomalyKind, variate, T int, amp float64) AnomalyEvent {
+	var length int
+	switch kind {
+	case AnomalyFlare:
+		length = 20 + rng.Intn(30)
+	case AnomalyNova:
+		length = 60 + rng.Intn(120)
+	case AnomalyEclipse:
+		length = 30 + rng.Intn(50)
+	default:
+		length = 25 + rng.Intn(40)
+	}
+	if length >= T/4 {
+		length = T / 4
+	}
+	start := rng.Intn(T - length - 1)
+	return AnomalyEvent{
+		Kind:     kind,
+		Variate:  variate,
+		Start:    start,
+		Length:   length,
+		Amp:      amp * (0.8 + 0.4*rng.Float64()),
+		HalfLife: 3 + 4*rng.Float64(),
+	}
+}

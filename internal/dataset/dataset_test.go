@@ -1,0 +1,273 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestSyntheticMiddleMatchesTableI(t *testing.T) {
+	d := SyntheticMiddle().Generate()
+	if err := d.Train.Validate(); err != nil {
+		t.Fatalf("train invalid: %v", err)
+	}
+	if err := d.Test.Validate(); err != nil {
+		t.Fatalf("test invalid: %v", err)
+	}
+	st := ComputeStats(d)
+	if st.Variates != 24 || st.TrainLen != 4000 || st.TestLen != 4000 {
+		t.Fatalf("shape: %+v", st)
+	}
+	if st.AnomSegs < 5 {
+		t.Fatalf("anomaly segments %d, want >= 5", st.AnomSegs)
+	}
+	// Noise percentage should land near the 1.719% target.
+	if st.NoisePct < 1.0 || st.NoisePct > 3.5 {
+		t.Fatalf("noise%% = %v, want ≈1.7", st.NoisePct)
+	}
+	if st.NoiseVars > 17 {
+		t.Fatalf("noise variates %d, want <= 17", st.NoiseVars)
+	}
+	if st.AnomalyPct <= 0 {
+		t.Fatal("no anomalies injected")
+	}
+}
+
+func TestSyntheticHighHasMoreAnomalies(t *testing.T) {
+	mid := ComputeStats(SyntheticMiddle().Generate())
+	high := ComputeStats(SyntheticHigh().Generate())
+	if high.AnomSegs <= mid.AnomSegs {
+		t.Fatalf("high segments %d should exceed middle %d", high.AnomSegs, mid.AnomSegs)
+	}
+	if high.AnomToNoise <= mid.AnomToNoise {
+		t.Fatalf("A/N high %v should exceed middle %v", high.AnomToNoise, mid.AnomToNoise)
+	}
+}
+
+func TestSyntheticLowHasMoreNoise(t *testing.T) {
+	mid := ComputeStats(SyntheticMiddle().Generate())
+	low := ComputeStats(SyntheticLow().Generate())
+	if low.NoisePct <= mid.NoisePct {
+		t.Fatalf("low noise%% %v should exceed middle %v", low.NoisePct, mid.NoisePct)
+	}
+	if low.AnomToNoise >= mid.AnomToNoise {
+		t.Fatalf("A/N low %v should be below middle %v", low.AnomToNoise, mid.AnomToNoise)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := SyntheticMiddle().Generate()
+	b := SyntheticMiddle().Generate()
+	for v := range a.Test.Data {
+		for i := range a.Test.Data[v] {
+			if a.Test.Data[v][i] != b.Test.Data[v][i] {
+				t.Fatal("generation must be deterministic for a fixed seed")
+			}
+		}
+	}
+}
+
+func TestSyntheticTrainHasNoAnomalies(t *testing.T) {
+	d := SyntheticMiddle().Generate()
+	if d.Train.AnomalyPoints() != 0 {
+		t.Fatal("training split must be anomaly-free (unsupervised protocol)")
+	}
+}
+
+func TestSyntheticNoiseIsConcurrent(t *testing.T) {
+	// At any noisy timestamp, at least two variates should be noisy
+	// simultaneously — that is what makes it "concurrent".
+	d := SyntheticMiddle().Generate()
+	s := d.Test
+	for tm := 0; tm < s.Len(); tm++ {
+		count := 0
+		for v := 0; v < s.N(); v++ {
+			if s.NoiseMask[v][tm] {
+				count++
+			}
+		}
+		if count == 1 {
+			t.Fatalf("timestamp %d has singleton noise", tm)
+		}
+	}
+}
+
+func TestAstrosetsMatchTableIShapes(t *testing.T) {
+	for _, tc := range []struct {
+		cfg        GWACConfig
+		n, tr, te2 int
+	}{
+		{AstrosetMiddle(), 54, 5540, 5387},
+		{AstrosetHigh(), 38, 8000, 6117},
+		{AstrosetLow(), 40, 6255, 2950},
+	} {
+		d := tc.cfg.Generate()
+		st := ComputeStats(d)
+		if st.Variates != tc.n || st.TrainLen != tc.tr || st.TestLen != tc.te2 {
+			t.Fatalf("%s: %+v", tc.cfg.Name, st)
+		}
+		if err := d.Test.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.cfg.Name, err)
+		}
+		// All variates are noise-exposed in the Astrosets.
+		if st.NoiseVars < tc.n*3/4 {
+			t.Fatalf("%s: only %d/%d noise variates", tc.cfg.Name, st.NoiseVars, tc.n)
+		}
+		if st.AnomalyPct <= 0 {
+			t.Fatalf("%s: no anomalies", tc.cfg.Name)
+		}
+	}
+}
+
+func TestAstrosetIrregularCadence(t *testing.T) {
+	d := AstrosetMiddle().Generate()
+	dts := make(map[int]bool)
+	prev := d.Train.Time[0]
+	for _, tm := range d.Train.Time[1:] {
+		dt := tm - prev
+		if dt <= 0 {
+			t.Fatal("timestamps must increase")
+		}
+		dts[int(dt*10)] = true
+		prev = tm
+	}
+	if len(dts) < 3 {
+		t.Fatal("cadence should be irregular")
+	}
+}
+
+func TestFlareShapeProperties(t *testing.T) {
+	if FlareShape(-2) != 0 || FlareShape(7) != 0 {
+		t.Fatal("flare must vanish outside support")
+	}
+	peak := FlareShape(0)
+	if math.Abs(peak-1) > 0.02 {
+		t.Fatalf("flare peak %v, want ~1", peak)
+	}
+	// Decay is monotone decreasing.
+	prev := peak
+	for tau := 0.2; tau < 6; tau += 0.2 {
+		v := FlareShape(tau)
+		if v > prev+1e-12 {
+			t.Fatalf("flare decay not monotone at tau=%v", tau)
+		}
+		prev = v
+	}
+	// Rise is below peak.
+	if FlareShape(-0.5) >= peak {
+		t.Fatal("rise should be below the peak")
+	}
+}
+
+func TestAnomalyShapesBounded(t *testing.T) {
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		if v := NovaShape(u, 0.15); v < 0 || v > 1+1e-9 {
+			t.Fatalf("nova out of range at %v: %v", u, v)
+		}
+		if v := EclipseShape(u); v > 0 || v < -1-1e-9 {
+			t.Fatalf("eclipse out of range at %v: %v", u, v)
+		}
+		if v := BurstShape(u); v < 0 || v > 1+1e-9 {
+			t.Fatalf("burst out of range at %v: %v", u, v)
+		}
+	}
+}
+
+func TestInjectAnomalyMarksLabels(t *testing.T) {
+	s := NewSeries(2, 200)
+	InjectAnomaly(s, AnomalyEvent{Kind: AnomalyBurst, Variate: 1, Start: 50, Length: 30, Amp: 2})
+	if s.AnomalyPoints() == 0 {
+		t.Fatal("labels not marked")
+	}
+	for tm := 0; tm < 50; tm++ {
+		if s.Labels[1][tm] {
+			t.Fatal("labels before the event")
+		}
+	}
+	if s.Labels[0][60] {
+		t.Fatal("wrong variate labelled")
+	}
+}
+
+func TestInjectNoiseMarksMask(t *testing.T) {
+	s := NewSeries(4, 100)
+	rng := newTestRNG()
+	InjectNoise(s, NoiseEvent{Kind: NoiseCloud, Variates: []int{0, 2}, Start: 10, Length: 20, Amp: 1}, rng)
+	if !s.NoiseMask[0][15] || !s.NoiseMask[2][15] {
+		t.Fatal("mask not set")
+	}
+	if s.NoiseMask[1][15] {
+		t.Fatal("unaffected variate masked")
+	}
+	// Cloud noise darkens: mid-event value must be below baseline 0.
+	if s.Data[0][20] >= 0 {
+		t.Fatalf("cloud should darken, got %v", s.Data[0][20])
+	}
+}
+
+func TestNoiseShapesReturnToZero(t *testing.T) {
+	for _, kind := range []NoiseKind{NoiseDrift, NoiseCloud, NoiseSunrise} {
+		e := NoiseEvent{Kind: kind, Amp: 1}
+		if v := e.shape(0); math.Abs(v) > 0.02 {
+			t.Fatalf("%v starts at %v, want ~0", kind, v)
+		}
+	}
+}
+
+func TestScalabilityDatasetSizes(t *testing.T) {
+	d := ScalabilityDataset(48, 500, 300, 7)
+	if d.Train.N() != 48 || d.Train.Len() != 500 || d.Test.Len() != 300 {
+		t.Fatal("scalability dataset has wrong shape")
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SyntheticConfig{
+		Name: "tiny", N: 3, TrainLen: 60, TestLen: 50, NoiseVariates: 2,
+		AnomalySegments: 1, NoisePct: 2, VariableFrac: 0.5, Seed: 5,
+	}
+	d := cfg.Generate()
+	if err := WriteDataset(dir, d); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadDataset(dir, "tiny")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	for v := range d.Test.Data {
+		for i := range d.Test.Data[v] {
+			if math.Abs(got.Test.Data[v][i]-d.Test.Data[v][i]) > 1e-12 {
+				t.Fatal("data roundtrip mismatch")
+			}
+			if got.Test.Labels[v][i] != d.Test.Labels[v][i] {
+				t.Fatal("labels roundtrip mismatch")
+			}
+			if got.Test.NoiseMask[v][i] != d.Test.NoiseMask[v][i] {
+				t.Fatal("noise roundtrip mismatch")
+			}
+		}
+	}
+}
+
+func TestReadSeriesMissingFile(t *testing.T) {
+	if _, err := ReadSeries(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := NewSeries(2, 10)
+	s.Data[0][3] = math.NaN()
+	if s.Validate() == nil {
+		t.Fatal("NaN must be rejected")
+	}
+	s = NewSeries(2, 10)
+	s.Time[5] = s.Time[4]
+	if s.Validate() == nil {
+		t.Fatal("non-increasing time must be rejected")
+	}
+}

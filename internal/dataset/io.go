@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteSeries persists a series as three CSV files next to each other:
+// <base>.data.csv (time + one column per star), <base>.labels.csv and
+// <base>.noise.csv (0/1 masks with the same layout).
+func WriteSeries(base string, s *Series) error {
+	if err := writeCSV(base+".data.csv", s, func(v int, t int) string {
+		return strconv.FormatFloat(s.Data[v][t], 'g', -1, 64)
+	}); err != nil {
+		return err
+	}
+	if err := writeCSV(base+".labels.csv", s, func(v, t int) string {
+		return boolDigit(s.Labels[v][t])
+	}); err != nil {
+		return err
+	}
+	return writeCSV(base+".noise.csv", s, func(v, t int) string {
+		return boolDigit(s.NoiseMask[v][t])
+	})
+}
+
+func boolDigit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func writeCSV(path string, s *Series, cell func(v, t int) string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := csv.NewWriter(f)
+	header := make([]string, s.N()+1)
+	header[0] = "time"
+	for v := 0; v < s.N(); v++ {
+		header[v+1] = fmt.Sprintf("star_%d", v)
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	row := make([]string, s.N()+1)
+	for t := 0; t < s.Len(); t++ {
+		row[0] = strconv.FormatFloat(s.Time[t], 'g', -1, 64)
+		for v := 0; v < s.N(); v++ {
+			row[v+1] = cell(v, t)
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadSeries loads a series previously written by WriteSeries. The labels
+// and noise files are optional; missing ones yield all-false masks.
+func ReadSeries(base string) (*Series, error) {
+	times, data, err := readCSVFloats(base + ".data.csv")
+	if err != nil {
+		return nil, err
+	}
+	n := len(data)
+	T := len(times)
+	s := &Series{Data: data, Time: times, Labels: make([][]bool, n), NoiseMask: make([][]bool, n)}
+	for v := 0; v < n; v++ {
+		s.Labels[v] = make([]bool, T)
+		s.NoiseMask[v] = make([]bool, T)
+	}
+	if _, lab, err := readCSVFloats(base + ".labels.csv"); err == nil && len(lab) == n {
+		for v := range lab {
+			for t, x := range lab[v] {
+				s.Labels[v][t] = x != 0
+			}
+		}
+	}
+	if _, noi, err := readCSVFloats(base + ".noise.csv"); err == nil && len(noi) == n {
+		for v := range noi {
+			for t, x := range noi[v] {
+				s.NoiseMask[v][t] = x != 0
+			}
+		}
+	}
+	return s, s.Validate()
+}
+
+// readCSVFloats parses a data CSV into a time column and per-star series.
+func readCSVFloats(path string) (times []float64, data [][]float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("dataset: %s: no data rows", path)
+	}
+	n := len(rows[0]) - 1
+	if n < 1 {
+		return nil, nil, fmt.Errorf("dataset: %s: need at least one star column", path)
+	}
+	data = make([][]float64, n)
+	for v := range data {
+		data[v] = make([]float64, 0, len(rows)-1)
+	}
+	for i, row := range rows[1:] {
+		if len(row) != n+1 {
+			return nil, nil, fmt.Errorf("dataset: %s: row %d has %d fields, want %d", path, i+2, len(row), n+1)
+		}
+		tv, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: %s row %d: %w", path, i+2, err)
+		}
+		times = append(times, tv)
+		for v := 0; v < n; v++ {
+			x, err := strconv.ParseFloat(row[v+1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: %s row %d col %d: %w", path, i+2, v+1, err)
+			}
+			data[v] = append(data[v], x)
+		}
+	}
+	return times, data, nil
+}
+
+// WriteDataset persists both splits of a dataset under dir using the
+// dataset name as the file prefix.
+func WriteDataset(dir string, d *Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WriteSeries(filepath.Join(dir, d.Name+".train"), d.Train); err != nil {
+		return err
+	}
+	return WriteSeries(filepath.Join(dir, d.Name+".test"), d.Test)
+}
+
+// ReadDataset loads a dataset previously written by WriteDataset.
+func ReadDataset(dir, name string) (*Dataset, error) {
+	train, err := ReadSeries(filepath.Join(dir, name+".train"))
+	if err != nil {
+		return nil, err
+	}
+	test, err := ReadSeries(filepath.Join(dir, name+".test"))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: name, Train: train, Test: test}, nil
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NoiseKind enumerates the paper's three concurrent-noise mechanisms
+// (§IV-A): mean drift, cloud-occlusion darkening with recovery, and
+// sunrise brightening.
+type NoiseKind int
+
+const (
+	// NoiseDrift shifts the mean level up or down for the duration.
+	NoiseDrift NoiseKind = iota
+	// NoiseCloud darkens then recovers: half a period of a trigonometric
+	// function, as caused by passing cloud cover.
+	NoiseCloud
+	// NoiseSunrise brightens exponentially, as caused by dawn sky
+	// background.
+	NoiseSunrise
+	numNoiseKinds
+)
+
+// String implements fmt.Stringer.
+func (k NoiseKind) String() string {
+	switch k {
+	case NoiseDrift:
+		return "drift"
+	case NoiseCloud:
+		return "cloud"
+	case NoiseSunrise:
+		return "sunrise"
+	default:
+		return "unknown"
+	}
+}
+
+// NoiseEvent is one concurrent-noise occurrence: a contiguous time span
+// affecting a subset of variates simultaneously — the spatial/temporal
+// randomness the paper's stage-2 module is built for.
+type NoiseEvent struct {
+	Kind     NoiseKind
+	Variates []int
+	Start    int
+	Length   int
+	Amp      float64
+}
+
+// shape evaluates the additive deviation at offset u in [0, 1].
+func (e NoiseEvent) shape(u float64) float64 {
+	switch e.Kind {
+	case NoiseDrift:
+		// Quick ramp to a sustained shift, ramp back at the end.
+		const edge = 0.15
+		switch {
+		case u < edge:
+			return e.Amp * (u / edge)
+		case u > 1-edge:
+			return e.Amp * ((1 - u) / edge)
+		default:
+			return e.Amp
+		}
+	case NoiseCloud:
+		// Half period of a sine: smooth darkening and recovery.
+		return -e.Amp * math.Sin(math.Pi*u)
+	case NoiseSunrise:
+		// Exponential brightening ending abruptly (dataset cut at dawn).
+		k := 4.0
+		return e.Amp * (math.Exp(k*u) - 1) / (math.Exp(k) - 1)
+	}
+	return 0
+}
+
+// InjectNoise applies the event to the series, scaling the amplitude per
+// variate by a factor in [0.7, 1.3] drawn from rng (clouds do not dim every
+// star identically), and marks the noise mask.
+func InjectNoise(s *Series, e NoiseEvent, rng *rand.Rand) {
+	for _, v := range e.Variates {
+		scale := 0.7 + 0.6*rng.Float64()
+		for t := e.Start; t < e.Start+e.Length && t < s.Len(); t++ {
+			u := float64(t-e.Start) / math.Max(1, float64(e.Length-1))
+			dv := scale * e.shape(u)
+			s.Data[v][t] += dv
+			s.NoiseMask[v][t] = true
+		}
+	}
+}
+
+// RandomNoiseEvent draws a noise event of random kind covering a random
+// subset of candidates (at least minVars of them) with the given length
+// range.
+func RandomNoiseEvent(rng *rand.Rand, candidates []int, T, minLen, maxLen int, amp float64, minVars int) NoiseEvent {
+	kind := NoiseKind(rng.Intn(int(numNoiseKinds)))
+	length := minLen
+	if maxLen > minLen {
+		length += rng.Intn(maxLen - minLen)
+	}
+	if length >= T {
+		length = T / 2
+	}
+	start := rng.Intn(T - length)
+	// Random subset: shuffle and take a random prefix of size >= minVars.
+	shuffled := append([]int(nil), candidates...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	k := minVars
+	if len(shuffled) > minVars {
+		k += rng.Intn(len(shuffled) - minVars + 1)
+	}
+	if k > len(shuffled) {
+		k = len(shuffled)
+	}
+	// Noise intensity is heavy-tailed: cloud opacity and sky background
+	// vary enormously between nights, so test splits routinely contain
+	// events stronger than anything in the training night. This is the
+	// unpredictability that defeats purely threshold-based detectors.
+	return NoiseEvent{
+		Kind:     kind,
+		Variates: shuffled[:k],
+		Start:    start,
+		Length:   length,
+		Amp:      amp * (0.5 + 0.7*rng.ExpFloat64()),
+	}
+}

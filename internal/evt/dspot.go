@@ -1,0 +1,82 @@
+package evt
+
+import "fmt"
+
+// DSPOT is the drift-aware variant of SPOT (Siffer et al., KDD 2017,
+// §4.4): before thresholding, each observation is re-centred on the mean
+// of a trailing window, so slow level drift (e.g. atmospheric extinction
+// over a night) does not inflate the tail model. Alarms are raised on the
+// drift-corrected residuals.
+type DSPOT struct {
+	spot  *SPOT
+	depth int
+	win   []float64
+	sum   float64
+	pos   int
+	full  bool
+}
+
+// NewDSPOT returns a drift-aware SPOT with the given trailing window depth.
+func NewDSPOT(level, q float64, depth int) *DSPOT {
+	if depth < 1 {
+		depth = 1
+	}
+	return &DSPOT{spot: NewSPOT(level, q), depth: depth, win: make([]float64, depth)}
+}
+
+// Fit calibrates on an initial batch; the first depth values seed the
+// trailing window and the rest calibrate the tail model.
+func (d *DSPOT) Fit(init []float64) error {
+	if len(init) <= d.depth+8 {
+		return fmt.Errorf("evt: DSPOT needs more than depth+8=%d calibration points, got %d", d.depth+8, len(init))
+	}
+	for _, v := range init[:d.depth] {
+		d.push(v)
+	}
+	resid := make([]float64, 0, len(init)-d.depth)
+	for _, v := range init[d.depth:] {
+		resid = append(resid, v-d.mean())
+		d.push(v)
+	}
+	return d.spot.Fit(resid)
+}
+
+func (d *DSPOT) push(v float64) {
+	if d.full {
+		d.sum -= d.win[d.pos]
+	}
+	d.win[d.pos] = v
+	d.sum += v
+	d.pos++
+	if d.pos == d.depth {
+		d.pos = 0
+		d.full = true
+	}
+}
+
+func (d *DSPOT) mean() float64 {
+	n := d.depth
+	if !d.full {
+		n = d.pos
+		if n == 0 {
+			return 0
+		}
+	}
+	return d.sum / float64(n)
+}
+
+// Threshold returns the current residual-space alarm threshold.
+func (d *DSPOT) Threshold() float64 { return d.spot.Threshold() }
+
+// Step consumes one observation and reports whether it is anomalous
+// relative to the drift-corrected baseline. Non-anomalous observations
+// update the trailing window; anomalies do not (so an alarm does not
+// poison the baseline).
+func (d *DSPOT) Step(x float64) bool {
+	resid := x - d.mean()
+	if d.spot.Step(resid) {
+		return true
+	}
+	d.push(x)
+	return false
+}

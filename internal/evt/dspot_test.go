@@ -1,0 +1,88 @@
+package evt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDSPOTHandlesDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Calibration: flat noise.
+	init := make([]float64, 2000)
+	for i := range init {
+		init[i] = rng.NormFloat64() * 0.3
+	}
+	d := NewDSPOT(0.99, 1e-3, 50)
+	if err := d.Fit(init); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	// Slow linear drift: plain SPOT would alarm constantly once the level
+	// exceeds the calibrated tail; DSPOT must stay quiet.
+	alarms := 0
+	level := 0.0
+	for i := 0; i < 3000; i++ {
+		level += 0.005 // total drift = 15, far above the initial tail
+		if d.Step(level + rng.NormFloat64()*0.3) {
+			alarms++
+		}
+	}
+	if alarms > 30 {
+		t.Fatalf("DSPOT alarmed %d times on pure drift", alarms)
+	}
+	// A genuine spike on top of the drifted level must still fire.
+	if !d.Step(level + 10) {
+		t.Fatal("DSPOT missed a spike above the drifted baseline")
+	}
+}
+
+func TestDSPOTVsSPOTOnDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	init := make([]float64, 1500)
+	for i := range init {
+		init[i] = rng.NormFloat64() * 0.3
+	}
+	s := NewSPOT(0.99, 1e-3)
+	if err := s.Fit(init); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDSPOT(0.99, 1e-3, 50)
+	if err := d.Fit(init); err != nil {
+		t.Fatal(err)
+	}
+	spotAlarms, dspotAlarms := 0, 0
+	level := 0.0
+	for i := 0; i < 2000; i++ {
+		level += 0.01
+		x := level + rng.NormFloat64()*0.3
+		if x > s.Threshold() {
+			spotAlarms++
+		}
+		if d.Step(x) {
+			dspotAlarms++
+		}
+	}
+	if dspotAlarms >= spotAlarms {
+		t.Fatalf("drift correction should reduce alarms: SPOT %d, DSPOT %d", spotAlarms, dspotAlarms)
+	}
+}
+
+func TestDSPOTFitTooShort(t *testing.T) {
+	if err := NewDSPOT(0.99, 1e-3, 50).Fit(make([]float64, 30)); err == nil {
+		t.Fatal("expected error for too-short calibration")
+	}
+}
+
+func TestDSPOTTrailingMean(t *testing.T) {
+	d := NewDSPOT(0.99, 1e-3, 4)
+	for _, v := range []float64{1, 2, 3, 4} {
+		d.push(v)
+	}
+	if d.mean() != 2.5 {
+		t.Fatalf("mean %v", d.mean())
+	}
+	d.push(5) // evicts 1
+	if math.Abs(d.mean()-3.5) > 1e-12 {
+		t.Fatalf("rolling mean %v", d.mean())
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aero/internal/baselines"
+)
+
+func tinyOptions() Options { return Options{Scale: ScaleTiny} }
+
+func TestScaleString(t *testing.T) {
+	if ScaleSmall.String() != "small" || ScalePaper.String() != "paper" || ScaleTiny.String() != "tiny" {
+		t.Fatal("scale names wrong")
+	}
+}
+
+func TestDatasetsComeInTableOrder(t *testing.T) {
+	ds := tinyOptions().datasets()
+	want := []string{"SyntheticMiddle", "SyntheticHigh", "SyntheticLow",
+		"AstrosetMiddle", "AstrosetHigh", "AstrosetLow"}
+	if len(ds) != len(want) {
+		t.Fatalf("got %d datasets", len(ds))
+	}
+	for i, d := range ds {
+		if d.Name != want[i] {
+			t.Fatalf("dataset %d = %s, want %s", i, d.Name, want[i])
+		}
+		if d.Test.AnomalyPoints() == 0 {
+			t.Fatalf("%s has no anomalies", d.Name)
+		}
+	}
+}
+
+func TestMethodsRosterMatchesPaper(t *testing.T) {
+	ms := tinyOptions().methods()
+	if len(ms) != 12 {
+		t.Fatalf("got %d methods, want 12 (11 baselines + AERO)", len(ms))
+	}
+	if ms[len(ms)-1].Name() != "AERO" {
+		t.Fatalf("last method is %s, want AERO", ms[len(ms)-1].Name())
+	}
+}
+
+func TestEvaluateMethodProducesValidMetrics(t *testing.T) {
+	o := tinyOptions()
+	d := o.datasets()[0]
+	res := EvaluateMethod(baselines.NewSPOT(), d)
+	if res.Err != nil {
+		t.Fatalf("evaluate: %v", res.Err)
+	}
+	for _, v := range []float64{res.Precision, res.Recall, res.F1} {
+		if v < 0 || v > 100 {
+			t.Fatalf("metric out of range: %+v", res)
+		}
+	}
+}
+
+func TestEvaluateMethodAERO(t *testing.T) {
+	o := tinyOptions()
+	d := o.datasets()[0]
+	res := EvaluateMethod(NewAERODetector(o.coreConfig()), d)
+	if res.Err != nil {
+		t.Fatalf("evaluate: %v", res.Err)
+	}
+	if res.Method != "AERO" {
+		t.Fatalf("name %q", res.Method)
+	}
+}
+
+func TestAERODetectorVariantNames(t *testing.T) {
+	cfg := tinyOptions().coreConfig()
+	cfg.Variant = 3 // VariantNoShortWindow
+	det := NewAERODetector(cfg)
+	if det.Name() == "AERO" {
+		t.Fatal("ablation variants must carry their variant name")
+	}
+}
+
+func TestAERODetectorScoresBeforeFit(t *testing.T) {
+	det := NewAERODetector(tinyOptions().coreConfig())
+	o := tinyOptions()
+	if _, err := det.Scores(o.datasets()[0].Test); err == nil {
+		t.Fatal("expected not-fitted error")
+	}
+}
+
+func TestRunTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	RunTable1(&buf, tinyOptions())
+	out := buf.String()
+	for _, want := range []string{"Table I", "SyntheticMiddle", "AstrosetLow", "A/N"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5Output(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig5(&buf, tinyOptions())
+	out := buf.String()
+	for _, want := range []string{"flare", "nova", "eclipse", "burst"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestRunFig8Output(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig8(&buf, tinyOptions())
+	out := buf.String()
+	if !strings.Contains(out, "learned graph") && !strings.Contains(out, "no concurrent-noise") {
+		t.Fatalf("unexpected fig8 output:\n%s", out)
+	}
+	if !strings.Contains(out, "ground-truth") && !strings.Contains(out, "no concurrent-noise") {
+		t.Fatalf("fig8 must include the ground-truth matrix:\n%s", out)
+	}
+}
+
+func TestRunFig9Output(t *testing.T) {
+	var buf bytes.Buffer
+	RunFig9(&buf, tinyOptions())
+	if !strings.Contains(buf.String(), "POT threshold") {
+		t.Fatalf("fig9 output missing threshold:\n%s", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 0.5, 1})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	flat := sparkline([]float64{2, 2, 2})
+	if len([]rune(flat)) != 3 {
+		t.Fatal("flat sparkline must not panic")
+	}
+}
+
+func TestNoisyWindowEndsSpread(t *testing.T) {
+	o := tinyOptions()
+	d := o.datasets()[0]
+	ends := noisyWindowEnds(d.Test, 48, 3)
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatal("window ends must increase")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aero/internal/core"
+	"aero/internal/dataset"
+)
+
+// RunTable1 regenerates Table I (dataset statistics) for the six benchmark
+// datasets at the given scale.
+func RunTable1(w io.Writer, o Options) {
+	printHeader(w, fmt.Sprintf("Table I — Dataset statistics (scale=%s)", o.Scale))
+	fmt.Fprintf(w, "%-16s %7s %7s %5s %9s %8s %7s %6s %7s\n",
+		"Dataset", "#train", "#test", "#var", "Anom(%)", "Noise(%)", "A/N", "#Segs", "#NoiseV")
+	for _, d := range o.datasets() {
+		st := dataset.ComputeStats(d)
+		fmt.Fprintf(w, "%-16s %7d %7d %5d %9.3f %8.3f %7.3f %6d %7d\n",
+			st.Name, st.TrainLen, st.TestLen, st.Variates,
+			st.AnomalyPct, st.NoisePct, st.AnomToNoise, st.AnomSegs, st.NoiseVars)
+	}
+}
+
+// runComparison evaluates all twelve methods on the given datasets and
+// renders the table.
+func runComparison(w io.Writer, o Options, sets []*dataset.Dataset) {
+	names := make([]string, len(sets))
+	for i, d := range sets {
+		names[i] = d.Name
+	}
+	rows := map[string][]MethodResult{}
+	var order []string
+	for _, det := range o.methods() {
+		order = append(order, det.Name())
+		results := make([]MethodResult, len(sets))
+		for i, d := range sets {
+			results[i] = EvaluateMethod(det, d)
+			if results[i].Err != nil {
+				fmt.Fprintf(w, "! %s on %s: %v\n", det.Name(), d.Name, results[i].Err)
+			}
+		}
+		rows[det.Name()] = results
+	}
+	printResultTable(w, names, rows, order)
+}
+
+// RunTable2 regenerates Table II (synthetic datasets comparison).
+func RunTable2(w io.Writer, o Options) {
+	printHeader(w, fmt.Sprintf("Table II — Synthetic datasets (scale=%s)", o.Scale))
+	runComparison(w, o, o.datasets()[:3])
+}
+
+// RunTable3 regenerates Table III (real-world style Astrosets comparison).
+func RunTable3(w io.Writer, o Options) {
+	printHeader(w, fmt.Sprintf("Table III — Astrosets (scale=%s)", o.Scale))
+	runComparison(w, o, o.datasets()[3:])
+}
+
+// ablationVariants lists the Table IV rows in paper order.
+var ablationVariants = []core.Variant{
+	core.VariantFull,
+	core.VariantNoTemporal,          // 1) i
+	core.VariantMultivariateInput,   // 1) ii
+	core.VariantNoShortWindow,       // 1) iii
+	core.VariantNoNoise,             // 2) i
+	core.VariantNoNoiseMultivariate, // 2) ii
+	core.VariantStaticGraph,         // 2) iii
+	core.VariantDynamicGraph,        // 2) iv
+}
+
+// RunTable4 regenerates Table IV (ablation study) on SyntheticMiddle,
+// AstrosetMiddle and AstrosetLow, matching the paper's dataset selection.
+func RunTable4(w io.Writer, o Options) {
+	printHeader(w, fmt.Sprintf("Table IV — Ablation study (scale=%s)", o.Scale))
+	all := o.datasets()
+	sets := []*dataset.Dataset{all[0], all[3], all[5]}
+	names := make([]string, len(sets))
+	for i, d := range sets {
+		names[i] = d.Name
+	}
+	rows := map[string][]MethodResult{}
+	var order []string
+	for _, variant := range ablationVariants {
+		cfg := o.coreConfig()
+		cfg.Variant = variant
+		det := NewAERODetector(cfg)
+		order = append(order, det.Name())
+		results := make([]MethodResult, len(sets))
+		for i, d := range sets {
+			results[i] = EvaluateMethod(det, d)
+			if results[i].Err != nil {
+				fmt.Fprintf(w, "! %s on %s: %v\n", det.Name(), d.Name, results[i].Err)
+			}
+		}
+		rows[det.Name()] = results
+	}
+	printResultTable(w, names, rows, order)
+}

@@ -1,0 +1,163 @@
+// Package fourier implements the discrete Fourier transform for arbitrary
+// lengths: an iterative radix-2 Cooley–Tukey kernel for powers of two and
+// Bluestein's chirp-z algorithm for everything else. It backs the spectral
+// residual baseline, TimesNet's period detection, and periodogram utilities.
+package fourier
+
+import "math"
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Any length is supported (Bluestein for non powers of two).
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if isPow2(n) {
+		radix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x (normalized by
+// 1/n so that IFFT(FFT(x)) == x).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if isPow2(n) {
+		radix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// Amplitudes returns |X_k| for every bin of the spectrum.
+func Amplitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		out[i] = math.Hypot(real(c), imag(c))
+	}
+	return out
+}
+
+// Periodogram returns the single-sided power spectrum of a real signal:
+// bins 1..n/2 with power |X_k|²/n, along with the corresponding periods
+// (n/k in samples). Bin 0 (the mean) is excluded.
+func Periodogram(x []float64) (power []float64, period []float64) {
+	n := len(x)
+	if n < 2 {
+		return nil, nil
+	}
+	spec := FFTReal(x)
+	half := n / 2
+	power = make([]float64, half)
+	period = make([]float64, half)
+	for k := 1; k <= half; k++ {
+		c := spec[k]
+		power[k-1] = (real(c)*real(c) + imag(c)*imag(c)) / float64(n)
+		period[k-1] = float64(n) / float64(k)
+	}
+	return power, period
+}
+
+func isPow2(n int) bool { return n&(n-1) == 0 }
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT. inverse flips the
+// twiddle sign (normalization is the caller's responsibility).
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	// bit-reversal permutation
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform,
+// expressing it as a convolution evaluated with a padded radix-2 FFT.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i*pi*k^2/n); use k^2 mod 2n to avoid overflow.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		bc := complex(real(chirp[k]), -imag(chirp[k])) // conj
+		b[k] = bc
+		if k > 0 {
+			b[m-k] = bc
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}

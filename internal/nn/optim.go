@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"math"
+
+	"aero/internal/ag"
+	"aero/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) with optional
+// gradient clipping. First and second moment buffers are allocated lazily
+// per parameter.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// MaxGradNorm, when > 0, rescales the global gradient norm before each
+	// step (gradient clipping).
+	MaxGradNorm float64
+
+	step int
+	m, v map[*ag.Param]*tensor.Dense
+}
+
+// NewAdam returns an Adam optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*ag.Param]*tensor.Dense),
+		v: make(map[*ag.Param]*tensor.Dense),
+	}
+}
+
+// Step applies one Adam update to params using their accumulated gradients,
+// then zeroes the gradients.
+func (a *Adam) Step(params []*ag.Param) {
+	if a.MaxGradNorm > 0 {
+		clipGradNorm(params, a.MaxGradNorm)
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m := a.m[p]
+		if m == nil {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.Value.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// clipGradNorm rescales all gradients so their global L2 norm is at most max.
+func clipGradNorm(params []*ag.Param, max float64) {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= max || norm == 0 {
+		return
+	}
+	scale := max / norm
+	for _, p := range params {
+		p.Grad.ScaleInPlace(scale)
+	}
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*ag.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm of the accumulated gradients
+// (useful for tests and training diagnostics).
+func GradNorm(params []*ag.Param) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	return math.Sqrt(total)
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if math.Abs(Var(xs)-1.25) > 1e-12 {
+		t.Fatalf("var %v", Var(xs))
+	}
+	if math.Abs(Std(xs)-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std %v", Std(xs))
+	}
+	if Mean(nil) != 0 || Var(nil) != 0 {
+		t.Fatal("empty input must give 0")
+	}
+}
+
+func TestMeanStdMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		m, s := MeanStd(xs)
+		return math.Abs(m-Mean(xs)) < 1e-9 && math.Abs(s-Std(xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("median %v", Median(xs))
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 2+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		q1 := 0.3 + 0.2*rng.Float64()
+		q2 := q1 + 0.3*rng.Float64()
+		return Quantile(xs, q1) <= Quantile(xs, q2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	got := Diff([]float64{1, 4, 9})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("diff %v", got)
+	}
+	if Diff([]float64{1}) != nil {
+		t.Fatal("short diff should be nil")
+	}
+}
+
+func TestEWMAConstantIsFixedPoint(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	for _, v := range EWMA(xs, 0.3) {
+		if v != 5 {
+			t.Fatal("EWMA of constant must be constant")
+		}
+	}
+}
+
+func TestMovingMeanWindow(t *testing.T) {
+	got := MovingMean([]float64{1, 2, 3, 4, 5}, 2)
+	want := []float64{1, 1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("moving mean %v want %v", got, want)
+		}
+	}
+}
+
+func TestMovingStdOfConstantIsZero(t *testing.T) {
+	for _, v := range MovingStd([]float64{2, 2, 2, 2}, 3) {
+		if v != 0 {
+			t.Fatal("moving std of constant must be 0")
+		}
+	}
+}
+
+func TestZScoreProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 3 + 2*rng.NormFloat64()
+	}
+	z := ZScore(xs)
+	m, s := MeanStd(z)
+	if math.Abs(m) > 1e-9 || math.Abs(s-1) > 1e-9 {
+		t.Fatalf("zscore mean=%v std=%v", m, s)
+	}
+	if got := ZScore([]float64{7, 7}); got[0] != 0 || got[1] != 0 {
+		t.Fatal("constant input should map to zeros")
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	got := MinMaxScale([]float64{-1, 0, 1, 2, 3}, 0, 2)
+	want := []float64{0, 0, 0.5, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("minmax %v want %v", got, want)
+		}
+	}
+	for _, v := range MinMaxScale([]float64{1, 2}, 5, 5) {
+		if v != 0.5 {
+			t.Fatal("degenerate range must map to 0.5")
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if math.Abs(Correlation(a, b)-1) > 1e-12 {
+		t.Fatal("perfect correlation expected")
+	}
+	c := []float64{8, 6, 4, 2}
+	if math.Abs(Correlation(a, c)+1) > 1e-12 {
+		t.Fatal("perfect anticorrelation expected")
+	}
+	if Correlation(a, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant series should give 0")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if CosineSimilarity([]float64{1, 0}, []float64{2, 0}) != 1 {
+		t.Fatal("parallel vectors")
+	}
+	if CosineSimilarity([]float64{1, 0}, []float64{0, 3}) != 0 {
+		t.Fatal("orthogonal vectors")
+	}
+	if CosineSimilarity([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Fatal("zero vector must give 0")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		s := CosineSimilarity(a, b)
+		return s >= -1-1e-12 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgmaxTopK(t *testing.T) {
+	xs := []float64{3, 9, 1, 7}
+	if Argmax(xs) != 1 {
+		t.Fatal("argmax")
+	}
+	if Argmax(nil) != -1 {
+		t.Fatal("argmax of empty should be -1")
+	}
+	top := TopKIndices(xs, 2)
+	if top[0] != 1 || top[1] != 3 {
+		t.Fatalf("topk %v", top)
+	}
+	if len(TopKIndices(xs, 10)) != 4 {
+		t.Fatal("topk should clip k")
+	}
+}
+
+func TestClip(t *testing.T) {
+	got := Clip([]float64{-5, 0, 5}, -1, 1)
+	if got[0] != -1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("clip %v", got)
+	}
+}

@@ -1,0 +1,471 @@
+// Package tensor provides dense row-major float64 matrices and the small
+// set of BLAS-like kernels the rest of the library is built on.
+//
+// The package is deliberately minimal: a Dense value is a shape plus a flat
+// backing slice, every operation is explicit about allocation, and the only
+// concurrency is an optional goroutine fan-out inside MatMul for large
+// products. All higher-level semantics (autodiff, layers) live above it.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Dense is a dense row-major matrix. A Dense with Rows == 1 doubles as a
+// vector. The zero value is an empty matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (not copied) as an r×c matrix.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Randn returns an r×c matrix of N(0, std²) samples drawn from rng.
+func Randn(r, c int, std float64, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// Uniform returns an r×c matrix of U(lo, hi) samples drawn from rng.
+func Uniform(r, c int, lo, hi float64, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	m.assertSameShape(src)
+	copy(m.Data, src.Data)
+}
+
+// Zero resets all elements to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Dense) SameShape(o *Dense) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Dense) assertSameShape(o *Dense) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// String implements fmt.Stringer with a compact preview.
+func (m *Dense) String() string {
+	return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+}
+
+// Add returns m + o.
+func (m *Dense) Add(o *Dense) *Dense {
+	m.assertSameShape(o)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets m = m + o and returns m.
+func (m *Dense) AddInPlace(o *Dense) *Dense {
+	m.assertSameShape(o)
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+	return m
+}
+
+// AddScaled sets m = m + s*o and returns m.
+func (m *Dense) AddScaled(s float64, o *Dense) *Dense {
+	m.assertSameShape(o)
+	for i := range m.Data {
+		m.Data[i] += s * o.Data[i]
+	}
+	return m
+}
+
+// Sub returns m - o.
+func (m *Dense) Sub(o *Dense) *Dense {
+	m.assertSameShape(o)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return out
+}
+
+// MulElem returns the Hadamard product m ⊙ o.
+func (m *Dense) MulElem(o *Dense) *Dense {
+	m.assertSameShape(o)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] * o.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * m.
+func (m *Dense) Scale(s float64) *Dense {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets m = s*m and returns m.
+func (m *Dense) ScaleInPlace(s float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Apply returns f applied elementwise.
+func (m *Dense) Apply(f func(float64) float64) *Dense {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// parallelThreshold is the flop count above which MatMul fans out across
+// goroutines. Chosen empirically; small products are faster single-threaded.
+const parallelThreshold = 1 << 19
+
+// MatMul returns m · o.
+func (m *Dense) MatMul(o *Dense) *Dense {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Cols)
+	m.matMulInto(o, out)
+	return out
+}
+
+// matMulInto computes out = m · o, assuming out is zeroed and correctly sized.
+func (m *Dense) matMulInto(o, out *Dense) {
+	work := m.Rows * m.Cols * o.Cols
+	if work >= parallelThreshold && m.Rows > 1 {
+		nw := runtime.GOMAXPROCS(0)
+		if nw > m.Rows {
+			nw = m.Rows
+		}
+		var wg sync.WaitGroup
+		chunk := (m.Rows + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > m.Rows {
+				hi = m.Rows
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matMulRange(m, o, out, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	matMulRange(m, o, out, 0, m.Rows)
+}
+
+// matMulRange computes rows [lo, hi) of out = m·o with an ikj loop order
+// that keeps the inner loop streaming over contiguous memory.
+func matMulRange(m, o, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns m · oᵀ without materialising the transpose.
+func (m *Dense) MatMulT(o *Dense) *Dense {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Rows)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := 0; j < o.Rows; j++ {
+			orow := o.Data[j*o.Cols : (j+1)*o.Cols]
+			var s float64
+			for k, mv := range mrow {
+				s += mv * orow[k]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns mᵀ · o without materialising the transpose.
+func (m *Dense) TMatMul(o *Dense) *Dense {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: tmatmul shape mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Cols, o.Cols)
+	for k := 0; k < m.Rows; k++ {
+		mrow := m.Data[k*m.Cols : (k+1)*m.Cols]
+		orow := o.Data[k*o.Cols : (k+1)*o.Cols]
+		for i, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			dst := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, ov := range orow {
+				dst[j] += mv * ov
+			}
+		}
+	}
+	return out
+}
+
+// Dot returns the Frobenius inner product ⟨m, o⟩.
+func (m *Dense) Dot(o *Dense) float64 {
+	m.assertSameShape(o)
+	var s float64
+	for i, v := range m.Data {
+		s += v * o.Data[i]
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty matrices).
+func (m *Dense) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// Norm returns the Frobenius norm.
+func (m *Dense) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Max returns the maximum element (-Inf for empty matrices).
+func (m *Dense) Max() float64 {
+	mx := math.Inf(-1)
+	for _, v := range m.Data {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Min returns the minimum element (+Inf for empty matrices).
+func (m *Dense) Min() float64 {
+	mn := math.Inf(1)
+	for _, v := range m.Data {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// SliceRows returns a copy of rows [lo, hi).
+func (m *Dense) SliceRows(lo, hi int) *Dense {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: row slice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	out := New(hi-lo, m.Cols)
+	copy(out.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return out
+}
+
+// SliceCols returns a copy of columns [lo, hi).
+func (m *Dense) SliceCols(lo, hi int) *Dense {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: col slice [%d,%d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// SetSubmatrix copies src into m starting at (r0, c0).
+func (m *Dense) SetSubmatrix(r0, c0 int, src *Dense) {
+	if r0+src.Rows > m.Rows || c0+src.Cols > m.Cols {
+		panic("tensor: submatrix out of range")
+	}
+	for i := 0; i < src.Rows; i++ {
+		copy(m.Row(r0 + i)[c0:c0+src.Cols], src.Row(i))
+	}
+}
+
+// ConcatRows stacks matrices vertically.
+func ConcatRows(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor: concat rows column mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	at := 0
+	for _, m := range ms {
+		copy(out.Data[at:], m.Data)
+		at += len(m.Data)
+	}
+	return out
+}
+
+// ConcatCols stacks matrices horizontally.
+func ConcatCols(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: concat cols row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		at := 0
+		for _, m := range ms {
+			copy(dst[at:], m.Row(i))
+			at += m.Cols
+		}
+	}
+	return out
+}
+
+// Equal reports elementwise equality within tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

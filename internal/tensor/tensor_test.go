@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len=%d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialize")
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(0, 2) != 3 || m.At(1, 0) != 4 {
+		t.Fatalf("At wrong: %v %v", m.At(0, 2), m.At(1, 0))
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromRows layout wrong")
+	}
+}
+
+func TestEyeAndMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(4, 4, 1, rng)
+	i4 := Eye(4)
+	if !Equal(a.MatMul(i4), a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !Equal(i4.MatMul(a), a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := a.MatMul(b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(c, want, 1e-12) {
+		t.Fatalf("matmul got %v want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	New(2, 3).MatMul(New(2, 2))
+}
+
+func TestMatMulTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(5, 7, 1, rng)
+	b := Randn(4, 7, 1, rng)
+	// a·bᵀ via dedicated kernel vs explicit transpose
+	if !Equal(a.MatMulT(b), a.MatMul(b.T()), 1e-10) {
+		t.Fatal("MatMulT mismatch")
+	}
+	c := Randn(5, 3, 1, rng)
+	if !Equal(a.TMatMul(c), a.T().MatMul(c), 1e-10) {
+		t.Fatal("TMatMul mismatch")
+	}
+}
+
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Big enough to cross parallelThreshold.
+	a := Randn(128, 96, 1, rng)
+	b := Randn(96, 80, 1, rng)
+	got := a.MatMul(b)
+	want := New(128, 80)
+	matMulRange(a, b, want, 0, a.Rows)
+	if !Equal(got, want, 1e-10) {
+		t.Fatal("parallel matmul differs from serial")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := Randn(r, c, 1, rng)
+		return Equal(a.T().T(), a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransposeIdentityProperty(t *testing.T) {
+	// (A·B)ᵀ == Bᵀ·Aᵀ
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := Randn(m, k, 1, rng)
+		b := Randn(k, n, 1, rng)
+		return Equal(a.MatMul(b).T(), b.T().MatMul(a.T()), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScaleAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := Randn(r, c, 1, rng)
+		b := Randn(r, c, 1, rng)
+		// (a+b)-b == a ; 2a == a+a
+		if !Equal(a.Add(b).Sub(b), a, 1e-12) {
+			return false
+		}
+		return Equal(a.Scale(2), a.Add(a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotMatchesMulElemSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Randn(3, 4, 1, rng)
+	b := Randn(3, 4, 1, rng)
+	if !almostEq(a.Dot(b), a.MulElem(b).Sum(), 1e-12) {
+		t.Fatal("dot != sum(mulelem)")
+	}
+}
+
+func TestSliceAndConcatRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Randn(4, 6, 1, rng)
+	left := a.SliceCols(0, 2)
+	right := a.SliceCols(2, 6)
+	if !Equal(ConcatCols(left, right), a, 0) {
+		t.Fatal("col slice+concat roundtrip failed")
+	}
+	top := a.SliceRows(0, 1)
+	bottom := a.SliceRows(1, 4)
+	if !Equal(ConcatRows(top, bottom), a, 0) {
+		t.Fatal("row slice+concat roundtrip failed")
+	}
+}
+
+func TestSetSubmatrix(t *testing.T) {
+	m := New(3, 3)
+	m.SetSubmatrix(1, 1, FromSlice(2, 2, []float64{1, 2, 3, 4}))
+	if m.At(1, 1) != 1 || m.At(2, 2) != 4 || m.At(0, 0) != 0 {
+		t.Fatal("SetSubmatrix wrong placement")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromSlice(2, 2, []float64{-1, 2, -3, 4})
+	if m.Sum() != 2 || m.Mean() != 0.5 {
+		t.Fatalf("sum/mean wrong: %v %v", m.Sum(), m.Mean())
+	}
+	if m.Max() != 4 || m.Min() != -3 {
+		t.Fatal("max/min wrong")
+	}
+	if !almostEq(m.Norm(), math.Sqrt(1+4+9+16), 1e-12) {
+		t.Fatal("norm wrong")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 4, 9})
+	got := a.Apply(math.Sqrt)
+	if !Equal(got, FromSlice(1, 3, []float64{1, 2, 3}), 1e-12) {
+		t.Fatal("apply wrong")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := Uniform(10, 10, -2, 3, rng)
+	for _, v := range m.Data {
+		if v < -2 || v >= 3 {
+			t.Fatalf("uniform out of bounds: %v", v)
+		}
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(64, 64, 1, rng)
+	y := Randn(64, 64, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.MatMul(y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(256, 256, 1, rng)
+	y := Randn(256, 256, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.MatMul(y)
+	}
+}

@@ -1,0 +1,97 @@
+// Package window provides sliding-window utilities over multivariate time
+// series stored as [variate][time] slices: instance extraction with long
+// and short windows (the Xt / Yt pairs of the paper's §III-A), strides, and
+// per-variate min-max normalization fitted on training data.
+package window
+
+import (
+	"fmt"
+
+	"aero/internal/stats"
+)
+
+// Instance identifies one sliding-window training/inference instance: the
+// window covers timestamps [End-W+1, End] and the short window its last ω
+// steps.
+type Instance struct {
+	// End is the index of the window's last timestamp in the full series.
+	End int
+}
+
+// Indices returns the window ends for a series of length n using windows of
+// length w, stepping by stride. The first usable end is w-1. A stride < 1
+// is treated as 1.
+func Indices(n, w, stride int) []Instance {
+	if stride < 1 {
+		stride = 1
+	}
+	if n < w {
+		return nil
+	}
+	out := make([]Instance, 0, (n-w)/stride+1)
+	for end := w - 1; end < n; end += stride {
+		out = append(out, Instance{End: end})
+	}
+	// Always include the final window so online scoring reaches the series
+	// tail even when stride does not divide the range.
+	if last := n - 1; len(out) > 0 && out[len(out)-1].End != last {
+		out = append(out, Instance{End: last})
+	}
+	return out
+}
+
+// Slice returns series[end-w+1 : end+1]; it panics if the window underflows.
+func Slice(series []float64, end, w int) []float64 {
+	lo := end - w + 1
+	if lo < 0 || end >= len(series) {
+		panic(fmt.Sprintf("window: [%d, %d] out of range (len %d)", lo, end, len(series)))
+	}
+	return series[lo : end+1]
+}
+
+// Normalizer maps raw magnitudes onto [0, 1] per variate using train-set
+// bounds (required because the temporal module's output layer is a sigmoid).
+type Normalizer struct {
+	Lo, Hi []float64
+}
+
+// FitNormalizer computes per-variate bounds from the training series, with
+// a small margin so test values slightly outside the train range do not
+// saturate.
+func FitNormalizer(train [][]float64) *Normalizer {
+	n := &Normalizer{Lo: make([]float64, len(train)), Hi: make([]float64, len(train))}
+	for i, series := range train {
+		lo, hi := stats.Min(series), stats.Max(series)
+		margin := 0.05 * (hi - lo)
+		if margin == 0 {
+			margin = 1e-3
+		}
+		n.Lo[i] = lo - margin
+		n.Hi[i] = hi + margin
+	}
+	return n
+}
+
+// Transform returns normalized copies of the given series.
+func (n *Normalizer) Transform(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, series := range data {
+		out[i] = stats.MinMaxScale(series, n.Lo[i], n.Hi[i])
+	}
+	return out
+}
+
+// TransformValue normalizes a single value of variate i.
+func (n *Normalizer) TransformValue(i int, v float64) float64 {
+	lo, hi := n.Lo[i], n.Hi[i]
+	if hi <= lo {
+		return 0.5
+	}
+	u := (v - lo) / (hi - lo)
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,98 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndicesStride1CoversEveryEnd(t *testing.T) {
+	idx := Indices(10, 4, 1)
+	if len(idx) != 7 {
+		t.Fatalf("got %d windows", len(idx))
+	}
+	if idx[0].End != 3 || idx[len(idx)-1].End != 9 {
+		t.Fatalf("ends %v..%v", idx[0].End, idx[len(idx)-1].End)
+	}
+}
+
+func TestIndicesAlwaysIncludeLast(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(seed%200+200)%200
+		w := 3 + int(seed%7+7)%7
+		stride := 1 + int(seed%9+9)%9
+		idx := Indices(n, w, stride)
+		if len(idx) == 0 {
+			return n < w
+		}
+		return idx[len(idx)-1].End == n-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicesShortSeries(t *testing.T) {
+	if Indices(3, 5, 1) != nil {
+		t.Fatal("series shorter than window must yield no instances")
+	}
+}
+
+func TestIndicesZeroStride(t *testing.T) {
+	idx := Indices(6, 3, 0)
+	if len(idx) != 4 {
+		t.Fatalf("stride<1 should behave as 1, got %d", len(idx))
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := []float64{0, 1, 2, 3, 4}
+	got := Slice(s, 3, 3)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("slice %v", got)
+	}
+}
+
+func TestSlicePanicsOnUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Slice([]float64{1, 2, 3}, 1, 3)
+}
+
+func TestNormalizerMapsTrainIntoUnitInterval(t *testing.T) {
+	train := [][]float64{{-2, 0, 2}, {5, 5, 5}}
+	n := FitNormalizer(train)
+	out := n.Transform(train)
+	for v := range out {
+		for _, x := range out[v] {
+			if x < 0 || x > 1 {
+				t.Fatalf("normalized value %v outside [0,1]", x)
+			}
+		}
+	}
+	// Constant series must not blow up.
+	if got := n.TransformValue(1, 5); got <= 0 || got >= 1 {
+		t.Fatalf("constant series transform %v", got)
+	}
+}
+
+func TestNormalizerClipsOutOfRange(t *testing.T) {
+	n := FitNormalizer([][]float64{{0, 1}})
+	if n.TransformValue(0, 100) != 1 {
+		t.Fatal("above range must clip to 1")
+	}
+	if n.TransformValue(0, -100) != 0 {
+		t.Fatal("below range must clip to 0")
+	}
+}
+
+func TestNormalizerMarginKeepsStrictInterior(t *testing.T) {
+	n := FitNormalizer([][]float64{{0, 10}})
+	lo := n.TransformValue(0, 0)
+	hi := n.TransformValue(0, 10)
+	if lo <= 0 || hi >= 1 {
+		t.Fatalf("train extremes should be strictly inside (0,1): %v %v", lo, hi)
+	}
+}
