@@ -39,6 +39,7 @@ import (
 	"aero/internal/baselines"
 	"aero/internal/core"
 	"aero/internal/dataset"
+	"aero/internal/engine"
 	"aero/internal/evt"
 )
 
@@ -80,10 +81,47 @@ type Frame = core.Frame
 type Alarm = core.Alarm
 
 // NewStreamDetector wraps a fitted model for online, frame-at-a-time
-// detection with bounded memory.
+// detection with bounded memory. The steady-state scoring path is
+// allocation-free: the window lives in a fixed circular buffer and all
+// tensors/tapes are reused from a per-detector scratch.
 func NewStreamDetector(m *Model) (*StreamDetector, error) {
 	return core.NewStreamDetector(m)
 }
+
+// Engine is a sharded, multi-tenant streaming detection engine: many
+// StreamDetector-backed tenants scored by a fixed worker pool, with
+// backpressure-aware ingest and a fan-in alarm channel. See
+// internal/engine for the full semantics.
+type Engine = engine.Engine
+
+// EngineConfig parameterizes NewEngine; the zero value uses production
+// defaults (2×GOMAXPROCS shards, GOMAXPROCS workers).
+type EngineConfig = engine.Config
+
+// Subscription is the handle on one engine tenant: per-tenant stats and
+// live graph snapshots.
+type Subscription = engine.Subscription
+
+// SubscriptionStats snapshots one tenant's counters.
+type SubscriptionStats = engine.SubscriptionStats
+
+// ShardStats snapshots one engine shard (frames/s, alarms, queue depth).
+type ShardStats = engine.ShardStats
+
+// EngineAlarm is an alarm attributed to the tenant that raised it.
+type EngineAlarm = engine.Alarm
+
+// EngineSample is one frame addressed to a tenant, the unit of the
+// engine's channel ingest path.
+type EngineSample = engine.Sample
+
+// FrameError reports a frame the engine could not score.
+type FrameError = engine.FrameError
+
+// NewEngine starts a multi-tenant streaming engine. Register tenants with
+// Subscribe, feed frames with Ingest or the Samples channel, and consume
+// Alarms continuously until Close.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // DefaultConfig returns the paper's hyperparameters (W=200, ω=60, d_m=64,
 // 4 heads, 1 encoder layer, Adam 1e-3, POT level 0.99 / q 1e-3).

@@ -6,6 +6,7 @@
 package aero_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -174,6 +175,99 @@ func BenchmarkAblationEvalStride(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamPush measures the steady-state cost of one online frame
+// through StreamDetector.Push — the per-frame hot path of §III-F. The
+// detector is warmed past one full long window before timing so the
+// numbers reflect the scoring path, not the warmup appends.
+func BenchmarkStreamPush(b *testing.B) {
+	d := benchDataset()
+	m, err := aero.New(benchConfig(), d.Train.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		b.Fatal(err)
+	}
+	s, err := aero.NewStreamDetector(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	t := 0
+	push := func() {
+		idx := t % d.Test.Len()
+		frame.Time = float64(t)
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][idx]
+		}
+		if _, err := s.Push(frame); err != nil {
+			b.Fatal(err)
+		}
+		t++
+	}
+	for i := 0; i < m.Config().LongWindow+8; i++ {
+		push()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		push()
+	}
+}
+
+// BenchmarkEngineThroughput measures multi-tenant engine throughput: one
+// op is one frame ingested, routed through a shard queue, and scored by
+// the worker pool. Tenants share one trained model; alarms are drained
+// concurrently as a real deployment would.
+func BenchmarkEngineThroughput(b *testing.B) {
+	d := benchDataset()
+	m, err := aero.New(benchConfig(), d.Train.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		b.Fatal(err)
+	}
+	e := aero.NewEngine(aero.EngineConfig{})
+	const tenants = 4
+	ids := make([]string, tenants)
+	next := make([]int, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%d", i)
+		if _, err := e.Subscribe(ids[i], m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	go func() {
+		for range e.Alarms() {
+		}
+	}()
+	frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	push := func(tenant int) {
+		idx := next[tenant] % d.Test.Len()
+		frame.Time = float64(next[tenant])
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][idx]
+		}
+		if err := e.Ingest(ids[tenant], frame); err != nil {
+			b.Fatal(err)
+		}
+		next[tenant]++
+	}
+	for i := 0; i < tenants*(m.Config().LongWindow+4); i++ {
+		push(i % tenants)
+	}
+	e.Flush()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		push(i % tenants)
+	}
+	e.Flush()
+	b.StopTimer()
+	e.Close()
 }
 
 // BenchmarkAblationGraphVariants compares the window-wise graph against

@@ -1,0 +1,188 @@
+// Command aeroserve replays a CSV dataset as a simulated live survey feed
+// over many concurrent tenants, served by the sharded streaming engine —
+// the deployment shape of the paper's §III-F online mode at GWAC scale.
+//
+// Usage:
+//
+//	aerogen -out data -dataset SyntheticMiddle
+//	aeroserve -dir data -dataset SyntheticMiddle -tenants 16 -rate 0
+//
+// Each tenant simulates one telescope field observing the test split; the
+// engine shards the tenants, scores frames on a worker pool, and streams
+// alarms to stdout while periodic per-shard stats go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"aero"
+)
+
+// truncate returns the first n frames of a series (the series itself when
+// n is zero or out of range), letting quick simulations skip the cost of
+// training and replaying a full archived night.
+func truncate(s *aero.Series, n int) *aero.Series {
+	if n <= 0 || n >= s.Len() {
+		return s
+	}
+	out := &aero.Series{
+		Data:      make([][]float64, s.N()),
+		Time:      s.Time[:n],
+		Labels:    make([][]bool, s.N()),
+		NoiseMask: make([][]bool, s.N()),
+	}
+	for v := 0; v < s.N(); v++ {
+		out.Data[v] = s.Data[v][:n]
+		out.Labels[v] = s.Labels[v][:n]
+		out.NoiseMask[v] = s.NoiseMask[v][:n]
+	}
+	return out
+}
+
+func main() {
+	dir := flag.String("dir", "data", "dataset directory (as written by aerogen)")
+	name := flag.String("dataset", "SyntheticMiddle", "dataset name")
+	config := flag.String("config", "small", "model configuration: small or paper")
+	load := flag.String("load", "", "load a saved model instead of training")
+	tenants := flag.Int("tenants", 8, "number of simulated telescope fields")
+	rate := flag.Float64("rate", 0, "frames per second per tenant (0 = as fast as possible)")
+	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	statsEvery := flag.Duration("stats", 2*time.Second, "stats print interval")
+	quiet := flag.Bool("quiet", false, "suppress per-alarm output")
+	trainLen := flag.Int("trainlen", 0, "truncate the training split to this many frames (0 = all)")
+	testLen := flag.Int("testlen", 0, "truncate the replayed feed to this many frames (0 = all)")
+	flag.Parse()
+
+	d, err := aero.ReadDataset(*dir, *name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load dataset: %v\n", err)
+		os.Exit(1)
+	}
+	d.Train = truncate(d.Train, *trainLen)
+	d.Test = truncate(d.Test, *testLen)
+
+	var model *aero.Model
+	if *load != "" {
+		if model, err = aero.Load(*load); err != nil {
+			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		cfg := aero.SmallConfig()
+		if *config == "paper" {
+			cfg = aero.DefaultConfig()
+		}
+		if model, err = aero.New(cfg, d.Train.N()); err != nil {
+			fmt.Fprintf(os.Stderr, "model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "training on %s (%d stars, %d samples)...\n", *name, d.Train.N(), d.Train.Len())
+		if err := model.Fit(d.Train); err != nil {
+			fmt.Fprintf(os.Stderr, "fit: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "model ready: POT threshold %.4f\n", model.Threshold())
+
+	eng := aero.NewEngine(aero.EngineConfig{Shards: *shards, Workers: *workers, QueueDepth: *queue})
+	subs := make([]*aero.Subscription, *tenants)
+	for i := range subs {
+		id := fmt.Sprintf("field-%03d", i)
+		if subs[i], err = eng.Subscribe(id, model); err != nil {
+			fmt.Fprintf(os.Stderr, "subscribe %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "engine up: %d tenants × %d frames each\n", *tenants, d.Test.Len())
+
+	// Alarm and error consumers.
+	var consumers sync.WaitGroup
+	var totalAlarms int
+	consumers.Add(1)
+	go func() {
+		defer consumers.Done()
+		for a := range eng.Alarms() {
+			totalAlarms++
+			if !*quiet {
+				fmt.Printf("ALARM %s star %d t=%.0fs score %.4f\n", a.Sub, a.Variate, a.Time, a.Score)
+			}
+		}
+	}()
+	consumers.Add(1)
+	go func() {
+		defer consumers.Done()
+		for fe := range eng.Errors() {
+			fmt.Fprintf(os.Stderr, "frame error %s t=%.0fs: %v\n", fe.Sub, fe.Time, fe.Err)
+		}
+	}()
+
+	// Periodic stats.
+	statsDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(*statsEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t := eng.Totals()
+				fmt.Fprintf(os.Stderr, "stats: %d frames scored (%.0f/s), %d alarms, %d errors, %d queued\n",
+					t.Frames, t.FramesPerSec, t.Alarms, t.Errors, t.QueueDepth)
+			case <-statsDone:
+				return
+			}
+		}
+	}()
+
+	// Feeders: one goroutine per tenant replaying the test split.
+	start := time.Now()
+	var feeders sync.WaitGroup
+	for i := range subs {
+		feeders.Add(1)
+		go func(i int) {
+			defer feeders.Done()
+			id := subs[i].ID
+			frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+			var tick *time.Ticker
+			if *rate > 0 {
+				tick = time.NewTicker(time.Duration(float64(time.Second) / *rate))
+				defer tick.Stop()
+			}
+			for t := 0; t < d.Test.Len(); t++ {
+				if tick != nil {
+					<-tick.C
+				}
+				frame.Time = d.Test.Time[t]
+				for v := 0; v < d.Test.N(); v++ {
+					frame.Magnitudes[v] = d.Test.Data[v][t]
+				}
+				if err := eng.Ingest(id, frame); err != nil {
+					fmt.Fprintf(os.Stderr, "ingest %s: %v\n", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	feeders.Wait()
+	eng.Flush()
+	elapsed := time.Since(start)
+	for _, s := range eng.Stats() {
+		if s.Subscriptions == 0 && s.Frames == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "shard %d: %d tenants, %d frames, %d alarms, %d errors\n",
+			s.Shard, s.Subscriptions, s.Frames, s.Alarms, s.Errors)
+	}
+	close(statsDone)
+	eng.Close()
+	consumers.Wait()
+
+	total := eng.Totals()
+	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms\n",
+		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(), totalAlarms)
+}

@@ -1,0 +1,3 @@
+module aero
+
+go 1.24

@@ -7,6 +7,13 @@
 // and across goroutines: each Backward call accumulates into Param.Grad
 // under the parameter's lock, which makes data-parallel training safe.
 //
+// Tapes come in two flavours. NewTape records backward closures and
+// allocates a fresh output tensor per operation — the training mode.
+// NewInferenceTape skips gradient bookkeeping entirely and draws every
+// output from a positional tensor.Arena, so a fixed-shape forward pass
+// re-run after Reset is allocation-free in steady state — the streaming
+// hot path. Both flavours compute bit-identical values.
+//
 // The operator set is the minimum needed for the models in this repository:
 // Transformer encoder–decoders, GRUs, VAEs, graph convolutions and
 // inception-style convolutions. Every operator's gradient is validated
@@ -71,40 +78,96 @@ func (n *Node) Rows() int { return n.Value.Rows }
 // Cols returns the column count of the node's value.
 func (n *Node) Cols() int { return n.Value.Cols }
 
+// nodeChunk is the granularity of the tape's node arena. Chunked storage
+// keeps node pointers stable across appends while amortising allocation.
+const nodeChunk = 128
+
 // Tape records operations for reverse-mode differentiation. A Tape is not
 // safe for concurrent use; build one tape per goroutine.
 type Tape struct {
-	nodes []*Node
+	nodes  []*Node
+	chunks [][]Node
+	nused  int
+
+	arena *tensor.Arena // non-nil only for inference tapes
+	grad  bool          // record backward closures
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// NewTape returns an empty gradient-recording tape.
+func NewTape() *Tape { return &Tape{grad: true} }
 
-// node registers a freshly computed value with its backward closure.
-func (t *Tape) node(v *tensor.Dense, back func()) *Node {
-	n := &Node{Value: v, back: back}
-	t.nodes = append(t.nodes, n)
+// NewInferenceTape returns a forward-only tape whose operation outputs are
+// drawn from an internal arena: after Reset, re-running a forward pass of
+// the same shape reuses every buffer instead of allocating. Backward must
+// not be called on it, and values produced before a Reset are invalidated
+// by the next pass.
+func NewInferenceTape() *Tape {
+	return &Tape{arena: tensor.NewArena()}
+}
+
+// Gradient reports whether the tape records backward closures (false for
+// inference tapes).
+func (t *Tape) Gradient() bool { return t.grad }
+
+// alloc returns the output buffer for one operation: arena-backed for
+// inference tapes, freshly allocated otherwise. Either way it is zeroed.
+func (t *Tape) alloc(r, c int) *tensor.Dense {
+	if t.arena != nil {
+		return t.arena.Get(r, c)
+	}
+	return tensor.New(r, c)
+}
+
+// Buffer hands out a zeroed r×c scratch tensor with the same lifetime as
+// the tape's operation outputs. Use it to stage constant inputs (time
+// embeddings, masks) without allocating on every inference pass.
+func (t *Tape) Buffer(r, c int) *tensor.Dense { return t.alloc(r, c) }
+
+// newNode takes a node struct from the chunked arena.
+func (t *Tape) newNode() *Node {
+	if t.nused == len(t.chunks)*nodeChunk {
+		t.chunks = append(t.chunks, make([]Node, nodeChunk))
+	}
+	n := &t.chunks[t.nused/nodeChunk][t.nused%nodeChunk]
+	t.nused++
+	*n = Node{}
+	return n
+}
+
+// node registers a freshly computed value. Backward closures are attached
+// by the caller only when t.grad is set.
+func (t *Tape) node(v *tensor.Dense) *Node {
+	n := t.newNode()
+	n.Value = v
+	if t.grad {
+		t.nodes = append(t.nodes, n)
+	}
 	return n
 }
 
 // Const introduces a leaf whose gradient is tracked but not propagated
 // anywhere (inputs, stop-gradient values).
 func (t *Tape) Const(v *tensor.Dense) *Node {
-	return t.node(v, nil)
+	return t.node(v)
 }
 
 // Param introduces a parameter leaf. After Backward, the leaf's gradient is
 // accumulated into p.Grad.
 func (t *Tape) Param(p *Param) *Node {
-	n := &Node{Value: p.Value, param: p}
-	t.nodes = append(t.nodes, n)
+	n := t.node(p.Value)
+	if t.grad {
+		n.param = p
+	}
 	return n
 }
 
 // Backward seeds loss (which must be 1×1) with gradient 1 and propagates
 // gradients through the tape in reverse order, accumulating parameter
-// gradients into their Params.
+// gradients into their Params. It panics on inference tapes.
 func (t *Tape) Backward(loss *Node) {
+	if !t.grad {
+		panic("ag: Backward on an inference tape")
+	}
 	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
 		panic(fmt.Sprintf("ag: Backward expects scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
 	}
@@ -124,45 +187,82 @@ func (t *Tape) Backward(loss *Node) {
 }
 
 // Reset drops all recorded nodes so the tape can be reused, keeping the
-// backing slice to avoid reallocation.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// node chunks and (for inference tapes) every operation buffer for the
+// next pass.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.nused = 0
+	if t.arena != nil {
+		t.arena.Reset()
+	}
+}
 
-// Len reports the number of recorded nodes (useful in tests).
-func (t *Tape) Len() int { return len(t.nodes) }
+// Len reports the number of operations recorded (useful in tests).
+func (t *Tape) Len() int { return t.nused }
 
 // --- elementwise binary ops -------------------------------------------------
 
+// assertSameShape panics on elementwise operand shape mismatch, preserving
+// the diagnostic the tensor-level kernels used to provide.
+func assertSameShape(a, b *Node) {
+	if a.Value.Rows != b.Value.Rows || a.Value.Cols != b.Value.Cols {
+		panic(fmt.Sprintf("ag: shape mismatch %dx%d vs %dx%d",
+			a.Value.Rows, a.Value.Cols, b.Value.Rows, b.Value.Cols))
+	}
+}
+
 // Add returns a + b.
 func (t *Tape) Add(a, b *Node) *Node {
-	v := a.Value.Add(b.Value)
-	n := t.node(v, nil)
-	n.back = func() {
-		a.grad().AddInPlace(n.Grad)
-		b.grad().AddInPlace(n.Grad)
+	assertSameShape(a, b)
+	av, bv := a.Value, b.Value
+	v := t.alloc(av.Rows, av.Cols)
+	for i := range v.Data {
+		v.Data[i] = av.Data[i] + bv.Data[i]
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			a.grad().AddInPlace(n.Grad)
+			b.grad().AddInPlace(n.Grad)
+		}
 	}
 	return n
 }
 
 // Sub returns a − b.
 func (t *Tape) Sub(a, b *Node) *Node {
-	v := a.Value.Sub(b.Value)
-	n := t.node(v, nil)
-	n.back = func() {
-		a.grad().AddInPlace(n.Grad)
-		b.grad().AddScaled(-1, n.Grad)
+	assertSameShape(a, b)
+	av, bv := a.Value, b.Value
+	v := t.alloc(av.Rows, av.Cols)
+	for i := range v.Data {
+		v.Data[i] = av.Data[i] - bv.Data[i]
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			a.grad().AddInPlace(n.Grad)
+			b.grad().AddScaled(-1, n.Grad)
+		}
 	}
 	return n
 }
 
 // Mul returns the Hadamard product a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	v := a.Value.MulElem(b.Value)
-	n := t.node(v, nil)
-	n.back = func() {
-		ga, gb := a.grad(), b.grad()
-		for i, g := range n.Grad.Data {
-			ga.Data[i] += g * b.Value.Data[i]
-			gb.Data[i] += g * a.Value.Data[i]
+	assertSameShape(a, b)
+	av, bv := a.Value, b.Value
+	v := t.alloc(av.Rows, av.Cols)
+	for i := range v.Data {
+		v.Data[i] = av.Data[i] * bv.Data[i]
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga, gb := a.grad(), b.grad()
+			for i, g := range n.Grad.Data {
+				ga.Data[i] += g * b.Value.Data[i]
+				gb.Data[i] += g * a.Value.Data[i]
+			}
 		}
 	}
 	return n
@@ -170,17 +270,21 @@ func (t *Tape) Mul(a, b *Node) *Node {
 
 // Div returns the elementwise quotient a / b.
 func (t *Tape) Div(a, b *Node) *Node {
-	v := tensor.New(a.Value.Rows, a.Value.Cols)
+	assertSameShape(a, b)
+	av, bv := a.Value, b.Value
+	v := t.alloc(av.Rows, av.Cols)
 	for i := range v.Data {
-		v.Data[i] = a.Value.Data[i] / b.Value.Data[i]
+		v.Data[i] = av.Data[i] / bv.Data[i]
 	}
-	n := t.node(v, nil)
-	n.back = func() {
-		ga, gb := a.grad(), b.grad()
-		for i, g := range n.Grad.Data {
-			bi := b.Value.Data[i]
-			ga.Data[i] += g / bi
-			gb.Data[i] -= g * a.Value.Data[i] / (bi * bi)
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga, gb := a.grad(), b.grad()
+			for i, g := range n.Grad.Data {
+				bi := b.Value.Data[i]
+				ga.Data[i] += g / bi
+				gb.Data[i] -= g * a.Value.Data[i] / (bi * bi)
+			}
 		}
 	}
 	return n
@@ -191,7 +295,7 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 	if v.Value.Rows != 1 || v.Value.Cols != a.Value.Cols {
 		panic(fmt.Sprintf("ag: AddRow wants 1x%d, got %dx%d", a.Value.Cols, v.Value.Rows, v.Value.Cols))
 	}
-	out := tensor.New(a.Value.Rows, a.Value.Cols)
+	out := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		row := a.Value.Row(i)
 		dst := out.Row(i)
@@ -199,14 +303,16 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 			dst[j] = x + v.Value.Data[j]
 		}
 	}
-	n := t.node(out, nil)
-	n.back = func() {
-		a.grad().AddInPlace(n.Grad)
-		gv := v.grad()
-		for i := 0; i < n.Grad.Rows; i++ {
-			row := n.Grad.Row(i)
-			for j, g := range row {
-				gv.Data[j] += g
+	n := t.node(out)
+	if t.grad {
+		n.back = func() {
+			a.grad().AddInPlace(n.Grad)
+			gv := v.grad()
+			for i := 0; i < n.Grad.Rows; i++ {
+				row := n.Grad.Row(i)
+				for j, g := range row {
+					gv.Data[j] += g
+				}
 			}
 		}
 	}
@@ -217,15 +323,29 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 
 // Scale returns s·a for a constant s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	n := t.node(a.Value.Scale(s), nil)
-	n.back = func() { a.grad().AddScaled(s, n.Grad) }
+	av := a.Value
+	v := t.alloc(av.Rows, av.Cols)
+	for i := range v.Data {
+		v.Data[i] = s * av.Data[i]
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() { a.grad().AddScaled(s, n.Grad) }
+	}
 	return n
 }
 
 // AddConst returns a + c for a constant c.
 func (t *Tape) AddConst(a *Node, c float64) *Node {
-	n := t.node(a.Value.Apply(func(x float64) float64 { return x + c }), nil)
-	n.back = func() { a.grad().AddInPlace(n.Grad) }
+	av := a.Value
+	v := t.alloc(av.Rows, av.Cols)
+	for i := range v.Data {
+		v.Data[i] = av.Data[i] + c
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() { a.grad().AddInPlace(n.Grad) }
+	}
 	return n
 }
 
@@ -236,30 +356,47 @@ func (t *Tape) Neg(a *Node) *Node { return t.Scale(a, -1) }
 
 // MatMul returns a · b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	n := t.node(a.Value.MatMul(b.Value), nil)
-	n.back = func() {
-		// dA += dC·Bᵀ ; dB += Aᵀ·dC
-		a.grad().AddInPlace(n.Grad.MatMulT(b.Value))
-		b.grad().AddInPlace(a.Value.TMatMul(n.Grad))
+	v := t.alloc(a.Value.Rows, b.Value.Cols)
+	a.Value.MatMulInto(b.Value, v)
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			// dA += dC·Bᵀ ; dB += Aᵀ·dC
+			a.grad().AddInPlace(n.Grad.MatMulT(b.Value))
+			b.grad().AddInPlace(a.Value.TMatMul(n.Grad))
+		}
 	}
 	return n
 }
 
 // MatMulT returns a · bᵀ.
 func (t *Tape) MatMulT(a, b *Node) *Node {
-	n := t.node(a.Value.MatMulT(b.Value), nil)
-	n.back = func() {
-		// C = A·Bᵀ: dA += dC·B ; dB += dCᵀ·A
-		a.grad().AddInPlace(n.Grad.MatMul(b.Value))
-		b.grad().AddInPlace(n.Grad.TMatMul(a.Value))
+	v := t.alloc(a.Value.Rows, b.Value.Rows)
+	a.Value.MatMulTInto(b.Value, v)
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			// C = A·Bᵀ: dA += dC·B ; dB += dCᵀ·A
+			a.grad().AddInPlace(n.Grad.MatMul(b.Value))
+			b.grad().AddInPlace(n.Grad.TMatMul(a.Value))
+		}
 	}
 	return n
 }
 
 // Transpose returns aᵀ.
 func (t *Tape) Transpose(a *Node) *Node {
-	n := t.node(a.Value.T(), nil)
-	n.back = func() { a.grad().AddInPlace(n.Grad.T()) }
+	av := a.Value
+	v := t.alloc(av.Cols, av.Rows)
+	for i := 0; i < av.Rows; i++ {
+		for j := 0; j < av.Cols; j++ {
+			v.Data[j*av.Rows+i] = av.Data[i*av.Cols+j]
+		}
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() { a.grad().AddInPlace(n.Grad.T()) }
+	}
 	return n
 }
 
@@ -268,12 +405,15 @@ func (t *Tape) Reshape(a *Node, r, c int) *Node {
 	if r*c != a.Value.Rows*a.Value.Cols {
 		panic(fmt.Sprintf("ag: reshape %dx%d -> %dx%d", a.Value.Rows, a.Value.Cols, r, c))
 	}
-	v := tensor.FromSlice(r, c, append([]float64(nil), a.Value.Data...))
-	n := t.node(v, nil)
-	n.back = func() {
-		ga := a.grad()
-		for i, g := range n.Grad.Data {
-			ga.Data[i] += g
+	v := t.alloc(r, c)
+	copy(v.Data, a.Value.Data)
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i, g := range n.Grad.Data {
+				ga.Data[i] += g
+			}
 		}
 	}
 	return n
@@ -281,14 +421,21 @@ func (t *Tape) Reshape(a *Node, r, c int) *Node {
 
 // SliceCols returns columns [lo, hi) of a.
 func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
-	n := t.node(a.Value.SliceCols(lo, hi), nil)
-	n.back = func() {
-		ga := a.grad()
-		for i := 0; i < n.Grad.Rows; i++ {
-			src := n.Grad.Row(i)
-			dst := ga.Row(i)[lo:hi]
-			for j, g := range src {
-				dst[j] += g
+	av := a.Value
+	v := t.alloc(av.Rows, hi-lo)
+	for i := 0; i < av.Rows; i++ {
+		copy(v.Row(i), av.Row(i)[lo:hi])
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i := 0; i < n.Grad.Rows; i++ {
+				src := n.Grad.Row(i)
+				dst := ga.Row(i)[lo:hi]
+				for j, g := range src {
+					dst[j] += g
+				}
 			}
 		}
 	}
@@ -297,14 +444,19 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 
 // SliceRows returns rows [lo, hi) of a.
 func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
-	n := t.node(a.Value.SliceRows(lo, hi), nil)
-	n.back = func() {
-		ga := a.grad()
-		for i := 0; i < n.Grad.Rows; i++ {
-			src := n.Grad.Row(i)
-			dst := ga.Row(lo + i)
-			for j, g := range src {
-				dst[j] += g
+	av := a.Value
+	v := t.alloc(hi-lo, av.Cols)
+	copy(v.Data, av.Data[lo*av.Cols:hi*av.Cols])
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i := 0; i < n.Grad.Rows; i++ {
+				src := n.Grad.Row(i)
+				dst := ga.Row(lo + i)
+				for j, g := range src {
+					dst[j] += g
+				}
 			}
 		}
 	}
@@ -313,23 +465,42 @@ func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
 
 // ConcatCols concatenates nodes horizontally.
 func (t *Tape) ConcatCols(parts ...*Node) *Node {
-	vs := make([]*tensor.Dense, len(parts))
-	for i, p := range parts {
-		vs[i] = p.Value
+	rows := parts[0].Value.Rows
+	cols := 0
+	for _, p := range parts {
+		if p.Value.Rows != rows {
+			panic("ag: concat cols row mismatch")
+		}
+		cols += p.Value.Cols
 	}
-	n := t.node(tensor.ConcatCols(vs...), nil)
-	n.back = func() {
+	v := t.alloc(rows, cols)
+	for i := 0; i < rows; i++ {
+		dst := v.Row(i)
 		at := 0
 		for _, p := range parts {
-			g := p.grad()
-			for i := 0; i < g.Rows; i++ {
-				src := n.Grad.Row(i)[at : at+g.Cols]
-				dst := g.Row(i)
-				for j, gv := range src {
-					dst[j] += gv
-				}
-			}
+			copy(dst[at:], p.Value.Row(i))
 			at += p.Value.Cols
+		}
+	}
+	n := t.node(v)
+	if t.grad {
+		// Copy the variadic slice so the closure does not capture it:
+		// that keeps the call-site argument slice stack-allocated on the
+		// (gradient-free) inference path.
+		ps := append([]*Node(nil), parts...)
+		n.back = func() {
+			at := 0
+			for _, p := range ps {
+				g := p.grad()
+				for i := 0; i < g.Rows; i++ {
+					src := n.Grad.Row(i)[at : at+g.Cols]
+					dst := g.Row(i)
+					for j, gv := range src {
+						dst[j] += gv
+					}
+				}
+				at += p.Value.Cols
+			}
 		}
 	}
 	return n
@@ -337,23 +508,36 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 
 // ConcatRows concatenates nodes vertically.
 func (t *Tape) ConcatRows(parts ...*Node) *Node {
-	vs := make([]*tensor.Dense, len(parts))
-	for i, p := range parts {
-		vs[i] = p.Value
+	cols := parts[0].Value.Cols
+	rows := 0
+	for _, p := range parts {
+		if p.Value.Cols != cols {
+			panic("ag: concat rows column mismatch")
+		}
+		rows += p.Value.Rows
 	}
-	n := t.node(tensor.ConcatRows(vs...), nil)
-	n.back = func() {
-		at := 0
-		for _, p := range parts {
-			g := p.grad()
-			for i := 0; i < g.Rows; i++ {
-				src := n.Grad.Row(at + i)
-				dst := g.Row(i)
-				for j, gv := range src {
-					dst[j] += gv
+	v := t.alloc(rows, cols)
+	at := 0
+	for _, p := range parts {
+		copy(v.Data[at:], p.Value.Data)
+		at += len(p.Value.Data)
+	}
+	n := t.node(v)
+	if t.grad {
+		ps := append([]*Node(nil), parts...)
+		n.back = func() {
+			at := 0
+			for _, p := range ps {
+				g := p.grad()
+				for i := 0; i < g.Rows; i++ {
+					src := n.Grad.Row(at + i)
+					dst := g.Row(i)
+					for j, gv := range src {
+						dst[j] += gv
+					}
 				}
+				at += p.Value.Rows
 			}
-			at += p.Value.Rows
 		}
 	}
 	return n
@@ -362,12 +546,18 @@ func (t *Tape) ConcatRows(parts ...*Node) *Node {
 // --- elementwise nonlinearities ----------------------------------------------
 
 func (t *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
-	v := a.Value.Apply(f)
-	n := t.node(v, nil)
-	n.back = func() {
-		ga := a.grad()
-		for i, g := range n.Grad.Data {
-			ga.Data[i] += g * df(a.Value.Data[i], v.Data[i])
+	av := a.Value
+	v := t.alloc(av.Rows, av.Cols)
+	for i, x := range av.Data {
+		v.Data[i] = f(x)
+	}
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i, g := range n.Grad.Data {
+				ga.Data[i] += g * df(a.Value.Data[i], v.Data[i])
+			}
 		}
 	}
 	return n
@@ -471,18 +661,20 @@ func (t *Tape) Dropout(a *Node, rate float64, rng *rand.Rand, train bool) *Node 
 	}
 	keep := 1 - rate
 	mask := tensor.New(a.Value.Rows, a.Value.Cols)
-	v := tensor.New(a.Value.Rows, a.Value.Cols)
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i, x := range a.Value.Data {
 		if rng.Float64() < keep {
 			mask.Data[i] = 1 / keep
 			v.Data[i] = x / keep
 		}
 	}
-	n := t.node(v, nil)
-	n.back = func() {
-		ga := a.grad()
-		for i, g := range n.Grad.Data {
-			ga.Data[i] += g * mask.Data[i]
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i, g := range n.Grad.Data {
+				ga.Data[i] += g * mask.Data[i]
+			}
 		}
 	}
 	return n
@@ -492,7 +684,7 @@ func (t *Tape) Dropout(a *Node, rate float64, rng *rand.Rand, train bool) *Node 
 
 // SoftmaxRows applies a numerically stable softmax to each row of a.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	v := tensor.New(a.Value.Rows, a.Value.Cols)
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		src := a.Value.Row(i)
 		dst := v.Row(i)
@@ -512,19 +704,21 @@ func (t *Tape) SoftmaxRows(a *Node) *Node {
 			dst[j] /= sum
 		}
 	}
-	n := t.node(v, nil)
-	n.back = func() {
-		ga := a.grad()
-		for i := 0; i < v.Rows; i++ {
-			y := v.Row(i)
-			gy := n.Grad.Row(i)
-			var dot float64
-			for j := range y {
-				dot += y[j] * gy[j]
-			}
-			dst := ga.Row(i)
-			for j := range y {
-				dst[j] += y[j] * (gy[j] - dot)
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i := 0; i < v.Rows; i++ {
+				y := v.Row(i)
+				gy := n.Grad.Row(i)
+				var dot float64
+				for j := range y {
+					dot += y[j] * gy[j]
+				}
+				dst := ga.Row(i)
+				for j := range y {
+					dst[j] += y[j] * (gy[j] - dot)
+				}
 			}
 		}
 	}
@@ -538,9 +732,15 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 	if gain.Value.Cols != cols || bias.Value.Cols != cols {
 		panic("ag: layernorm gain/bias width mismatch")
 	}
-	xhat := tensor.New(rows, cols)
-	invStd := make([]float64, rows)
-	v := tensor.New(rows, cols)
+	// xhat and invStd are only needed by the backward pass; inference
+	// tapes skip them and fold the normalization into one loop.
+	var xhat *tensor.Dense
+	var invStd []float64
+	if t.grad {
+		xhat = tensor.New(rows, cols)
+		invStd = make([]float64, rows)
+	}
+	v := t.alloc(rows, cols)
 	for i := 0; i < rows; i++ {
 		src := a.Value.Row(i)
 		var mean float64
@@ -555,38 +755,47 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 		}
 		va /= float64(cols)
 		is := 1 / math.Sqrt(va+eps)
-		invStd[i] = is
-		xh := xhat.Row(i)
 		dst := v.Row(i)
-		for j, x := range src {
-			xh[j] = (x - mean) * is
-			dst[j] = xh[j]*gain.Value.Data[j] + bias.Value.Data[j]
+		if t.grad {
+			invStd[i] = is
+			xh := xhat.Row(i)
+			for j, x := range src {
+				xh[j] = (x - mean) * is
+				dst[j] = xh[j]*gain.Value.Data[j] + bias.Value.Data[j]
+			}
+		} else {
+			for j, x := range src {
+				xh := (x - mean) * is
+				dst[j] = xh*gain.Value.Data[j] + bias.Value.Data[j]
+			}
 		}
 	}
-	n := t.node(v, nil)
-	n.back = func() {
-		ga, gg, gb := a.grad(), gain.grad(), bias.grad()
-		for i := 0; i < rows; i++ {
-			gy := n.Grad.Row(i)
-			xh := xhat.Row(i)
-			// gain/bias grads
-			for j := range gy {
-				gg.Data[j] += gy[j] * xh[j]
-				gb.Data[j] += gy[j]
-			}
-			// input grad: dx = invStd*(dxh - mean(dxh) - xh*mean(dxh*xh))
-			var m1, m2 float64
-			dxh := make([]float64, cols)
-			for j := range gy {
-				dxh[j] = gy[j] * gain.Value.Data[j]
-				m1 += dxh[j]
-				m2 += dxh[j] * xh[j]
-			}
-			m1 /= float64(cols)
-			m2 /= float64(cols)
-			dst := ga.Row(i)
-			for j := range dxh {
-				dst[j] += invStd[i] * (dxh[j] - m1 - xh[j]*m2)
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga, gg, gb := a.grad(), gain.grad(), bias.grad()
+			for i := 0; i < rows; i++ {
+				gy := n.Grad.Row(i)
+				xh := xhat.Row(i)
+				// gain/bias grads
+				for j := range gy {
+					gg.Data[j] += gy[j] * xh[j]
+					gb.Data[j] += gy[j]
+				}
+				// input grad: dx = invStd*(dxh - mean(dxh) - xh*mean(dxh*xh))
+				var m1, m2 float64
+				dxh := make([]float64, cols)
+				for j := range gy {
+					dxh[j] = gy[j] * gain.Value.Data[j]
+					m1 += dxh[j]
+					m2 += dxh[j] * xh[j]
+				}
+				m1 /= float64(cols)
+				m2 /= float64(cols)
+				dst := ga.Row(i)
+				for j := range dxh {
+					dst[j] += invStd[i] * (dxh[j] - m1 - xh[j]*m2)
+				}
 			}
 		}
 	}
@@ -597,13 +806,16 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 
 // SumAll returns the 1×1 sum of all elements of a.
 func (t *Tape) SumAll(a *Node) *Node {
-	v := tensor.FromSlice(1, 1, []float64{a.Value.Sum()})
-	n := t.node(v, nil)
-	n.back = func() {
-		g := n.Grad.Data[0]
-		ga := a.grad()
-		for i := range ga.Data {
-			ga.Data[i] += g
+	v := t.alloc(1, 1)
+	v.Data[0] = a.Value.Sum()
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			g := n.Grad.Data[0]
+			ga := a.grad()
+			for i := range ga.Data {
+				ga.Data[i] += g
+			}
 		}
 	}
 	return n
@@ -622,7 +834,7 @@ func (t *Tape) MSE(a, b *Node) *Node {
 
 // RowSums returns an R×1 node whose entries are the row sums of a.
 func (t *Tape) RowSums(a *Node) *Node {
-	v := tensor.New(a.Value.Rows, 1)
+	v := t.alloc(a.Value.Rows, 1)
 	for i := 0; i < a.Value.Rows; i++ {
 		var s float64
 		for _, x := range a.Value.Row(i) {
@@ -630,14 +842,16 @@ func (t *Tape) RowSums(a *Node) *Node {
 		}
 		v.Data[i] = s
 	}
-	n := t.node(v, nil)
-	n.back = func() {
-		ga := a.grad()
-		for i := 0; i < a.Value.Rows; i++ {
-			g := n.Grad.Data[i]
-			dst := ga.Row(i)
-			for j := range dst {
-				dst[j] += g
+	n := t.node(v)
+	if t.grad {
+		n.back = func() {
+			ga := a.grad()
+			for i := 0; i < a.Value.Rows; i++ {
+				g := n.Grad.Data[i]
+				dst := ga.Row(i)
+				for j := range dst {
+					dst[j] += g
+				}
 			}
 		}
 	}

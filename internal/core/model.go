@@ -65,6 +65,9 @@ func New(cfg Config, n int) (*Model, error) {
 // Config returns the model's (normalized) configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Variates returns the number of variates (stars) the model was built for.
+func (m *Model) Variates() int { return m.n }
+
 // prepared holds a series after normalization, ready for windowing.
 type prepared struct {
 	data [][]float64 // normalized to [0, 1]
@@ -76,12 +79,18 @@ func (m *Model) prepare(s *dataset.Series) *prepared {
 }
 
 // times assembles the window-local positions and normalized intervals for
-// the window ending at index end.
-func (m *Model) times(p *prepared, end int) windowTimes {
+// the window ending at index end. A non-nil scratch supplies the slices so
+// repeated calls do not allocate.
+func (m *Model) times(p *prepared, end int, sc *scratch) windowTimes {
 	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
-	wt := windowTimes{
-		posL: make([]float64, w), dtL: make([]float64, w),
-		posS: make([]float64, omega), dtS: make([]float64, omega),
+	var wt windowTimes
+	if sc != nil {
+		wt = sc.wt
+	} else {
+		wt = windowTimes{
+			posL: make([]float64, w), dtL: make([]float64, w),
+			posS: make([]float64, omega), dtS: make([]float64, omega),
+		}
 	}
 	start := end - w + 1
 	for i := 0; i < w; i++ {
@@ -101,31 +110,44 @@ func (m *Model) times(p *prepared, end int) windowTimes {
 // longShort extracts the long (W×inDim) and short (ω×inDim) input matrices
 // for the window ending at end. In univariate mode inDim is 1 and v selects
 // the variate; in multivariate mode v is ignored and columns are variates.
-func (m *Model) longShort(p *prepared, v, end int) (long, short *tensor.Dense) {
+// A non-nil slot supplies reusable input buffers.
+func (m *Model) longShort(p *prepared, v, end int, slot *varSlot) (long, short *tensor.Dense) {
 	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
 	if m.cfg.multivariateInput() {
-		long = tensor.New(w, m.n)
+		if slot != nil {
+			long, short = slot.long, slot.short
+		} else {
+			long, short = tensor.New(w, m.n), tensor.New(omega, m.n)
+		}
 		for i := 0; i < w; i++ {
 			for vv := 0; vv < m.n; vv++ {
 				long.Set(i, vv, p.data[vv][end-w+1+i])
 			}
 		}
-		short = long.SliceRows(w-omega, w)
+		copy(short.Data, long.Data[(w-omega)*m.n:])
 		return long, short
 	}
-	long = tensor.New(w, 1)
+	if slot != nil {
+		long, short = slot.long, slot.short
+	} else {
+		long, short = tensor.New(w, 1), tensor.New(omega, 1)
+	}
 	src := window.Slice(p.data[v], end, w)
 	copy(long.Data, src)
-	short = tensor.New(omega, 1)
 	copy(short.Data, src[w-omega:])
 	return long, short
 }
 
 // yShort returns the normalized short-window targets as an N×ω matrix
 // (rows are variates), the layout stage 2 works in.
-func (m *Model) yShort(p *prepared, end int) *tensor.Dense {
+func (m *Model) yShort(p *prepared, end int, sc *scratch) *tensor.Dense {
 	omega := m.cfg.ShortWindow
-	y := tensor.New(m.n, omega)
+	var y *tensor.Dense
+	if sc != nil {
+		y = sc.y
+	} else {
+		y = tensor.New(m.n, omega)
+	}
 	for v := 0; v < m.n; v++ {
 		copy(y.Row(v), window.Slice(p.data[v], end, omega))
 	}
@@ -135,16 +157,24 @@ func (m *Model) yShort(p *prepared, end int) *tensor.Dense {
 // reconstruct runs the stage-1 forward for every variate and returns
 // Ŷ1 as an N×ω matrix. The result carries no gradients; training uses
 // stage1Step instead. Returns the all-zero matrix for VariantNoTemporal.
-func (m *Model) reconstruct(p *prepared, end int) *tensor.Dense {
+// With a scratch, all buffers and tapes are reused and the fan-out follows
+// the scratch's slots instead of spawning ad-hoc workers.
+func (m *Model) reconstruct(p *prepared, end int, sc *scratch) *tensor.Dense {
 	omega := m.cfg.ShortWindow
-	out := tensor.New(m.n, omega)
+	var out *tensor.Dense
+	if sc != nil {
+		out = sc.yhat1
+		out.Zero()
+	} else {
+		out = tensor.New(m.n, omega)
+	}
 	if !m.cfg.usesTemporal() {
 		return out
 	}
-	wt := m.times(p, end)
+	wt := m.times(p, end, sc)
 	if m.cfg.multivariateInput() {
-		t := newTape()
-		long, short := m.longShort(p, 0, end)
+		t, slot := m.inferenceTape(sc, 0)
+		long, short := m.longShort(p, 0, end, slot)
 		pred := m.temporal.forward(t, long, short, wt) // ω×N
 		for v := 0; v < m.n; v++ {
 			for i := 0; i < omega; i++ {
@@ -153,48 +183,120 @@ func (m *Model) reconstruct(p *prepared, end int) *tensor.Dense {
 		}
 		return out
 	}
+	if sc != nil {
+		sc.runSlots(m.n, func(v int, slot *varSlot) {
+			slot.tape.Reset()
+			long, short := m.longShort(p, v, end, slot)
+			pred := m.temporal.forward(slot.tape, long, short, wt) // ω×1
+			copy(out.Row(v), pred.Value.Data)
+		})
+		return out
+	}
 	m.parallelVariates(func(v int) {
-		t := newTape()
-		long, short := m.longShort(p, v, end)
+		t := ag.NewInferenceTape()
+		long, short := m.longShort(p, v, end, nil)
 		pred := m.temporal.forward(t, long, short, wt) // ω×1
 		copy(out.Row(v), pred.Value.Data)
 	})
 	return out
 }
 
+// inferenceTape returns a reset forward-only tape, drawn from the scratch
+// slot i when available.
+func (m *Model) inferenceTape(sc *scratch, i int) (*ag.Tape, *varSlot) {
+	if sc != nil {
+		slot := sc.slots[i]
+		slot.tape.Reset()
+		return slot.tape, slot
+	}
+	return ag.NewInferenceTape(), nil
+}
+
+// stage1Errors computes E = Y − Ŷ1 for the window ending at end — the
+// quantity both the scoring path and the graph-snapshot path are built on.
+func (m *Model) stage1Errors(p *prepared, end int, sc *scratch) *tensor.Dense {
+	y := m.yShort(p, end, sc)
+	yhat1 := m.reconstruct(p, end, sc)
+	if sc != nil {
+		e := sc.e
+		for i := range e.Data {
+			e.Data[i] = y.Data[i] - yhat1.Data[i]
+		}
+		return e
+	}
+	return y.Sub(yhat1)
+}
+
 // adjacency returns the graph for the window given its stage-1 errors,
 // respecting the graph ablation variants. dyn is non-nil only for
 // VariantDynamicGraph.
-func (m *Model) adjacency(e *tensor.Dense, dyn *dynamicGraphState) *tensor.Dense {
+func (m *Model) adjacency(e *tensor.Dense, dyn *dynamicGraphState, sc *scratch) *tensor.Dense {
 	switch m.cfg.Variant {
 	case VariantStaticGraph:
+		if sc != nil {
+			sc.adj.Fill(1)
+			return sc.adj
+		}
 		return completeGraph(m.n)
 	case VariantDynamicGraph:
+		if sc != nil {
+			return dyn.nextInto(windowGraphInto(e, sc.adj), sc.adj)
+		}
 		return dyn.next(windowGraph(e))
 	default:
+		if sc != nil {
+			return windowGraphInto(e, sc.adj)
+		}
 		return windowGraph(e)
 	}
 }
 
 // windowScores computes the final per-point anomaly scores
 // |Y − Ŷ1 − Ŷ2| for one window (N×ω), plus the intermediate stage-1
-// errors. dyn is the evolving-graph state for the dynamic ablation.
-func (m *Model) windowScores(p *prepared, end int, dyn *dynamicGraphState) (final, e1 *tensor.Dense) {
-	y := m.yShort(p, end)
-	yhat1 := m.reconstruct(p, end)
-	e := y.Sub(yhat1)
+// errors. dyn is the evolving-graph state for the dynamic ablation. With a
+// non-nil scratch the returned tensors are owned by the scratch and remain
+// valid only until its next use. The nil-scratch path is the allocating
+// reference implementation: every production caller passes a scratch, and
+// TestScratchScoringMatchesAllocatingPath pins the two paths bit-identical
+// so they cannot silently diverge.
+func (m *Model) windowScores(p *prepared, end int, dyn *dynamicGraphState, sc *scratch) (final, e1 *tensor.Dense) {
+	e := m.stage1Errors(p, end, sc)
 	if !m.cfg.usesNoise() {
-		abs := e.Apply(math.Abs)
-		return abs, e
+		if sc != nil {
+			final = sc.final
+			for i := range final.Data {
+				final.Data[i] = math.Abs(e.Data[i])
+			}
+			return final, e
+		}
+		return e.Apply(math.Abs), e
 	}
-	a := m.adjacency(e, dyn)
+	a := m.adjacency(e, dyn, sc)
 	// Propagate the stage-1 *error patterns* (Algorithm 1: M2(Y−Ŷ1, Y);
 	// §III-D: a noise-affected variate "can be effectively reconstructed
 	// using the error patterns of other similarly affected variates").
-	h := propagate(a, e)
-	t := newTape()
+	var h *tensor.Dense
+	if sc != nil {
+		h = propagateInto(a, e, sc.h)
+	} else {
+		h = propagate(a, e)
+	}
+	var t *ag.Tape
+	if sc != nil {
+		t = sc.noiseTape
+		t.Reset()
+	} else {
+		t = ag.NewInferenceTape()
+	}
 	yhat2 := m.noise.forward(t, h)
-	final = e.Sub(yhat2.Value).Apply(math.Abs)
+	if sc != nil {
+		final = sc.final
+	} else {
+		final = tensor.New(e.Rows, e.Cols)
+	}
+	for i := range final.Data {
+		final.Data[i] = math.Abs(e.Data[i] - yhat2.Value.Data[i])
+	}
 	return final, e
 }
 
@@ -308,10 +410,10 @@ func (m *Model) trainStage1(p *prepared) int {
 // stage1Step runs one optimizer step over all variates of one window and
 // returns the mean reconstruction loss.
 func (m *Model) stage1Step(p *prepared, end int, opt *nn.Adam, params []*ag.Param) float64 {
-	wt := m.times(p, end)
+	wt := m.times(p, end, nil)
 	if m.cfg.multivariateInput() {
 		t := newTape()
-		long, short := m.longShort(p, 0, end)
+		long, short := m.longShort(p, 0, end, nil)
 		pred := m.temporal.forward(t, long, short, wt)
 		loss := t.MSE(pred, t.Const(short))
 		t.Backward(loss)
@@ -321,7 +423,7 @@ func (m *Model) stage1Step(p *prepared, end int, opt *nn.Adam, params []*ag.Para
 	losses := make([]float64, m.n)
 	m.parallelVariates(func(v int) {
 		t := newTape()
-		long, short := m.longShort(p, v, end)
+		long, short := m.longShort(p, v, end, nil)
 		pred := m.temporal.forward(t, long, short, wt)
 		loss := t.MSE(pred, t.Const(short))
 		t.Backward(loss)
@@ -338,6 +440,10 @@ func (m *Model) trainStage2(p *prepared) int {
 	opt := nn.NewAdam(m.cfg.LR)
 	opt.MaxGradNorm = 5
 	insts := window.Indices(len(p.time), m.cfg.LongWindow, m.cfg.TrainStride)
+	// The frozen stage-1 forwards and graph building reuse one scratch
+	// across all windows; each window's tensors are consumed (forward +
+	// backward) before the next window overwrites them.
+	sc := m.newScratch(0)
 
 	best := math.Inf(1)
 	wait := 0
@@ -351,10 +457,9 @@ func (m *Model) trainStage2(p *prepared) int {
 		for _, inst := range insts {
 			// Stage-1 outputs are treated as constants: the temporal
 			// module is frozen during stage 2 (Algorithm 1, line 7).
-			y := m.yShort(p, inst.End)
-			e := y.Sub(m.reconstruct(p, inst.End))
-			a := m.adjacency(e, dyn)
-			h := propagate(a, e)
+			e := m.stage1Errors(p, inst.End, sc)
+			a := m.adjacency(e, dyn, sc)
+			h := propagateInto(a, e, sc.h)
 			t := newTape()
 			pred := m.noise.forward(t, h)
 			loss := t.MSE(pred, t.Const(e)) // loss2 = Y − Ŷ1 − Ŷ2 (Eq. 16)
@@ -378,6 +483,11 @@ func (m *Model) trainStage2(p *prepared) int {
 // scoreSeries produces per-variate, per-timestamp anomaly scores for a
 // prepared series, following Algorithm 2 with the configured EvalStride.
 // Timestamps before the first full window score zero.
+//
+// Every worker owns one scratch, so window scoring reuses its buffers and
+// tapes instead of re-allocating per window; each window writes a disjoint
+// score range ((prevEnd, end], clipped to the short window), which makes
+// the copy-out safe to run inside the workers.
 func (m *Model) scoreSeries(p *prepared) [][]float64 {
 	T := len(p.time)
 	scores := make([][]float64, m.n)
@@ -385,23 +495,14 @@ func (m *Model) scoreSeries(p *prepared) [][]float64 {
 		scores[v] = make([]float64, T)
 	}
 	insts := window.Indices(T, m.cfg.LongWindow, m.cfg.EvalStride)
-	finals := make([]*tensor.Dense, len(insts))
-
-	if m.cfg.Variant == VariantDynamicGraph {
-		// The evolving graph is sequential by construction.
-		dyn := newDynamicGraphState(m.n)
-		for i, inst := range insts {
-			finals[i], _ = m.windowScores(p, inst.End, dyn)
-		}
-	} else {
-		m.parallelWindows(len(insts), func(i int) {
-			finals[i], _ = m.windowScores(p, insts[i].End, nil)
-		})
-	}
-
 	omega := m.cfg.ShortWindow
-	prevEnd := insts[0].End - omega // first window covers its whole suffix
-	for i, inst := range insts {
+
+	writeWindow := func(i int, final *tensor.Dense) {
+		inst := insts[i]
+		prevEnd := insts[0].End - omega // first window covers its whole suffix
+		if i > 0 {
+			prevEnd = insts[i-1].End
+		}
 		lo := prevEnd + 1
 		if lo < inst.End-omega+1 {
 			lo = inst.End - omega + 1
@@ -409,16 +510,32 @@ func (m *Model) scoreSeries(p *prepared) [][]float64 {
 		for t := lo; t <= inst.End; t++ {
 			col := omega - 1 - (inst.End - t)
 			for v := 0; v < m.n; v++ {
-				scores[v][t] = finals[i].At(v, col)
+				scores[v][t] = final.At(v, col)
 			}
 		}
-		prevEnd = inst.End
 	}
+
+	if m.cfg.Variant == VariantDynamicGraph {
+		// The evolving graph is sequential by construction.
+		dyn := newDynamicGraphState(m.n)
+		sc := m.newScratch(1)
+		for i, inst := range insts {
+			final, _ := m.windowScores(p, inst.End, dyn, sc)
+			writeWindow(i, final)
+		}
+		return scores
+	}
+	m.parallelWindows(len(insts), func(i int, sc *scratch) {
+		final, _ := m.windowScores(p, insts[i].End, nil, sc)
+		writeWindow(i, final)
+	})
 	return scores
 }
 
-// parallelWindows runs f(i) for i in [0, n) on the configured worker pool.
-func (m *Model) parallelWindows(n int, f func(i int)) {
+// parallelWindows runs f(i, sc) for i in [0, n) on the configured worker
+// pool; each worker owns a single-slot scratch so stage-1 forwards run
+// sequentially within a window while windows proceed in parallel.
+func (m *Model) parallelWindows(n int, f func(i int, sc *scratch)) {
 	workers := m.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -427,8 +544,9 @@ func (m *Model) parallelWindows(n int, f func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		sc := m.newScratch(1)
 		for i := 0; i < n; i++ {
-			f(i)
+			f(i, sc)
 		}
 		return
 	}
@@ -438,8 +556,9 @@ func (m *Model) parallelWindows(n int, f func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := m.newScratch(1)
 			for i := range ch {
-				f(i)
+				f(i, sc)
 			}
 		}()
 	}
@@ -508,10 +627,11 @@ func (m *Model) StageErrors(s *dataset.Series) (stage1, final [][]float64, err e
 	if m.cfg.Variant == VariantDynamicGraph {
 		dyn = newDynamicGraphState(m.n)
 	}
+	sc := m.newScratch(1)
 	omega := m.cfg.ShortWindow
 	prevEnd := insts[0].End - omega
 	for _, inst := range insts {
-		fin, e1 := m.windowScores(p, inst.End, dyn)
+		fin, e1 := m.windowScores(p, inst.End, dyn, sc)
 		lo := prevEnd + 1
 		if lo < inst.End-omega+1 {
 			lo = inst.End - omega + 1
@@ -539,7 +659,5 @@ func (m *Model) GraphAt(s *dataset.Series, end int) (*tensor.Dense, error) {
 		return nil, fmt.Errorf("core: window end %d out of range [%d, %d)", end, m.cfg.LongWindow-1, s.Len())
 	}
 	p := m.prepare(s)
-	y := m.yShort(p, end)
-	e := y.Sub(m.reconstruct(p, end))
-	return windowGraph(e), nil
+	return windowGraph(m.stage1Errors(p, end, nil)), nil
 }

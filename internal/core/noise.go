@@ -54,8 +54,13 @@ func (nm *noiseModule) params() []*ag.Param { return []*ag.Param{nm.W, nm.B} }
 // the stage-1 error windows E_t ∈ R^{N×ω}. Similarities are clamped to
 // [0, 1]: anti-correlated errors carry no evidence of *concurrent* noise.
 func windowGraph(e *tensor.Dense) *tensor.Dense {
+	return windowGraphInto(e, tensor.New(e.Rows, e.Rows))
+}
+
+// windowGraphInto computes the window-wise graph into the caller-supplied
+// N×N buffer (every cell is overwritten) and returns it.
+func windowGraphInto(e, a *tensor.Dense) *tensor.Dense {
 	n := e.Rows
-	a := tensor.New(n, n)
 	for i := 0; i < n; i++ {
 		a.Set(i, i, 1)
 		for j := i + 1; j < n; j++ {
@@ -95,10 +100,17 @@ func newDynamicGraphState(n int) *dynamicGraphState {
 // next evolves the state with the current window similarities and returns
 // the smoothed adjacency.
 func (d *dynamicGraphState) next(sim *tensor.Dense) *tensor.Dense {
+	return d.nextInto(sim, tensor.New(d.a.Rows, d.a.Cols))
+}
+
+// nextInto is next writing the smoothed adjacency into dst, which may
+// alias sim (sim is fully consumed before dst is written).
+func (d *dynamicGraphState) nextInto(sim, dst *tensor.Dense) *tensor.Dense {
 	for i := range d.a.Data {
 		d.a.Data[i] = d.decay*d.a.Data[i] + (1-d.decay)*sim.Data[i]
 	}
-	return d.a.Clone()
+	dst.CopyFrom(d.a)
+	return dst
 }
 
 // propagate computes H = D̃⁻¹ Ã Y with self-loops removed (Ã = A − I) and
@@ -107,8 +119,13 @@ func (d *dynamicGraphState) next(sim *tensor.Dense) *tensor.Dense {
 // zero feature row: nothing can be borrowed from neighbours, which is
 // exactly the mechanism that keeps true anomalies badly reconstructed.
 func propagate(a, y *tensor.Dense) *tensor.Dense {
+	return propagateInto(a, y, tensor.New(a.Rows, y.Cols))
+}
+
+// propagateInto is propagate writing into a caller-supplied N×ω buffer.
+func propagateInto(a, y, h *tensor.Dense) *tensor.Dense {
 	n := a.Rows
-	h := tensor.New(n, y.Cols)
+	h.Zero()
 	for i := 0; i < n; i++ {
 		var deg float64
 		for j := 0; j < n; j++ {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"aero/internal/ag"
+	"aero/internal/tensor"
+)
+
+// scratch bundles every reusable buffer needed to score one window so the
+// hot path allocates nothing in steady state: the window-time slices, the
+// stage-1/stage-2 tensors, and one arena-backed inference tape per scoring
+// worker. A scratch belongs to a single logical stream (one StreamDetector,
+// or one batch-scoring worker) and must not be shared across goroutines;
+// tensors returned by scratch-threaded methods are owned by the scratch and
+// remain valid only until its next use.
+type scratch struct {
+	wt windowTimes // posL/dtL/posS/dtS reused across windows
+
+	y     *tensor.Dense // N×ω short-window targets
+	yhat1 *tensor.Dense // N×ω stage-1 reconstruction
+	e     *tensor.Dense // N×ω stage-1 errors
+	final *tensor.Dense // N×ω final anomaly scores
+	adj   *tensor.Dense // N×N window-wise graph
+	h     *tensor.Dense // N×ω propagated error features
+
+	noiseTape *ag.Tape
+
+	slots []*varSlot // per-worker stage-1 forward state
+}
+
+// varSlot is the per-goroutine state of one stage-1 forward pass: an
+// inference tape plus the long/short input windows.
+type varSlot struct {
+	tape  *ag.Tape
+	long  *tensor.Dense
+	short *tensor.Dense
+}
+
+// newScratch sizes a scratch for the model's window geometry. workers
+// bounds the stage-1 fan-out; <= 0 uses the model's configured workers.
+func (m *Model) newScratch(workers int) *scratch {
+	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
+	inDim := 1
+	if m.cfg.multivariateInput() {
+		inDim = m.n
+	}
+	if workers <= 0 {
+		workers = m.cfg.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.n {
+		workers = m.n
+	}
+	if workers < 1 || m.cfg.multivariateInput() {
+		workers = 1
+	}
+	sc := &scratch{
+		wt: windowTimes{
+			posL: make([]float64, w), dtL: make([]float64, w),
+			posS: make([]float64, omega), dtS: make([]float64, omega),
+		},
+		y:         tensor.New(m.n, omega),
+		yhat1:     tensor.New(m.n, omega),
+		e:         tensor.New(m.n, omega),
+		final:     tensor.New(m.n, omega),
+		adj:       tensor.New(m.n, m.n),
+		h:         tensor.New(m.n, omega),
+		noiseTape: ag.NewInferenceTape(),
+	}
+	for i := 0; i < workers; i++ {
+		sc.slots = append(sc.slots, &varSlot{
+			tape:  ag.NewInferenceTape(),
+			long:  tensor.New(w, inDim),
+			short: tensor.New(omega, inDim),
+		})
+	}
+	return sc
+}
+
+// runSlots executes f(v, slot) for every variate, fanning out across the
+// scratch's slots when more than one is available. Each variate is pinned
+// to slot v % len(slots), so a slot is never used by two goroutines at
+// once and results are independent of scheduling order.
+func (sc *scratch) runSlots(n int, f func(v int, slot *varSlot)) {
+	if len(sc.slots) == 1 {
+		slot := sc.slots[0]
+		for v := 0; v < n; v++ {
+			f(v, slot)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for si := range sc.slots {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			slot := sc.slots[si]
+			for v := si; v < n; v += len(sc.slots) {
+				f(v, slot)
+			}
+		}(si)
+	}
+	wg.Wait()
+}

@@ -9,15 +9,34 @@ import (
 
 // StreamDetector wraps a trained Model for frame-at-a-time online
 // detection (§III-F): each arriving frame (one magnitude per star plus a
-// timestamp) is appended to an internal ring of the long-window length,
+// timestamp) lands in a fixed circular buffer of the long-window length,
 // and once the window is full every frame is scored against the calibrated
 // POT threshold — the paper's Algorithm 2 with stride 1, incrementally.
+//
+// The hot path is allocation-free in steady state: frames are normalized
+// on insertion, the ring never grows, and all scoring buffers (window
+// views, time metadata, tensors, autodiff tapes) live in a per-detector
+// scratch that is reused on every Push.
+//
+// A StreamDetector is not safe for concurrent use; the engine package
+// provides a sharded multi-tenant front end that serializes access.
 type StreamDetector struct {
 	m *Model
 
+	// Fixed-size rings over the last LongWindow frames. data holds
+	// normalized magnitudes; slot i of each ring is frame (count-1) when
+	// (count-1) % w == i.
 	times []float64
-	data  [][]float64 // [variate][ring position], chronological
+	data  [][]float64 // [variate][ring slot]
 	count int
+	last  float64 // timestamp of the newest frame
+
+	dyn *dynamicGraphState // only for VariantDynamicGraph models
+
+	sc       *scratch
+	prep     prepared    // chronological window view, rebuilt per score
+	prepData [][]float64 // backing storage for prep.data
+	scores   []float64   // per-variate score of the newest frame
 }
 
 // Frame is one observation instant: the magnitudes of all stars at Time.
@@ -33,15 +52,39 @@ type Alarm struct {
 	Score   float64
 }
 
-// NewStreamDetector returns an online detector backed by the fitted model.
+// NewStreamDetector returns an online detector backed by the fitted model,
+// scoring with the model's configured worker fan-out.
 func NewStreamDetector(m *Model) (*StreamDetector, error) {
+	return NewStreamDetectorWorkers(m, 0)
+}
+
+// NewStreamDetectorWorkers is NewStreamDetector with an explicit bound on
+// the per-frame scoring fan-out (<= 0 uses the model's configuration).
+// Multi-detector hosts like the engine pass 1: cross-tenant parallelism
+// already saturates the cores, and a single-slot detector keeps the push
+// path strictly allocation-free (no per-frame goroutines).
+func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
 	if !m.trained {
 		return nil, fmt.Errorf("core: streaming requires a fitted model")
 	}
-	return &StreamDetector{
-		m:    m,
-		data: make([][]float64, m.n),
-	}, nil
+	w := m.cfg.LongWindow
+	s := &StreamDetector{
+		m:        m,
+		times:    make([]float64, w),
+		data:     make([][]float64, m.n),
+		sc:       m.newScratch(workers),
+		prepData: make([][]float64, m.n),
+		scores:   make([]float64, m.n),
+	}
+	for v := 0; v < m.n; v++ {
+		s.data[v] = make([]float64, w)
+		s.prepData[v] = make([]float64, w)
+	}
+	s.prep.time = make([]float64, w)
+	if m.cfg.Variant == VariantDynamicGraph {
+		s.dyn = newDynamicGraphState(m.n)
+	}
+	return s, nil
 }
 
 // Ready reports whether enough frames have arrived to fill one window.
@@ -53,22 +96,19 @@ func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
 	if len(f.Magnitudes) != s.m.n {
 		return nil, fmt.Errorf("core: frame has %d stars, model expects %d", len(f.Magnitudes), s.m.n)
 	}
-	if s.count > 0 && f.Time <= s.times[len(s.times)-1] {
-		return nil, fmt.Errorf("core: frame time %v not after previous %v", f.Time, s.times[len(s.times)-1])
+	if s.count > 0 && f.Time <= s.last {
+		return nil, fmt.Errorf("core: frame time %v not after previous %v", f.Time, s.last)
 	}
 	w := s.m.cfg.LongWindow
-	s.times = append(s.times, f.Time)
+	slot := s.count % w
+	s.times[slot] = f.Time
 	for v := 0; v < s.m.n; v++ {
-		s.data[v] = append(s.data[v], f.Magnitudes[v])
-	}
-	// Keep only the trailing window to bound memory.
-	if len(s.times) > w {
-		s.times = s.times[len(s.times)-w:]
-		for v := range s.data {
-			s.data[v] = s.data[v][len(s.data[v])-w:]
-		}
+		// Normalizing on insertion keeps re-scoring the window from
+		// re-transforming all W×N values on every frame.
+		s.data[v][slot] = s.m.norm.TransformValue(v, f.Magnitudes[v])
 	}
 	s.count++
+	s.last = f.Time
 	if !s.Ready() {
 		return nil, nil
 	}
@@ -83,25 +123,33 @@ func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
 	return alarms, nil
 }
 
+// window linearizes the rings into the reusable chronological prepared
+// view. Callers must consume the view before the next Push.
+func (s *StreamDetector) window() *prepared {
+	w := s.m.cfg.LongWindow
+	head := s.count % w // ring slot of the oldest retained frame
+	copy(s.prep.time, s.times[head:])
+	copy(s.prep.time[w-head:], s.times[:head])
+	for v := 0; v < s.m.n; v++ {
+		copy(s.prepData[v], s.data[v][head:])
+		copy(s.prepData[v][w-head:], s.data[v][:head])
+	}
+	s.prep.data = s.prepData
+	return &s.prep
+}
+
 // scoreLast runs the two-stage forward pass over the current window and
-// returns the final anomaly score of the last timestamp per variate.
+// returns the final anomaly score of the last timestamp per variate. The
+// returned slice is reused by the next call.
 func (s *StreamDetector) scoreLast() []float64 {
 	w := s.m.cfg.LongWindow
-	norm := make([][]float64, s.m.n)
-	for v := 0; v < s.m.n; v++ {
-		norm[v] = make([]float64, w)
-		for i, x := range s.data[v] {
-			norm[v][i] = s.m.norm.TransformValue(v, x)
-		}
-	}
-	p := &prepared{data: norm, time: s.times}
-	final, _ := s.m.windowScores(p, w-1, nil)
-	out := make([]float64, s.m.n)
+	p := s.window()
+	final, _ := s.m.windowScores(p, w-1, s.dyn, s.sc)
 	omega := s.m.cfg.ShortWindow
 	for v := 0; v < s.m.n; v++ {
-		out[v] = final.At(v, omega-1)
+		s.scores[v] = final.At(v, omega-1)
 	}
-	return out
+	return s.scores
 }
 
 // Threshold returns the alarm threshold in use.
@@ -127,22 +175,13 @@ func (s *StreamDetector) Replay(series *dataset.Series) ([]Alarm, error) {
 }
 
 // GraphSnapshot returns the current window-wise learned adjacency, for
-// live monitoring dashboards (Fig. 8 in real time). Returns an error
-// before the window is warm.
+// live monitoring dashboards (Fig. 8 in real time). The matrix is a fresh
+// copy owned by the caller. Returns an error before the window is warm.
 func (s *StreamDetector) GraphSnapshot() (*tensor.Dense, error) {
 	if !s.Ready() {
 		return nil, fmt.Errorf("core: window not yet full (%d/%d frames)", s.count, s.m.cfg.LongWindow)
 	}
 	w := s.m.cfg.LongWindow
-	norm := make([][]float64, s.m.n)
-	for v := 0; v < s.m.n; v++ {
-		norm[v] = make([]float64, w)
-		for i, x := range s.data[v] {
-			norm[v][i] = s.m.norm.TransformValue(v, x)
-		}
-	}
-	p := &prepared{data: norm, time: s.times}
-	y := s.m.yShort(p, w-1)
-	e := y.Sub(s.m.reconstruct(p, w-1))
-	return windowGraph(e), nil
+	p := s.window()
+	return windowGraph(s.m.stage1Errors(p, w-1, s.sc)), nil
 }

@@ -2,6 +2,9 @@ package core
 
 import (
 	"testing"
+
+	"aero/internal/dataset"
+	"aero/internal/tensor"
 )
 
 func TestStreamDetectorRequiresFittedModel(t *testing.T) {
@@ -132,6 +135,108 @@ func TestStreamGraphSnapshot(t *testing.T) {
 	}
 	if g.Rows != d.Test.N() || g.Cols != d.Test.N() {
 		t.Fatal("graph shape wrong")
+	}
+}
+
+// TestStreamPushSteadyStateAllocs pins the allocation budget of the online
+// hot path: once the window is warm, Push must reuse the detector's ring
+// and scratch buffers instead of re-allocating the scoring pipeline. The
+// pre-refactor path allocated ~3000 objects per frame; the bound here
+// leaves headroom only for alarm slices and scheduler noise.
+func TestStreamPushSteadyStateAllocs(t *testing.T) {
+	m, d := shared(t)
+	s, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := Frame{Magnitudes: make([]float64, d.Test.N())}
+	next := 0
+	push := func() {
+		idx := next % d.Test.Len()
+		frame.Time = float64(next)
+		for v := range frame.Magnitudes {
+			frame.Magnitudes[v] = d.Test.Data[v][idx]
+		}
+		if _, err := s.Push(frame); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+	for i := 0; i < 2*m.Config().LongWindow; i++ {
+		push()
+	}
+	allocs := testing.AllocsPerRun(64, push)
+	if allocs > 32 {
+		t.Fatalf("steady-state Push allocates %.1f objects/frame, want <= 32", allocs)
+	}
+}
+
+// TestScratchScoringMatchesAllocatingPath asserts the scratch-backed
+// scoring pipeline is bit-identical to the allocating one: same windows,
+// same floats, no tolerance.
+func TestScratchScoringMatchesAllocatingPath(t *testing.T) {
+	m, d := shared(t)
+	p := m.prepare(d.Test)
+	sc := m.newScratch(0)
+	w := m.Config().LongWindow
+	for _, end := range []int{w - 1, w + 7, w + 8, d.Test.Len() - 1} {
+		fresh, e1Fresh := m.windowScores(p, end, nil, nil)
+		reused, e1Reused := m.windowScores(p, end, nil, sc)
+		if !tensor.Equal(fresh, reused, 0) {
+			t.Fatalf("end %d: scratch final scores differ from allocating path", end)
+		}
+		if !tensor.Equal(e1Fresh, e1Reused, 0) {
+			t.Fatalf("end %d: scratch stage-1 errors differ from allocating path", end)
+		}
+	}
+}
+
+// TestStreamDynamicGraphVariant exercises streaming with the
+// dynamic-graph ablation: the detector must own an evolving-graph state
+// (the seed implementation passed nil and crashed once the window warmed).
+func TestStreamDynamicGraphVariant(t *testing.T) {
+	cfg := testConfig()
+	cfg.Variant = VariantDynamicGraph
+	cfg.LongWindow = 24
+	cfg.ShortWindow = 8
+	cfg.ModelDim = 8
+	cfg.FFNHidden = 16
+	cfg.MaxEpochs = 1
+	cfg.TrainStride = 24
+	d := dataset.SyntheticConfig{
+		Name: "dyn", N: 4, TrainLen: 120, TestLen: 80,
+		NoiseVariates: 2, AnomalySegments: 1, NoisePct: 3,
+		VariableFrac: 0.5, Seed: 21,
+	}.Generate()
+	m, err := New(cfg, d.Train.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replay(d.Test); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ready() {
+		t.Fatal("detector should be warm after replay")
+	}
+	// The evolving graph must not reintroduce per-frame allocations.
+	next := d.Test.Time[d.Test.Len()-1] + 1
+	frame := Frame{Magnitudes: make([]float64, d.Test.N())}
+	allocs := testing.AllocsPerRun(32, func() {
+		frame.Time = next
+		next++
+		if _, err := s.Push(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("dynamic-graph steady-state Push allocates %.1f objects/frame, want <= 8", allocs)
 	}
 }
 

@@ -39,11 +39,12 @@ func NewTimeEmbedding(dm int) *TimeEmbedding {
 }
 
 // Forward produces the L×d_m embedding for absolute positions pos and
-// intervals dt (both length L).
+// intervals dt (both length L). The staging buffers come from the tape so
+// inference tapes reuse them across passes.
 func (te *TimeEmbedding) Forward(t *ag.Tape, pos, dt []float64) *ag.Node {
 	L := len(pos)
 	// Fixed part: phase[l][j] = f_j · pos_l (constant).
-	phase := tensor.New(L, te.dm)
+	phase := t.Buffer(L, te.dm)
 	for l := 0; l < L; l++ {
 		row := phase.Row(l)
 		for j := 0; j < te.dm; j++ {
@@ -51,7 +52,8 @@ func (te *TimeEmbedding) Forward(t *ag.Tape, pos, dt []float64) *ag.Node {
 		}
 	}
 	// Learnable part: dtCol (L×1) · α (1×d_m).
-	dtCol := tensor.FromSlice(L, 1, append([]float64(nil), dt...))
+	dtCol := t.Buffer(L, 1)
+	copy(dtCol.Data, dt)
 	theta := t.Add(t.Const(phase), t.MatMul(t.Const(dtCol), t.Param(te.Alpha)))
 	return t.Add(t.Sin(theta), t.Cos(theta))
 }

@@ -1,0 +1,529 @@
+// Package engine provides a sharded, multi-tenant streaming detection
+// front end over core.StreamDetector — the production shape of the paper's
+// §III-F online mode. A survey telescope like GWAC emits one frame across
+// thousands of stars every ~15 s; one StreamDetector handles one field
+// (tenant). The engine owns many such tenants at once:
+//
+//   - each subscription (tenant) is pinned to one of N shards, so its
+//     frames are always scored in arrival order;
+//   - a worker pool sized to GOMAXPROCS drains shards in batches, so
+//     scoring work from many tenants keeps every core busy without
+//     oversubscribing (per-detector scoring stays allocation-free on the
+//     detector's own scratch);
+//   - ingest is backpressure-aware: per-shard queues are bounded, and both
+//     the Ingest call and the Samples channel block — rather than drop —
+//     when a shard is saturated;
+//   - Alarms is a single fan-in channel; a slow consumer backpressures the
+//     workers and, transitively, the producers. A frame accepted by Ingest
+//     is never silently lost; the asynchronous Samples path is best-effort
+//     only across shutdown (see Samples).
+//
+// Per-shard statistics (frames/s, alarm and error counts, queue depth) and
+// per-tenant graph snapshots are available at any time for monitoring.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aero/internal/core"
+)
+
+// Config parameterizes an Engine. The zero value is usable: every field
+// defaults to a sensible production setting.
+type Config struct {
+	// Shards is the number of independent frame queues; subscriptions are
+	// balanced across them. Defaults to 2×GOMAXPROCS so the worker pool
+	// rarely idles on an unlucky tenant distribution.
+	Shards int
+	// Workers is the scoring worker-pool size. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each shard's pending-frame queue; a full queue
+	// blocks producers (backpressure). Defaults to 256.
+	QueueDepth int
+	// BatchSize caps how many frames a worker drains from one shard per
+	// visit, bounding tenant-to-tenant latency skew. Defaults to 32.
+	BatchSize int
+	// AlarmBuffer is the capacity of the fan-in Alarms channel.
+	// Defaults to 1024.
+	AlarmBuffer int
+	// IngestBuffer is the capacity of the Samples channel. Defaults to 1024.
+	IngestBuffer int
+	// ErrorBuffer is the capacity of the Errors channel. Frame errors
+	// beyond it are dropped from the channel but always counted: scoring
+	// errors in their shard's stats, routing errors in Totals. Defaults
+	// to 64.
+	ErrorBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.BatchSize > c.QueueDepth {
+		c.BatchSize = c.QueueDepth
+	}
+	if c.AlarmBuffer <= 0 {
+		c.AlarmBuffer = 1024
+	}
+	if c.IngestBuffer <= 0 {
+		c.IngestBuffer = 1024
+	}
+	if c.ErrorBuffer <= 0 {
+		c.ErrorBuffer = 64
+	}
+	return c
+}
+
+// Sample is one frame addressed to a subscription, the unit of the
+// channel-based ingest path.
+type Sample struct {
+	Sub   string
+	Frame core.Frame
+}
+
+// Alarm is a threshold crossing attributed to its subscription.
+type Alarm struct {
+	Sub string
+	core.Alarm
+}
+
+// FrameError reports a frame the engine could not score (unknown tenant,
+// wrong width, non-monotonic time).
+type FrameError struct {
+	Sub  string
+	Time float64
+	Err  error
+}
+
+// Sentinel errors returned by Subscribe and Ingest.
+var (
+	ErrClosed                = errors.New("engine: closed")
+	ErrUnknownSubscription   = errors.New("engine: unknown subscription")
+	ErrDuplicateSubscription = errors.New("engine: duplicate subscription")
+)
+
+// item is one queued frame; Magnitudes live in a shard-owned buffer that
+// is recycled after scoring.
+type item struct {
+	sub  *subscription
+	time float64
+	mags []float64
+}
+
+// subscription is the engine-internal state of one tenant. mu serializes
+// detector access between the draining worker and snapshot readers.
+type subscription struct {
+	id    string
+	shard *shard
+	n     int
+
+	mu  sync.Mutex
+	det *core.StreamDetector
+
+	frames uint64 // atomic
+	alarms uint64 // atomic
+}
+
+// shard is one bounded FIFO of pending frames plus the tenants pinned to
+// it. At most one worker drains a shard at a time (the scheduled flag),
+// which is what guarantees per-tenant ordering.
+type shard struct {
+	id   int
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when queue space frees up or the shard closes
+
+	queue       []item // fixed-capacity ring
+	head, count int
+	scheduled   bool
+	closed      bool
+
+	free  [][]float64 // recycled magnitude buffers
+	batch []item      // drain staging, owned by the active drainer
+
+	subsN     int
+	frames    uint64
+	alarmsN   uint64
+	errsN     uint64
+	rate      float64 // EWMA of frames/s, updated per drain
+	lastDrain time.Time
+}
+
+func (sh *shard) getBuf(n int) []float64 {
+	if len(sh.free) > 0 {
+		b := sh.free[len(sh.free)-1]
+		sh.free = sh.free[:len(sh.free)-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (sh *shard) putBuf(b []float64) { sh.free = append(sh.free, b) }
+
+// Engine routes frames from many tenants to shard queues and scores them
+// on a fixed worker pool. Create one with New, register tenants with
+// Subscribe, feed frames via Ingest or the Samples channel, and consume
+// the Alarms channel continuously.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	ready  chan *shard
+	alarms chan Alarm
+	errs   chan FrameError
+	in     chan Sample
+
+	mu   sync.RWMutex // guards subs
+	subs map[string]*subscription
+
+	closed atomic.Bool
+	done   chan struct{} // closed first on shutdown: stops the router
+	stop   chan struct{} // closed after drain: stops idle workers
+
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  int
+
+	routerErrs atomic.Uint64 // frames that failed routing (no shard saw them)
+
+	workerWG sync.WaitGroup
+	routerWG sync.WaitGroup
+	start    time.Time
+}
+
+// New starts an engine with cfg's worker pool and shard layout.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		ready:  make(chan *shard, cfg.Shards),
+		alarms: make(chan Alarm, cfg.AlarmBuffer),
+		errs:   make(chan FrameError, cfg.ErrorBuffer),
+		in:     make(chan Sample, cfg.IngestBuffer),
+		subs:   make(map[string]*subscription),
+		done:   make(chan struct{}),
+		stop:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	e.pendCond = sync.NewCond(&e.pendMu)
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:    i,
+			queue: make([]item, cfg.QueueDepth),
+			batch: make([]item, 0, cfg.BatchSize),
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		e.shards = append(e.shards, sh)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.workerWG.Add(1)
+		go e.worker()
+	}
+	e.routerWG.Add(1)
+	go e.router()
+	return e
+}
+
+// Subscribe registers a tenant backed by the fitted model and pins it to
+// the least-loaded shard. Many subscriptions may share one model: scoring
+// only reads the trained weights, while all mutable state lives in the
+// per-tenant detector.
+func (e *Engine) Subscribe(id string, m *core.Model) (*Subscription, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Single-slot detectors: the worker pool supplies cross-tenant
+	// parallelism, so per-frame fan-out inside a detector would only
+	// oversubscribe cores and allocate per-push goroutines.
+	det, err := core.NewStreamDetectorWorkers(m, 1)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Re-check under the lock: Close flips the flag while holding e.mu,
+	// so a subscription can no longer slip onto a closed engine.
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if _, ok := e.subs[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSubscription, id)
+	}
+	sh := e.shards[0]
+	for _, cand := range e.shards[1:] {
+		if cand.subsCount() < sh.subsCount() {
+			sh = cand
+		}
+	}
+	sub := &subscription{id: id, shard: sh, n: m.Variates(), det: det}
+	e.subs[id] = sub
+	sh.mu.Lock()
+	sh.subsN++
+	sh.mu.Unlock()
+	return &Subscription{ID: id, sub: sub}, nil
+}
+
+func (sh *shard) subsCount() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.subsN
+}
+
+// Ingest routes one frame to its tenant's shard, blocking while the shard
+// queue is full (backpressure). The magnitudes are copied, so the caller
+// may reuse the slice immediately.
+func (e *Engine) Ingest(id string, f core.Frame) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.mu.RLock()
+	sub := e.subs[id]
+	e.mu.RUnlock()
+	if sub == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscription, id)
+	}
+	if len(f.Magnitudes) != sub.n {
+		return fmt.Errorf("engine: frame for %q has %d stars, detector expects %d", id, len(f.Magnitudes), sub.n)
+	}
+	return e.enqueue(sub, f)
+}
+
+func (e *Engine) enqueue(sub *subscription, f core.Frame) error {
+	sh := sub.shard
+	sh.mu.Lock()
+	for sh.count == len(sh.queue) && !sh.closed {
+		sh.cond.Wait()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	// Count the frame as pending before it becomes visible to workers so
+	// Flush/Close cannot observe an empty engine with this frame in flight.
+	e.addPending(1)
+	buf := sh.getBuf(len(f.Magnitudes))
+	copy(buf, f.Magnitudes)
+	slot := (sh.head + sh.count) % len(sh.queue)
+	sh.queue[slot] = item{sub: sub, time: f.Time, mags: buf}
+	sh.count++
+	if !sh.scheduled {
+		sh.scheduled = true
+		e.ready <- sh // buffered to Shards; the scheduled flag caps it at one entry per shard
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Samples returns the channel-based ingest path: a bounded channel whose
+// sends park when the engine is saturated. Routing errors surface on
+// Errors. Prefer closing the channel when the feed ends; samples still
+// buffered when Close runs are reported on Errors as ErrClosed rather
+// than scored, and sends after Close are not serviced.
+func (e *Engine) Samples() chan<- Sample { return e.in }
+
+// Alarms returns the fan-in alarm channel. It must be consumed
+// continuously; it is closed by Close after all pending frames drain.
+func (e *Engine) Alarms() <-chan Alarm { return e.alarms }
+
+// Errors returns the frame-error channel. Errors beyond its buffer are
+// dropped from the channel (never from the counters: see Stats and
+// Totals). Closed by Close.
+func (e *Engine) Errors() <-chan FrameError { return e.errs }
+
+// router services the Samples channel.
+func (e *Engine) router() {
+	defer e.routerWG.Done()
+	for {
+		select {
+		case s, ok := <-e.in:
+			if !ok {
+				return
+			}
+			if err := e.Ingest(s.Sub, s.Frame); err != nil {
+				e.routerErrs.Add(1)
+				e.reportError(FrameError{Sub: s.Sub, Time: s.Frame.Time, Err: err})
+			}
+		case <-e.done:
+			// Shutdown: samples still buffered in the channel can no
+			// longer be scored; report them instead of dropping them
+			// silently. Close keeps a counting receiver on the channel
+			// afterwards, so late senders cannot deadlock.
+			for {
+				select {
+				case s, ok := <-e.in:
+					if !ok {
+						return
+					}
+					e.routerErrs.Add(1)
+					e.reportError(FrameError{Sub: s.Sub, Time: s.Frame.Time, Err: ErrClosed})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) reportError(fe FrameError) {
+	select {
+	case e.errs <- fe:
+	default: // never let a slow error consumer stall scoring
+	}
+}
+
+// worker pulls scheduled shards and drains them until shutdown.
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for {
+		select {
+		case sh := <-e.ready:
+			e.drain(sh)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// drain claims one batch from the shard, scores it outside the shard lock,
+// emits alarms (blocking — alarm backpressure), then either reschedules
+// the shard or parks it.
+func (e *Engine) drain(sh *shard) {
+	sh.mu.Lock()
+	nb := sh.count
+	if nb > cap(sh.batch) {
+		nb = cap(sh.batch)
+	}
+	batch := sh.batch[:0]
+	for i := 0; i < nb; i++ {
+		batch = append(batch, sh.queue[sh.head])
+		sh.queue[sh.head] = item{}
+		sh.head = (sh.head + 1) % len(sh.queue)
+	}
+	sh.count -= nb
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+
+	var alarmsN, errsN uint64
+	for i := range batch {
+		it := &batch[i]
+		sub := it.sub
+		sub.mu.Lock()
+		alarms, err := sub.det.Push(core.Frame{Time: it.time, Magnitudes: it.mags})
+		sub.mu.Unlock()
+		if err != nil {
+			errsN++
+			e.reportError(FrameError{Sub: sub.id, Time: it.time, Err: err})
+			continue
+		}
+		atomic.AddUint64(&sub.frames, 1)
+		for _, a := range alarms {
+			atomic.AddUint64(&sub.alarms, 1)
+			alarmsN++
+			e.alarms <- Alarm{Sub: sub.id, Alarm: a}
+		}
+	}
+
+	now := time.Now()
+	sh.mu.Lock()
+	for i := range batch {
+		sh.putBuf(batch[i].mags)
+	}
+	sh.frames += uint64(len(batch))
+	sh.alarmsN += alarmsN
+	sh.errsN += errsN
+	if !sh.lastDrain.IsZero() {
+		if dt := now.Sub(sh.lastDrain).Seconds(); dt > 0 {
+			inst := float64(len(batch)) / dt
+			const alpha = 0.2
+			if sh.rate == 0 {
+				sh.rate = inst
+			} else {
+				sh.rate += alpha * (inst - sh.rate)
+			}
+		}
+	}
+	sh.lastDrain = now
+	if sh.count > 0 {
+		e.ready <- sh
+	} else {
+		sh.scheduled = false
+	}
+	sh.mu.Unlock()
+	e.addPending(-len(batch))
+}
+
+func (e *Engine) addPending(d int) {
+	e.pendMu.Lock()
+	e.pending += d
+	if e.pending == 0 {
+		e.pendCond.Broadcast()
+	}
+	e.pendMu.Unlock()
+}
+
+// Flush blocks until every frame accepted so far by Ingest has been
+// scored. Samples still in flight inside the Samples channel are not
+// covered: they count only once the router hands them to a shard. The
+// Alarms channel must be drained concurrently or Flush may never return.
+func (e *Engine) Flush() {
+	e.pendMu.Lock()
+	for e.pending > 0 {
+		e.pendCond.Wait()
+	}
+	e.pendMu.Unlock()
+}
+
+// Close shuts the engine down: new frames are rejected, queued frames are
+// scored, then the worker pool stops and the Alarms/Errors channels close.
+// Like Flush, it requires the Alarms consumer to keep draining until the
+// channel closes. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	swapped := e.closed.CompareAndSwap(false, true)
+	e.mu.Unlock()
+	if !swapped {
+		return
+	}
+	close(e.done)
+	// Closing shards under their locks serializes against in-flight
+	// enqueues: every accepted frame is already pending, every later one
+	// is rejected. The broadcast also frees producers (the router
+	// included) parked on a full queue, so it must precede the router
+	// wait below.
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	e.routerWG.Wait()
+	// The router is gone; keep a receiver on the Samples channel so a
+	// producer racing Close can never park forever on a send. Late
+	// samples are counted as routing errors (the Errors channel is about
+	// to close, so they cannot be reported there). The goroutine exits
+	// when the producer closes the channel.
+	go func() {
+		for range e.in {
+			e.routerErrs.Add(1)
+		}
+	}()
+	e.Flush()
+	close(e.stop)
+	e.workerWG.Wait()
+	close(e.alarms)
+	close(e.errs)
+}

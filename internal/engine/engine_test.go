@@ -1,0 +1,336 @@
+package engine_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aero/internal/core"
+	"aero/internal/dataset"
+	"aero/internal/engine"
+)
+
+// fixture trains one small model shared by every test; engine scoring only
+// reads the trained weights, so tenants and tests can share it freely.
+var (
+	fixOnce sync.Once
+	fixM    *core.Model
+	fixD    *dataset.Dataset
+	fixErr  error
+)
+
+func fixtureConfig() core.Config {
+	c := core.SmallConfig()
+	c.LongWindow = 48
+	c.ShortWindow = 16
+	c.MaxEpochs = 3
+	c.TrainStride = 24
+	c.EvalStride = 16
+	c.Seed = 9
+	return c
+}
+
+func fixture(t *testing.T) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixD = tenantSeries(0)
+		m, err := core.New(fixtureConfig(), fixD.Train.N())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixErr = m.Fit(fixD.Train)
+		fixM = m
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixM, fixD
+}
+
+// tenantSeries generates the dataset observed by one tenant; each tenant
+// watches a field with the same star count but different noise/anomalies.
+func tenantSeries(tenant int) *dataset.Dataset {
+	return dataset.SyntheticConfig{
+		Name: "engine", N: 6, TrainLen: 350, TestLen: 260,
+		NoiseVariates: 4, AnomalySegments: 1, NoisePct: 3,
+		VariableFrac: 0.5, Seed: int64(100 + tenant),
+	}.Generate()
+}
+
+func collectAlarms(e *engine.Engine) (map[string][]core.Alarm, *sync.WaitGroup) {
+	got := map[string][]core.Alarm{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for a := range e.Alarms() {
+			got[a.Sub] = append(got[a.Sub], a.Alarm)
+		}
+	}()
+	return got, &wg
+}
+
+// TestEngineMatchesSequentialReplay is the equivalence contract of the
+// batched engine: for every tenant, the sharded worker-pool pipeline must
+// produce exactly the alarms a sequential StreamDetector.Replay produces —
+// same frames, same order, bit-identical scores.
+func TestEngineMatchesSequentialReplay(t *testing.T) {
+	m, _ := fixture(t)
+	const tenants = 4
+	series := make([]*dataset.Series, tenants)
+	want := make([][]core.Alarm, tenants)
+	ids := []string{"gwac-f0", "gwac-f1", "gwac-f2", "gwac-f3"}
+	for i := 0; i < tenants; i++ {
+		series[i] = tenantSeries(i).Test
+		det, err := core.NewStreamDetector(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = det.Replay(series[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e := engine.New(engine.Config{Shards: 3, Workers: 4, QueueDepth: 16, BatchSize: 4})
+	for _, id := range ids {
+		if _, err := e.Subscribe(id, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, wg := collectAlarms(e)
+
+	// Interleave tenants frame-by-frame, as a telescope camera would.
+	frame := core.Frame{Magnitudes: make([]float64, series[0].N())}
+	for ti := 0; ti < series[0].Len(); ti++ {
+		for i, id := range ids {
+			s := series[i]
+			frame.Time = s.Time[ti]
+			for v := 0; v < s.N(); v++ {
+				frame.Magnitudes[v] = s.Data[v][ti]
+			}
+			if err := e.Ingest(id, frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.Flush()
+	e.Close()
+	wg.Wait()
+
+	totalWanted := 0
+	for i, id := range ids {
+		totalWanted += len(want[i])
+		g := got[id]
+		if len(g) != len(want[i]) {
+			t.Fatalf("tenant %s: engine produced %d alarms, sequential replay %d", id, len(g), len(want[i]))
+		}
+		for k := range g {
+			if g[k] != want[i][k] {
+				t.Fatalf("tenant %s alarm %d: engine %+v != replay %+v", id, k, g[k], want[i][k])
+			}
+		}
+	}
+	if totalWanted == 0 {
+		t.Fatal("fixture produced no alarms; equivalence test is vacuous")
+	}
+}
+
+// TestEngineBackpressureLossless saturates a tiny queue and asserts the
+// engine blocks producers instead of dropping frames.
+func TestEngineBackpressureLossless(t *testing.T) {
+	m, d := fixture(t)
+	e := engine.New(engine.Config{Shards: 1, Workers: 1, QueueDepth: 2, BatchSize: 1})
+	sub, err := e.Subscribe("solo", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wg := collectAlarms(e)
+	frames := 2 * m.Config().LongWindow
+	frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+	for ti := 0; ti < frames; ti++ {
+		idx := ti % d.Test.Len()
+		frame.Time = float64(ti)
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][idx]
+		}
+		if err := e.Ingest("solo", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	if got := sub.Stats().Frames; got != uint64(frames) {
+		t.Fatalf("scored %d frames, want %d (lossless backpressure)", got, frames)
+	}
+	e.Close()
+	wg.Wait()
+}
+
+// TestEngineSamplesChannel feeds frames through the channel ingest path
+// and verifies routing errors surface on Errors.
+func TestEngineSamplesChannel(t *testing.T) {
+	m, d := fixture(t)
+	e := engine.New(engine.Config{Shards: 2, Workers: 2})
+	if _, err := e.Subscribe("chan", m); err != nil {
+		t.Fatal(err)
+	}
+	_, wg := collectAlarms(e)
+	var errCount atomic.Int32
+	var ewg sync.WaitGroup
+	ewg.Add(1)
+	go func() {
+		defer ewg.Done()
+		for range e.Errors() {
+			errCount.Add(1)
+		}
+	}()
+
+	in := e.Samples()
+	n := m.Config().LongWindow / 2
+	for ti := 0; ti < n; ti++ {
+		mags := make([]float64, d.Test.N())
+		for v := range mags {
+			mags[v] = d.Test.Data[v][ti]
+		}
+		in <- engine.Sample{Sub: "chan", Frame: core.Frame{Time: float64(ti), Magnitudes: mags}}
+	}
+	// Unroutable and malformed samples must not wedge the pipeline.
+	in <- engine.Sample{Sub: "nobody", Frame: core.Frame{Time: 1, Magnitudes: make([]float64, d.Test.N())}}
+	in <- engine.Sample{Sub: "chan", Frame: core.Frame{Time: 999, Magnitudes: make([]float64, 1)}}
+
+	// Wait until the router has handed everything off: n scored frames and
+	// two reported errors. Close may otherwise race the buffered channel.
+	for e.Totals().Frames < uint64(n) || errCount.Load() < 2 {
+		time.Sleep(time.Millisecond)
+		e.Flush()
+	}
+	e.Close()
+	wg.Wait()
+	ewg.Wait()
+	if got := errCount.Load(); got != 2 {
+		t.Fatalf("expected 2 frame errors on the channel, got %d", got)
+	}
+}
+
+// TestEngineCloseUnblocksProducers pins the shutdown contract: a producer
+// parked on a saturated shard must be released with ErrClosed when the
+// engine closes, not deadlock.
+func TestEngineCloseUnblocksProducers(t *testing.T) {
+	m, d := fixture(t)
+	e := engine.New(engine.Config{Shards: 1, Workers: 1, QueueDepth: 1, BatchSize: 1})
+	if _, err := e.Subscribe("p", m); err != nil {
+		t.Fatal(err)
+	}
+	_, wg := collectAlarms(e)
+	done := make(chan error, 1)
+	go func() {
+		frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+		for ti := 0; ; ti++ {
+			idx := ti % d.Test.Len()
+			frame.Time = float64(ti)
+			for v := 0; v < d.Test.N(); v++ {
+				frame.Magnitudes[v] = d.Test.Data[v][idx]
+			}
+			if err := e.Ingest("p", frame); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the producer outrun the single worker
+	e.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, engine.ErrClosed) {
+			t.Fatalf("producer unblocked with %v, want ErrClosed", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer still blocked after Close")
+	}
+	wg.Wait()
+}
+
+// TestEngineSubscribeAndIngestErrors covers the synchronous error paths.
+func TestEngineSubscribeAndIngestErrors(t *testing.T) {
+	m, d := fixture(t)
+	e := engine.New(engine.Config{Shards: 1, Workers: 1})
+	if _, err := e.Subscribe("a", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Subscribe("a", m); !errors.Is(err, engine.ErrDuplicateSubscription) {
+		t.Fatalf("duplicate subscribe: got %v", err)
+	}
+	if err := e.Ingest("ghost", core.Frame{Magnitudes: make([]float64, d.Test.N())}); !errors.Is(err, engine.ErrUnknownSubscription) {
+		t.Fatalf("unknown sub: got %v", err)
+	}
+	if err := e.Ingest("a", core.Frame{Magnitudes: make([]float64, 2)}); err == nil {
+		t.Fatal("expected width error")
+	}
+	_, wg := collectAlarms(e)
+	e.Close()
+	wg.Wait()
+	if err := e.Ingest("a", core.Frame{Magnitudes: make([]float64, d.Test.N())}); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("ingest after close: got %v", err)
+	}
+	if _, err := e.Subscribe("b", m); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("subscribe after close: got %v", err)
+	}
+	e.Close() // idempotent
+}
+
+// TestEngineStatsAndSnapshot warms one tenant and checks the monitoring
+// surfaces: shard stats, per-tenant stats, and the live graph snapshot.
+func TestEngineStatsAndSnapshot(t *testing.T) {
+	m, d := fixture(t)
+	e := engine.New(engine.Config{Shards: 2, Workers: 2})
+	sub, err := e.Subscribe("mon", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.GraphSnapshot(); err == nil {
+		t.Fatal("snapshot before warmup must fail")
+	}
+	_, wg := collectAlarms(e)
+	w := m.Config().LongWindow
+	frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+	for ti := 0; ti < w; ti++ {
+		frame.Time = d.Test.Time[ti]
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][ti]
+		}
+		if err := e.Ingest("mon", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+
+	st := sub.Stats()
+	if st.Frames != uint64(w) || !st.Ready {
+		t.Fatalf("tenant stats %+v, want %d frames and ready", st, w)
+	}
+	if sub.Threshold() != m.Threshold() {
+		t.Fatal("threshold mismatch")
+	}
+	g, err := sub.GraphSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != d.Test.N() || g.Cols != d.Test.N() {
+		t.Fatalf("snapshot shape %dx%d, want %dx%d", g.Rows, g.Cols, d.Test.N(), d.Test.N())
+	}
+	tot := e.Totals()
+	if tot.Frames != uint64(w) || tot.Subscriptions != 1 {
+		t.Fatalf("totals %+v, want %d frames / 1 subscription", tot, w)
+	}
+	perShard := uint64(0)
+	for _, s := range e.Stats() {
+		perShard += s.Frames
+	}
+	if perShard != tot.Frames {
+		t.Fatalf("shard frames sum %d != totals %d", perShard, tot.Frames)
+	}
+	e.Close()
+	wg.Wait()
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"aero/internal/tensor"
+)
+
+// ShardStats is a point-in-time snapshot of one shard's activity.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Subscriptions is the number of tenants pinned to the shard.
+	Subscriptions int
+	// Frames counts frames scored (including warmup frames).
+	Frames uint64
+	// Alarms counts alarms emitted.
+	Alarms uint64
+	// Errors counts frames rejected at scoring time.
+	Errors uint64
+	// QueueDepth is the number of frames currently waiting.
+	QueueDepth int
+	// FramesPerSec is an exponentially-weighted estimate of the shard's
+	// recent processing rate (0 until two drains have happened).
+	FramesPerSec float64
+}
+
+// Stats snapshots every shard.
+func (e *Engine) Stats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		out[i] = ShardStats{
+			Shard:         sh.id,
+			Subscriptions: sh.subsN,
+			Frames:        sh.frames,
+			Alarms:        sh.alarmsN,
+			Errors:        sh.errsN,
+			QueueDepth:    sh.count,
+			FramesPerSec:  sh.rate,
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Totals aggregates all shards into one ShardStats (Shard is -1 and
+// FramesPerSec is total frames over the engine's lifetime). Errors also
+// includes frames that failed routing and so never reached a shard.
+func (e *Engine) Totals() ShardStats {
+	t := ShardStats{Shard: -1, Errors: e.routerErrs.Load()}
+	for _, s := range e.Stats() {
+		t.Subscriptions += s.Subscriptions
+		t.Frames += s.Frames
+		t.Alarms += s.Alarms
+		t.Errors += s.Errors
+		t.QueueDepth += s.QueueDepth
+	}
+	if el := time.Since(e.start).Seconds(); el > 0 {
+		t.FramesPerSec = float64(t.Frames) / el
+	}
+	return t
+}
+
+// SubscriptionStats is a point-in-time snapshot of one tenant.
+type SubscriptionStats struct {
+	// Frames counts frames scored for this tenant.
+	Frames uint64
+	// Alarms counts alarms raised for this tenant.
+	Alarms uint64
+	// Ready reports whether the tenant's window is warm.
+	Ready bool
+	// Shard is the index of the shard the tenant is pinned to.
+	Shard int
+}
+
+// Subscription is the caller's handle on one registered tenant.
+type Subscription struct {
+	// ID is the tenant identifier passed to Subscribe.
+	ID  string
+	sub *subscription
+}
+
+// Stats snapshots the tenant's counters.
+func (s *Subscription) Stats() SubscriptionStats {
+	s.sub.mu.Lock()
+	ready := s.sub.det.Ready()
+	s.sub.mu.Unlock()
+	return SubscriptionStats{
+		Frames: atomic.LoadUint64(&s.sub.frames),
+		Alarms: atomic.LoadUint64(&s.sub.alarms),
+		Ready:  ready,
+		Shard:  s.sub.shard.id,
+	}
+}
+
+// GraphSnapshot returns the tenant's current window-wise learned adjacency
+// (live Fig. 8), serialized against scoring. It fails until the tenant's
+// window is warm.
+func (s *Subscription) GraphSnapshot() (*tensor.Dense, error) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.det.GraphSnapshot()
+}
+
+// Threshold returns the tenant's calibrated alarm threshold.
+func (s *Subscription) Threshold() float64 {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.det.Threshold()
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"aero/internal/ag"
 	"aero/internal/tensor"
@@ -98,6 +99,8 @@ type MultiHeadAttention struct {
 	Heads          int
 	Dim            int
 	Band           int
+
+	masks sync.Map // length -> *tensor.Dense banded self-attention mask
 }
 
 // NewMultiHeadAttention returns an h-head attention block over width dm.
@@ -123,7 +126,13 @@ func (m *MultiHeadAttention) Forward(t *ag.Tape, query, key, value *ag.Node) *ag
 	v := m.Wv.Forward(t, value)
 	dk := m.Dim / m.Heads
 	scale := 1 / math.Sqrt(float64(dk))
-	heads := make([]*ag.Node, m.Heads)
+	var headsBuf [8]*ag.Node // avoids a per-forward slice alloc for typical head counts
+	var heads []*ag.Node
+	if m.Heads <= len(headsBuf) {
+		heads = headsBuf[:m.Heads]
+	} else {
+		heads = make([]*ag.Node, m.Heads)
+	}
 	mask := m.bandMask(query.Rows(), key.Rows())
 	for h := 0; h < m.Heads; h++ {
 		lo, hi := h*dk, (h+1)*dk
@@ -180,10 +189,16 @@ func (m *MultiHeadAttention) AttentionWeights(t *ag.Tape, query, key, value *ag.
 }
 
 // bandMask returns the additive −∞-style mask for banded self-attention,
-// or nil when the band is disabled or the shape is not square.
+// or nil when the band is disabled or the shape is not square. Masks are
+// immutable once built and cached per length (lock-free reads, so many
+// detectors sharing one model do not contend), so repeated forward passes
+// do not re-allocate them.
 func (m *MultiHeadAttention) bandMask(qLen, kLen int) *tensor.Dense {
 	if m.Band <= 0 || qLen != kLen {
 		return nil
+	}
+	if cached, ok := m.masks.Load(qLen); ok {
+		return cached.(*tensor.Dense)
 	}
 	mask := tensor.New(qLen, kLen)
 	for i := 0; i < qLen; i++ {
@@ -194,7 +209,8 @@ func (m *MultiHeadAttention) bandMask(qLen, kLen int) *tensor.Dense {
 			}
 		}
 	}
-	return mask
+	cached, _ := m.masks.LoadOrStore(qLen, mask)
+	return cached.(*tensor.Dense)
 }
 
 // Params implements Module.

@@ -230,6 +230,38 @@ func (m *Dense) MatMul(o *Dense) *Dense {
 	return out
 }
 
+// MatMulInto computes out = m · o into the caller-supplied buffer, which
+// must be zeroed (as Arena.Get and New guarantee) and shaped Rows×o.Cols.
+// It allows hot paths to reuse output buffers instead of allocating.
+func (m *Dense) MatMulInto(o, out *Dense) {
+	if m.Cols != o.Rows || out.Rows != m.Rows || out.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: matmul-into shape mismatch %dx%d · %dx%d -> %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols, out.Rows, out.Cols))
+	}
+	m.matMulInto(o, out)
+}
+
+// MatMulTInto computes out = m · oᵀ into the caller-supplied buffer
+// (shape m.Rows×o.Rows) without materialising the transpose. Unlike
+// MatMulInto, out need not be zeroed: every cell is overwritten.
+func (m *Dense) MatMulTInto(o, out *Dense) {
+	if m.Cols != o.Cols || out.Rows != m.Rows || out.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: matmulT-into shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := 0; j < o.Rows; j++ {
+			orow := o.Data[j*o.Cols : (j+1)*o.Cols]
+			var s float64
+			for k, mv := range mrow {
+				s += mv * orow[k]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+}
+
 // matMulInto computes out = m · o, assuming out is zeroed and correctly sized.
 func (m *Dense) matMulInto(o, out *Dense) {
 	work := m.Rows * m.Cols * o.Cols
@@ -280,21 +312,8 @@ func matMulRange(m, o, out *Dense, lo, hi int) {
 
 // MatMulT returns m · oᵀ without materialising the transpose.
 func (m *Dense) MatMulT(o *Dense) *Dense {
-	if m.Cols != o.Cols {
-		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
-	}
 	out := New(m.Rows, o.Rows)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j := 0; j < o.Rows; j++ {
-			orow := o.Data[j*o.Cols : (j+1)*o.Cols]
-			var s float64
-			for k, mv := range mrow {
-				s += mv * orow[k]
-			}
-			out.Data[i*out.Cols+j] = s
-		}
-	}
+	m.MatMulTInto(o, out)
 	return out
 }
 
