@@ -117,8 +117,15 @@ func benchConfig() aero.Config {
 	return c
 }
 
-// BenchmarkAEROTrain measures two-stage training cost.
-func BenchmarkAEROTrain(b *testing.B) {
+// BenchmarkAEROTraining measures two-stage training cost (stage 1 + stage
+// 2 at the ScaleTiny profile): one op is a full Fit — both training stages
+// plus threshold calibration. The training path reuses per-worker grad
+// tapes, arena-backed gradients and fused Adam moment slices, so allocs/op
+// here is the regression signal for the allocation-free training path
+// (DESIGN.md "Training path"); TestStage1StepSteadyStateAllocs and
+// TestStage2StepSteadyStateAllocs in internal/core pin the per-step budget
+// at zero.
+func BenchmarkAEROTraining(b *testing.B) {
 	d := benchDataset()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,30 +1,170 @@
-// Command aerobench regenerates the paper's tables and figures.
+// Command aerobench regenerates the paper's tables and figures and runs
+// the targeted micro-benchmarks.
 //
 // Usage:
 //
 //	aerobench -exp table2 -scale small
 //	aerobench -exp all -scale paper > results.txt
+//	aerobench -exp bench -json BENCH_train.json
 //
 // Experiments: table1, table2, table3, table4, fig5, fig6, fig7, fig8,
-// fig9, fig10, all. Scale "small" finishes in minutes on a laptop;
-// "paper" uses the paper's dataset sizes and hyperparameters.
+// fig9, fig10, bench, all. Scale "small" finishes in minutes on a laptop;
+// "paper" uses the paper's dataset sizes and hyperparameters. "bench" runs
+// the training and streaming micro-benchmarks (ScaleTiny shapes, matching
+// BenchmarkAEROTraining and BenchmarkStreamPush in bench_test.go).
+//
+// With -json FILE, a machine-readable summary — per-experiment wall times
+// and per-benchmark ns/op, B/op and allocs/op — is written to FILE, so CI
+// and tooling can track regressions without scraping table output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"aero"
+	"aero/internal/dataset"
 	"aero/internal/experiments"
 )
 
+// experimentResult is one -json entry for a table/figure regeneration.
+type experimentResult struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchResult is one -json entry for a micro-benchmark.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the -json document.
+type report struct {
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	Scale       string             `json:"scale"`
+	Experiments []experimentResult `json:"experiments,omitempty"`
+	Benchmarks  []benchResult      `json:"benchmarks,omitempty"`
+}
+
+// benchDataset generates the tiny micro-benchmark field, matching
+// benchDataset in bench_test.go.
+func benchDataset() *dataset.Dataset {
+	return dataset.SyntheticConfig{
+		Name: "bench", N: 6, TrainLen: 350, TestLen: 300,
+		NoiseVariates: 4, AnomalySegments: 1, NoisePct: 2,
+		VariableFrac: 0.5, Seed: 3,
+	}.Generate()
+}
+
+// benchModel trains the micro-benchmark model on d with the ScaleTiny
+// hyperparameters of bench_test.go. The dataset is generated once by the
+// caller so the measured loop covers exactly what BenchmarkAEROTraining
+// measures: model construction plus Fit.
+func benchModel(d *dataset.Dataset) (*aero.Model, error) {
+	c := aero.SmallConfig()
+	c.LongWindow = 48
+	c.ShortWindow = 16
+	c.MaxEpochs = 3
+	c.TrainStride = 24
+	c.EvalStride = 16
+	m, err := aero.New(c, d.Train.N())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Fit(d.Train); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// runMicroBenchmarks executes the training and streaming benchmarks via
+// testing.Benchmark and returns their results.
+func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
+	var out []benchResult
+	record := func(name string, r testing.BenchmarkResult) {
+		out = append(out, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(w, "%-16s %12.0f ns/op %12d B/op %9d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	d := benchDataset()
+	var benchErr error
+	record("AEROTraining", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchModel(d); err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+		}
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	m, err := benchModel(d)
+	if err != nil {
+		return nil, err
+	}
+	s, err := aero.NewStreamDetector(m)
+	if err != nil {
+		return nil, err
+	}
+	frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	t := 0
+	push := func() error {
+		idx := t % d.Test.Len()
+		frame.Time = float64(t)
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][idx]
+		}
+		_, err := s.Push(frame)
+		t++
+		return err
+	}
+	for i := 0; i < m.Config().LongWindow+8; i++ {
+		if err := push(); err != nil {
+			return nil, err
+		}
+	}
+	record("StreamPush", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := push(); err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+		}
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1..table4, fig5..fig10, all")
+	exp := flag.String("exp", "all", "experiment to run: table1..table4, fig5..fig10, bench, all")
 	scale := flag.String("scale", "small", "compute scale: small or paper")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 0, "seed offset for datasets and models")
+	jsonPath := flag.String("json", "", "write machine-readable results (experiment times, benchmark numbers) to this file")
 	flag.Parse()
 
 	opts := experiments.Options{Workers: *workers, Seed: *seed}
@@ -58,19 +198,49 @@ func main() {
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
+			if name == "bench" {
+				selected = append(selected, name)
+				continue
+			}
 			if _, ok := runners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s or all)\n", name, strings.Join(order, ", "))
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s, bench or all)\n", name, strings.Join(order, ", "))
 				os.Exit(2)
 			}
 			selected = append(selected, name)
 		}
 	}
 
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Scale: *scale}
 	start := time.Now()
 	for _, name := range selected {
 		t0 := time.Now()
-		runners[name]()
-		fmt.Printf("[%s done in %.1fs]\n", name, time.Since(t0).Seconds())
+		if name == "bench" {
+			results, err := runMicroBenchmarks(os.Stdout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Benchmarks = results
+		} else {
+			runners[name]()
+		}
+		secs := time.Since(t0).Seconds()
+		rep.Experiments = append(rep.Experiments, experimentResult{Name: name, Seconds: secs})
+		fmt.Printf("[%s done in %.1fs]\n", name, secs)
 	}
 	fmt.Printf("\nall selected experiments done in %.1fs\n", time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }

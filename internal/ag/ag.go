@@ -1,18 +1,23 @@
 // Package ag implements reverse-mode automatic differentiation over dense
 // matrices (a "tape" or Wengert list).
 //
-// A Tape records every operation applied to Nodes; Backward replays the
-// tape in reverse, accumulating gradients. Parameters (Param) live outside
-// any tape so that the same weights can be used across many forward passes
-// and across goroutines: each Backward call accumulates into Param.Grad
-// under the parameter's lock, which makes data-parallel training safe.
+// A Tape records every operation applied to Nodes as a typed op record;
+// Backward replays the records in reverse, accumulating gradients.
+// Parameters (Param) live outside any tape so that the same weights can be
+// used across many forward passes and across goroutines: each Backward call
+// accumulates into Param.Grad under the parameter's lock, which makes
+// data-parallel training safe. For deterministic parallel training, use
+// BackwardGrads on each tape concurrently and then FlushParamGrads from a
+// single goroutine in a fixed tape order — the flush applies the same
+// additions in the same sequence as Backward would, without locking.
 //
-// Tapes come in two flavours. NewTape records backward closures and
-// allocates a fresh output tensor per operation — the training mode.
-// NewInferenceTape skips gradient bookkeeping entirely and draws every
-// output from a positional tensor.Arena, so a fixed-shape forward pass
-// re-run after Reset is allocation-free in steady state — the streaming
-// hot path. Both flavours compute bit-identical values.
+// Tapes come in two flavours, both arena-backed. NewTape records op
+// metadata for differentiation: node values and gradients are drawn from
+// positional tensor.Arenas, so after Reset a same-shape
+// forward/backward step reuses every buffer — the training mode is
+// allocation-free in steady state. NewInferenceTape skips gradient
+// bookkeeping entirely — the streaming hot path. Both flavours compute
+// bit-identical values.
 //
 // The operator set is the minimum needed for the models in this repository:
 // Transformer encoder–decoders, GRUs, VAEs, graph convolutions and
@@ -55,21 +60,62 @@ func (p *Param) addGrad(g *tensor.Dense) {
 	p.mu.Unlock()
 }
 
+// opKind identifies the operation that produced a node. Backward replays
+// these records in reverse instead of invoking per-node closures, which
+// keeps the tape free of heap-allocated captures and lets node gradients
+// live in a positional arena.
+type opKind uint8
+
+const (
+	opLeaf opKind = iota // Const/Param: no backward step
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opAddRow
+	opScale
+	opAddConst
+	opMatMul
+	opMatMulT
+	opTranspose
+	opReshape
+	opSliceCols
+	opSliceRows
+	opConcatCols
+	opConcatRows
+	opSigmoid
+	opTanh
+	opReLU
+	opGELU
+	opExp
+	opLog
+	opSqrt
+	opSquare
+	opSin
+	opCos
+	opAbs
+	opDropout
+	opSoftmaxRows
+	opLayerNorm
+	opSumAll
+	opRowSums
+)
+
 // Node is one value in the computation graph. Value is set at construction;
-// Grad is populated during Backward.
+// Grad is populated during Backward. The remaining fields are the op record
+// replayed by Backward: the operands (a, b, c), saved forward intermediates
+// (aux, aux2), a scalar operand s, and integer operands i0/i1 (slice bounds
+// or an index range into the tape's parents list for concat ops).
 type Node struct {
 	Value *tensor.Dense
 	Grad  *tensor.Dense
 
-	back  func() // propagates this node's Grad into its parents' Grads
-	param *Param // non-nil when the node is a parameter leaf
-}
-
-func (n *Node) grad() *tensor.Dense {
-	if n.Grad == nil {
-		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
-	}
-	return n.Grad
+	a, b, c   *Node
+	aux, aux2 *tensor.Dense
+	param     *Param // non-nil when the node is a parameter leaf
+	s         float64
+	i0, i1    int
+	op        opKind
 }
 
 // Rows returns the row count of the node's value.
@@ -85,16 +131,24 @@ const nodeChunk = 128
 // Tape records operations for reverse-mode differentiation. A Tape is not
 // safe for concurrent use; build one tape per goroutine.
 type Tape struct {
-	nodes  []*Node
-	chunks [][]Node
-	nused  int
+	nodes   []*Node
+	chunks  [][]Node
+	nused   int
+	parents []*Node // backing storage for concat-op operand lists
 
-	arena *tensor.Arena // non-nil only for inference tapes
-	grad  bool          // record backward closures
+	arena *tensor.Arena // operation output values
+	grads *tensor.Arena // node gradients (grad tapes only)
+	grad  bool          // record op metadata for Backward
 }
 
-// NewTape returns an empty gradient-recording tape.
-func NewTape() *Tape { return &Tape{grad: true} }
+// NewTape returns an empty gradient-recording tape. Node values and
+// gradients are drawn from positional arenas: after Reset, re-running a
+// forward/backward pass of the same shape reuses every buffer, so
+// steady-state training steps allocate nothing. Values and gradients
+// produced before a Reset are invalidated by the next pass.
+func NewTape() *Tape {
+	return &Tape{arena: tensor.NewArena(), grads: tensor.NewArena(), grad: true}
+}
 
 // NewInferenceTape returns a forward-only tape whose operation outputs are
 // drawn from an internal arena: after Reset, re-running a forward pass of
@@ -105,23 +159,30 @@ func NewInferenceTape() *Tape {
 	return &Tape{arena: tensor.NewArena()}
 }
 
-// Gradient reports whether the tape records backward closures (false for
+// Gradient reports whether the tape records gradient metadata (false for
 // inference tapes).
 func (t *Tape) Gradient() bool { return t.grad }
 
-// alloc returns the output buffer for one operation: arena-backed for
-// inference tapes, freshly allocated otherwise. Either way it is zeroed.
+// alloc returns the arena-backed, zeroed output buffer for one operation.
 func (t *Tape) alloc(r, c int) *tensor.Dense {
-	if t.arena != nil {
-		return t.arena.Get(r, c)
-	}
-	return tensor.New(r, c)
+	return t.arena.Get(r, c)
 }
 
 // Buffer hands out a zeroed r×c scratch tensor with the same lifetime as
 // the tape's operation outputs. Use it to stage constant inputs (time
-// embeddings, masks) without allocating on every inference pass.
+// embeddings, masks) without allocating on every pass.
 func (t *Tape) Buffer(r, c int) *tensor.Dense { return t.alloc(r, c) }
+
+// gradOf returns the node's gradient buffer, drawing it from the gradient
+// arena on first touch. Backward visits nodes in a fixed reverse order, so
+// the draw order — and therefore the positional reuse after Reset — is
+// deterministic for a fixed graph shape.
+func (t *Tape) gradOf(n *Node) *tensor.Dense {
+	if n.Grad == nil {
+		n.Grad = t.grads.Get(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
 
 // newNode takes a node struct from the chunked arena.
 func (t *Tape) newNode() *Node {
@@ -134,13 +195,23 @@ func (t *Tape) newNode() *Node {
 	return n
 }
 
-// node registers a freshly computed value. Backward closures are attached
-// by the caller only when t.grad is set.
+// node registers a freshly computed value. Op metadata is attached by the
+// caller only when t.grad is set.
 func (t *Tape) node(v *tensor.Dense) *Node {
 	n := t.newNode()
 	n.Value = v
 	if t.grad {
 		t.nodes = append(t.nodes, n)
+	}
+	return n
+}
+
+// record attaches the op record to a node on gradient tapes. It returns
+// the node for chaining.
+func (t *Tape) record(n *Node, op opKind, a, b *Node) *Node {
+	if t.grad {
+		n.op = op
+		n.a, n.b = a, b
 	}
 	return n
 }
@@ -161,39 +232,294 @@ func (t *Tape) Param(p *Param) *Node {
 	return n
 }
 
-// Backward seeds loss (which must be 1×1) with gradient 1 and propagates
-// gradients through the tape in reverse order, accumulating parameter
-// gradients into their Params. It panics on inference tapes.
+// Backward seeds loss (which must be 1×1) with gradient 1, propagates
+// gradients through the tape in reverse order, and accumulates parameter
+// gradients into their Params under each parameter's lock. It panics on
+// inference tapes.
 func (t *Tape) Backward(loss *Node) {
+	t.backward(loss, true)
+}
+
+// BackwardGrads computes node gradients exactly like Backward but does NOT
+// touch any Param: pair it with FlushParamGrads to apply parameter-gradient
+// accumulation from a single goroutine in a caller-chosen tape order, which
+// makes data-parallel training deterministic (float accumulation order is
+// fixed) while the backward passes themselves run concurrently.
+func (t *Tape) BackwardGrads(loss *Node) {
+	t.backward(loss, false)
+}
+
+func (t *Tape) backward(loss *Node, applyParams bool) {
 	if !t.grad {
 		panic("ag: Backward on an inference tape")
 	}
 	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
 		panic(fmt.Sprintf("ag: Backward expects scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
 	}
-	loss.grad().Data[0] = 1
+	t.gradOf(loss).Data[0] = 1
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.Grad == nil {
 			continue // not on any path to the loss
 		}
-		if n.back != nil {
-			n.back()
-		}
-		if n.param != nil {
+		t.step(n)
+		if applyParams && n.param != nil {
 			n.param.addGrad(n.Grad)
 		}
 	}
 }
 
+// FlushParamGrads applies the parameter-gradient accumulation a Backward
+// call would have performed, in the identical order (reverse tape order),
+// without locking. Call it after BackwardGrads, from one goroutine at a
+// time per parameter set.
+func (t *Tape) FlushParamGrads() {
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.param != nil && n.Grad != nil {
+			n.param.Grad.AddInPlace(n.Grad)
+		}
+	}
+}
+
+// step replays one op record, propagating n.Grad into its parents' Grads.
+// Each case reproduces the float operation order of the original backward
+// closures exactly, so gradients are bit-identical to the closure-based
+// implementation this replaced.
+func (t *Tape) step(n *Node) {
+	G := n.Grad
+	switch n.op {
+	case opLeaf:
+		// Leaves have no parents; parameter accumulation is handled by the
+		// Backward/FlushParamGrads drivers.
+	case opAdd:
+		t.gradOf(n.a).AddInPlace(G)
+		t.gradOf(n.b).AddInPlace(G)
+	case opSub:
+		t.gradOf(n.a).AddInPlace(G)
+		t.gradOf(n.b).AddScaled(-1, G)
+	case opMul:
+		ga, gb := t.gradOf(n.a), t.gradOf(n.b)
+		av, bv := n.a.Value, n.b.Value
+		for i, g := range G.Data {
+			ga.Data[i] += g * bv.Data[i]
+			gb.Data[i] += g * av.Data[i]
+		}
+	case opDiv:
+		ga, gb := t.gradOf(n.a), t.gradOf(n.b)
+		av, bv := n.a.Value, n.b.Value
+		for i, g := range G.Data {
+			bi := bv.Data[i]
+			ga.Data[i] += g / bi
+			gb.Data[i] -= g * av.Data[i] / (bi * bi)
+		}
+	case opAddRow:
+		t.gradOf(n.a).AddInPlace(G)
+		gv := t.gradOf(n.b)
+		for i := 0; i < G.Rows; i++ {
+			row := G.Row(i)
+			for j, g := range row {
+				gv.Data[j] += g
+			}
+		}
+	case opScale:
+		t.gradOf(n.a).AddScaled(n.s, G)
+	case opAddConst:
+		t.gradOf(n.a).AddInPlace(G)
+	case opMatMul:
+		// dA += dC·Bᵀ ; dB += Aᵀ·dC
+		G.MatMulTAddInto(n.b.Value, t.gradOf(n.a))
+		n.a.Value.TMatMulAddInto(G, t.gradOf(n.b))
+	case opMatMulT:
+		// C = A·Bᵀ: dA += dC·B ; dB += dCᵀ·A
+		G.MatMulAddInto(n.b.Value, t.gradOf(n.a))
+		G.TMatMulAddInto(n.a.Value, t.gradOf(n.b))
+	case opTranspose:
+		t.gradOf(n.a).AddTransposed(G)
+	case opReshape:
+		ga := t.gradOf(n.a)
+		for i, g := range G.Data {
+			ga.Data[i] += g
+		}
+	case opSliceCols:
+		ga := t.gradOf(n.a)
+		lo := n.i0
+		for i := 0; i < G.Rows; i++ {
+			src := G.Row(i)
+			dst := ga.Row(i)[lo : lo+G.Cols]
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	case opSliceRows:
+		ga := t.gradOf(n.a)
+		lo := n.i0
+		for i := 0; i < G.Rows; i++ {
+			src := G.Row(i)
+			dst := ga.Row(lo + i)
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	case opConcatCols:
+		at := 0
+		for _, p := range t.parents[n.i0 : n.i0+n.i1] {
+			g := t.gradOf(p)
+			for i := 0; i < g.Rows; i++ {
+				src := G.Row(i)[at : at+g.Cols]
+				dst := g.Row(i)
+				for j, gv := range src {
+					dst[j] += gv
+				}
+			}
+			at += p.Value.Cols
+		}
+	case opConcatRows:
+		at := 0
+		for _, p := range t.parents[n.i0 : n.i0+n.i1] {
+			g := t.gradOf(p)
+			for i := 0; i < g.Rows; i++ {
+				src := G.Row(at + i)
+				dst := g.Row(i)
+				for j, gv := range src {
+					dst[j] += gv
+				}
+			}
+			at += p.Value.Rows
+		}
+	case opDropout:
+		ga := t.gradOf(n.a)
+		mask := n.aux
+		for i, g := range G.Data {
+			ga.Data[i] += g * mask.Data[i]
+		}
+	case opSoftmaxRows:
+		ga := t.gradOf(n.a)
+		v := n.Value
+		for i := 0; i < v.Rows; i++ {
+			y := v.Row(i)
+			gy := G.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * gy[j]
+			}
+			dst := ga.Row(i)
+			for j := range y {
+				dst[j] += y[j] * (gy[j] - dot)
+			}
+		}
+	case opLayerNorm:
+		t.layerNormBackward(n)
+	case opSumAll:
+		g := G.Data[0]
+		ga := t.gradOf(n.a)
+		for i := range ga.Data {
+			ga.Data[i] += g
+		}
+	case opRowSums:
+		ga := t.gradOf(n.a)
+		for i := 0; i < ga.Rows; i++ {
+			g := G.Data[i]
+			dst := ga.Row(i)
+			for j := range dst {
+				dst[j] += g
+			}
+		}
+	default:
+		t.unaryBackward(n)
+	}
+}
+
+// unaryBackward handles the elementwise nonlinearities: ga[i] += g·f'(x, y)
+// with the derivative expressed from the input x and/or output y.
+func (t *Tape) unaryBackward(n *Node) {
+	ga := t.gradOf(n.a)
+	xs := n.a.Value.Data
+	ys := n.Value.Data
+	for i, g := range n.Grad.Data {
+		var d float64
+		switch n.op {
+		case opSigmoid:
+			y := ys[i]
+			d = y * (1 - y)
+		case opTanh:
+			y := ys[i]
+			d = 1 - y*y
+		case opReLU:
+			if xs[i] > 0 {
+				d = 1
+			}
+		case opGELU:
+			d = geluDeriv(xs[i])
+		case opExp:
+			d = ys[i]
+		case opLog:
+			d = 1 / xs[i]
+		case opSqrt:
+			d = 0.5 / ys[i]
+		case opSquare:
+			d = 2 * xs[i]
+		case opSin:
+			d = math.Cos(xs[i])
+		case opCos:
+			d = -math.Sin(xs[i])
+		case opAbs:
+			switch {
+			case xs[i] > 0:
+				d = 1
+			case xs[i] < 0:
+				d = -1
+			}
+		default:
+			panic(fmt.Sprintf("ag: unknown op %d in backward", n.op))
+		}
+		ga.Data[i] += g * d
+	}
+}
+
+// layerNormBackward replays LayerNormRows: n.a is the input, n.b the gain,
+// n.c the bias; aux holds x̂ and aux2 the per-row inverse std.
+func (t *Tape) layerNormBackward(n *Node) {
+	ga, gg, gb := t.gradOf(n.a), t.gradOf(n.b), t.gradOf(n.c)
+	xhat, invStd := n.aux, n.aux2
+	gain := n.b.Value
+	rows, cols := xhat.Rows, xhat.Cols
+	// One scratch row reused across rows; drawn from the gradient arena so
+	// steady-state backward passes stay allocation-free.
+	dxh := t.grads.Get(1, cols).Data
+	for i := 0; i < rows; i++ {
+		gy := n.Grad.Row(i)
+		xh := xhat.Row(i)
+		// gain/bias grads
+		for j := range gy {
+			gg.Data[j] += gy[j] * xh[j]
+			gb.Data[j] += gy[j]
+		}
+		// input grad: dx = invStd*(dxh - mean(dxh) - xh*mean(dxh*xh))
+		var m1, m2 float64
+		for j := range gy {
+			dxh[j] = gy[j] * gain.Data[j]
+			m1 += dxh[j]
+			m2 += dxh[j] * xh[j]
+		}
+		m1 /= float64(cols)
+		m2 /= float64(cols)
+		dst := ga.Row(i)
+		for j := range dxh {
+			dst[j] += invStd.Data[i] * (dxh[j] - m1 - xh[j]*m2)
+		}
+	}
+}
+
 // Reset drops all recorded nodes so the tape can be reused, keeping the
-// node chunks and (for inference tapes) every operation buffer for the
-// next pass.
+// node chunks and every operation (and gradient) buffer for the next pass.
 func (t *Tape) Reset() {
 	t.nodes = t.nodes[:0]
+	t.parents = t.parents[:0]
 	t.nused = 0
-	if t.arena != nil {
-		t.arena.Reset()
+	t.arena.Reset()
+	if t.grads != nil {
+		t.grads.Reset()
 	}
 }
 
@@ -219,14 +545,7 @@ func (t *Tape) Add(a, b *Node) *Node {
 	for i := range v.Data {
 		v.Data[i] = av.Data[i] + bv.Data[i]
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			a.grad().AddInPlace(n.Grad)
-			b.grad().AddInPlace(n.Grad)
-		}
-	}
-	return n
+	return t.record(t.node(v), opAdd, a, b)
 }
 
 // Sub returns a − b.
@@ -237,14 +556,7 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	for i := range v.Data {
 		v.Data[i] = av.Data[i] - bv.Data[i]
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			a.grad().AddInPlace(n.Grad)
-			b.grad().AddScaled(-1, n.Grad)
-		}
-	}
-	return n
+	return t.record(t.node(v), opSub, a, b)
 }
 
 // Mul returns the Hadamard product a ⊙ b.
@@ -255,17 +567,7 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	for i := range v.Data {
 		v.Data[i] = av.Data[i] * bv.Data[i]
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga, gb := a.grad(), b.grad()
-			for i, g := range n.Grad.Data {
-				ga.Data[i] += g * b.Value.Data[i]
-				gb.Data[i] += g * a.Value.Data[i]
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), opMul, a, b)
 }
 
 // Div returns the elementwise quotient a / b.
@@ -276,18 +578,7 @@ func (t *Tape) Div(a, b *Node) *Node {
 	for i := range v.Data {
 		v.Data[i] = av.Data[i] / bv.Data[i]
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga, gb := a.grad(), b.grad()
-			for i, g := range n.Grad.Data {
-				bi := b.Value.Data[i]
-				ga.Data[i] += g / bi
-				gb.Data[i] -= g * a.Value.Data[i] / (bi * bi)
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), opDiv, a, b)
 }
 
 // AddRow broadcasts the 1×C row vector v across the rows of a.
@@ -303,20 +594,7 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 			dst[j] = x + v.Value.Data[j]
 		}
 	}
-	n := t.node(out)
-	if t.grad {
-		n.back = func() {
-			a.grad().AddInPlace(n.Grad)
-			gv := v.grad()
-			for i := 0; i < n.Grad.Rows; i++ {
-				row := n.Grad.Row(i)
-				for j, g := range row {
-					gv.Data[j] += g
-				}
-			}
-		}
-	}
-	return n
+	return t.record(t.node(out), opAddRow, a, v)
 }
 
 // --- scalar ops --------------------------------------------------------------
@@ -328,10 +606,8 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 	for i := range v.Data {
 		v.Data[i] = s * av.Data[i]
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() { a.grad().AddScaled(s, n.Grad) }
-	}
+	n := t.record(t.node(v), opScale, a, nil)
+	n.s = s
 	return n
 }
 
@@ -342,11 +618,7 @@ func (t *Tape) AddConst(a *Node, c float64) *Node {
 	for i := range v.Data {
 		v.Data[i] = av.Data[i] + c
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() { a.grad().AddInPlace(n.Grad) }
-	}
-	return n
+	return t.record(t.node(v), opAddConst, a, nil)
 }
 
 // Neg returns −a.
@@ -358,30 +630,14 @@ func (t *Tape) Neg(a *Node) *Node { return t.Scale(a, -1) }
 func (t *Tape) MatMul(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, b.Value.Cols)
 	a.Value.MatMulInto(b.Value, v)
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			// dA += dC·Bᵀ ; dB += Aᵀ·dC
-			a.grad().AddInPlace(n.Grad.MatMulT(b.Value))
-			b.grad().AddInPlace(a.Value.TMatMul(n.Grad))
-		}
-	}
-	return n
+	return t.record(t.node(v), opMatMul, a, b)
 }
 
 // MatMulT returns a · bᵀ.
 func (t *Tape) MatMulT(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, b.Value.Rows)
 	a.Value.MatMulTInto(b.Value, v)
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			// C = A·Bᵀ: dA += dC·B ; dB += dCᵀ·A
-			a.grad().AddInPlace(n.Grad.MatMul(b.Value))
-			b.grad().AddInPlace(n.Grad.TMatMul(a.Value))
-		}
-	}
-	return n
+	return t.record(t.node(v), opMatMulT, a, b)
 }
 
 // Transpose returns aᵀ.
@@ -393,11 +649,7 @@ func (t *Tape) Transpose(a *Node) *Node {
 			v.Data[j*av.Rows+i] = av.Data[i*av.Cols+j]
 		}
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() { a.grad().AddInPlace(n.Grad.T()) }
-	}
-	return n
+	return t.record(t.node(v), opTranspose, a, nil)
 }
 
 // Reshape reinterprets a as r×c (row-major order preserved).
@@ -407,16 +659,7 @@ func (t *Tape) Reshape(a *Node, r, c int) *Node {
 	}
 	v := t.alloc(r, c)
 	copy(v.Data, a.Value.Data)
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i, g := range n.Grad.Data {
-				ga.Data[i] += g
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), opReshape, a, nil)
 }
 
 // SliceCols returns columns [lo, hi) of a.
@@ -426,19 +669,8 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 	for i := 0; i < av.Rows; i++ {
 		copy(v.Row(i), av.Row(i)[lo:hi])
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i := 0; i < n.Grad.Rows; i++ {
-				src := n.Grad.Row(i)
-				dst := ga.Row(i)[lo:hi]
-				for j, g := range src {
-					dst[j] += g
-				}
-			}
-		}
-	}
+	n := t.record(t.node(v), opSliceCols, a, nil)
+	n.i0 = lo
 	return n
 }
 
@@ -447,18 +679,19 @@ func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
 	av := a.Value
 	v := t.alloc(hi-lo, av.Cols)
 	copy(v.Data, av.Data[lo*av.Cols:hi*av.Cols])
-	n := t.node(v)
+	n := t.record(t.node(v), opSliceRows, a, nil)
+	n.i0 = lo
+	return n
+}
+
+// recordParents stashes a variadic operand list in the tape-owned parents
+// slice (reused across Resets) and stores its range on the node.
+func (t *Tape) recordParents(n *Node, op opKind, parts []*Node) *Node {
 	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i := 0; i < n.Grad.Rows; i++ {
-				src := n.Grad.Row(i)
-				dst := ga.Row(lo + i)
-				for j, g := range src {
-					dst[j] += g
-				}
-			}
-		}
+		n.op = op
+		n.i0 = len(t.parents)
+		n.i1 = len(parts)
+		t.parents = append(t.parents, parts...)
 	}
 	return n
 }
@@ -482,28 +715,7 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 			at += p.Value.Cols
 		}
 	}
-	n := t.node(v)
-	if t.grad {
-		// Copy the variadic slice so the closure does not capture it:
-		// that keeps the call-site argument slice stack-allocated on the
-		// (gradient-free) inference path.
-		ps := append([]*Node(nil), parts...)
-		n.back = func() {
-			at := 0
-			for _, p := range ps {
-				g := p.grad()
-				for i := 0; i < g.Rows; i++ {
-					src := n.Grad.Row(i)[at : at+g.Cols]
-					dst := g.Row(i)
-					for j, gv := range src {
-						dst[j] += gv
-					}
-				}
-				at += p.Value.Cols
-			}
-		}
-	}
-	return n
+	return t.recordParents(t.node(v), opConcatCols, parts)
 }
 
 // ConcatRows concatenates nodes vertically.
@@ -522,135 +734,90 @@ func (t *Tape) ConcatRows(parts ...*Node) *Node {
 		copy(v.Data[at:], p.Value.Data)
 		at += len(p.Value.Data)
 	}
-	n := t.node(v)
-	if t.grad {
-		ps := append([]*Node(nil), parts...)
-		n.back = func() {
-			at := 0
-			for _, p := range ps {
-				g := p.grad()
-				for i := 0; i < g.Rows; i++ {
-					src := n.Grad.Row(at + i)
-					dst := g.Row(i)
-					for j, gv := range src {
-						dst[j] += gv
-					}
-				}
-				at += p.Value.Rows
-			}
-		}
-	}
-	return n
+	return t.recordParents(t.node(v), opConcatRows, parts)
 }
 
 // --- elementwise nonlinearities ----------------------------------------------
 
-func (t *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
+func (t *Tape) unary(a *Node, op opKind, f func(float64) float64) *Node {
 	av := a.Value
 	v := t.alloc(av.Rows, av.Cols)
 	for i, x := range av.Data {
 		v.Data[i] = f(x)
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i, g := range n.Grad.Data {
-				ga.Data[i] += g * df(a.Value.Data[i], v.Data[i])
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), op, a, nil)
 }
 
 // Sigmoid returns 1/(1+e^{-a}) elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	return t.unary(a,
-		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
-		func(_, y float64) float64 { return y * (1 - y) })
+	return t.unary(a, opSigmoid, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
 }
 
 // Tanh returns tanh(a) elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	return t.unary(a, math.Tanh,
-		func(_, y float64) float64 { return 1 - y*y })
+	return t.unary(a, opTanh, math.Tanh)
 }
 
 // ReLU returns max(a, 0) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	return t.unary(a,
-		func(x float64) float64 {
-			if x > 0 {
-				return x
-			}
-			return 0
-		},
-		func(x, _ float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return 0
-		})
+	return t.unary(a, opReLU, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// geluDeriv is the derivative of the tanh-approximated GELU.
+func geluDeriv(x float64) float64 {
+	u := geluC * (x + 0.044715*x*x*x)
+	th := math.Tanh(u)
+	du := geluC * (1 + 3*0.044715*x*x)
+	return 0.5*(1+th) + 0.5*x*(1-th*th)*du
 }
 
 // GELU returns the Gaussian error linear unit (tanh approximation).
 func (t *Tape) GELU(a *Node) *Node {
-	const c = 0.7978845608028654 // sqrt(2/pi)
-	f := func(x float64) float64 {
-		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
-	}
-	df := func(x, _ float64) float64 {
-		u := c * (x + 0.044715*x*x*x)
-		th := math.Tanh(u)
-		du := c * (1 + 3*0.044715*x*x)
-		return 0.5*(1+th) + 0.5*x*(1-th*th)*du
-	}
-	return t.unary(a, f, df)
+	return t.unary(a, opGELU, func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
+	})
 }
 
 // Exp returns e^a elementwise.
 func (t *Tape) Exp(a *Node) *Node {
-	return t.unary(a, math.Exp, func(_, y float64) float64 { return y })
+	return t.unary(a, opExp, math.Exp)
 }
 
 // Log returns ln(a) elementwise.
 func (t *Tape) Log(a *Node) *Node {
-	return t.unary(a, math.Log, func(x, _ float64) float64 { return 1 / x })
+	return t.unary(a, opLog, math.Log)
 }
 
 // Sqrt returns √a elementwise.
 func (t *Tape) Sqrt(a *Node) *Node {
-	return t.unary(a, math.Sqrt, func(_, y float64) float64 { return 0.5 / y })
+	return t.unary(a, opSqrt, math.Sqrt)
 }
 
 // Square returns a² elementwise.
 func (t *Tape) Square(a *Node) *Node {
-	return t.unary(a, func(x float64) float64 { return x * x },
-		func(x, _ float64) float64 { return 2 * x })
+	return t.unary(a, opSquare, func(x float64) float64 { return x * x })
 }
 
 // Sin returns sin(a) elementwise.
 func (t *Tape) Sin(a *Node) *Node {
-	return t.unary(a, math.Sin, func(x, _ float64) float64 { return math.Cos(x) })
+	return t.unary(a, opSin, math.Sin)
 }
 
 // Cos returns cos(a) elementwise.
 func (t *Tape) Cos(a *Node) *Node {
-	return t.unary(a, math.Cos, func(x, _ float64) float64 { return -math.Sin(x) })
+	return t.unary(a, opCos, math.Cos)
 }
 
 // Abs returns |a| elementwise (subgradient 0 at 0).
 func (t *Tape) Abs(a *Node) *Node {
-	return t.unary(a, math.Abs, func(x, _ float64) float64 {
-		switch {
-		case x > 0:
-			return 1
-		case x < 0:
-			return -1
-		default:
-			return 0
-		}
-	})
+	return t.unary(a, opAbs, math.Abs)
 }
 
 // Dropout zeroes each element with probability rate and scales survivors by
@@ -660,7 +827,7 @@ func (t *Tape) Dropout(a *Node, rate float64, rng *rand.Rand, train bool) *Node 
 		return a
 	}
 	keep := 1 - rate
-	mask := tensor.New(a.Value.Rows, a.Value.Cols)
+	mask := t.alloc(a.Value.Rows, a.Value.Cols)
 	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i, x := range a.Value.Data {
 		if rng.Float64() < keep {
@@ -668,14 +835,9 @@ func (t *Tape) Dropout(a *Node, rate float64, rng *rand.Rand, train bool) *Node 
 			v.Data[i] = x / keep
 		}
 	}
-	n := t.node(v)
+	n := t.record(t.node(v), opDropout, a, nil)
 	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i, g := range n.Grad.Data {
-				ga.Data[i] += g * mask.Data[i]
-			}
-		}
+		n.aux = mask
 	}
 	return n
 }
@@ -704,25 +866,7 @@ func (t *Tape) SoftmaxRows(a *Node) *Node {
 			dst[j] /= sum
 		}
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i := 0; i < v.Rows; i++ {
-				y := v.Row(i)
-				gy := n.Grad.Row(i)
-				var dot float64
-				for j := range y {
-					dot += y[j] * gy[j]
-				}
-				dst := ga.Row(i)
-				for j := range y {
-					dst[j] += y[j] * (gy[j] - dot)
-				}
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), opSoftmaxRows, a, nil)
 }
 
 // LayerNormRows normalizes each row of a to zero mean and unit variance,
@@ -734,11 +878,10 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 	}
 	// xhat and invStd are only needed by the backward pass; inference
 	// tapes skip them and fold the normalization into one loop.
-	var xhat *tensor.Dense
-	var invStd []float64
+	var xhat, invStd *tensor.Dense
 	if t.grad {
-		xhat = tensor.New(rows, cols)
-		invStd = make([]float64, rows)
+		xhat = t.alloc(rows, cols)
+		invStd = t.alloc(rows, 1)
 	}
 	v := t.alloc(rows, cols)
 	for i := 0; i < rows; i++ {
@@ -757,7 +900,7 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 		is := 1 / math.Sqrt(va+eps)
 		dst := v.Row(i)
 		if t.grad {
-			invStd[i] = is
+			invStd.Data[i] = is
 			xh := xhat.Row(i)
 			for j, x := range src {
 				xh[j] = (x - mean) * is
@@ -772,32 +915,9 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 	}
 	n := t.node(v)
 	if t.grad {
-		n.back = func() {
-			ga, gg, gb := a.grad(), gain.grad(), bias.grad()
-			for i := 0; i < rows; i++ {
-				gy := n.Grad.Row(i)
-				xh := xhat.Row(i)
-				// gain/bias grads
-				for j := range gy {
-					gg.Data[j] += gy[j] * xh[j]
-					gb.Data[j] += gy[j]
-				}
-				// input grad: dx = invStd*(dxh - mean(dxh) - xh*mean(dxh*xh))
-				var m1, m2 float64
-				dxh := make([]float64, cols)
-				for j := range gy {
-					dxh[j] = gy[j] * gain.Value.Data[j]
-					m1 += dxh[j]
-					m2 += dxh[j] * xh[j]
-				}
-				m1 /= float64(cols)
-				m2 /= float64(cols)
-				dst := ga.Row(i)
-				for j := range dxh {
-					dst[j] += invStd[i] * (dxh[j] - m1 - xh[j]*m2)
-				}
-			}
-		}
+		n.op = opLayerNorm
+		n.a, n.b, n.c = a, gain, bias
+		n.aux, n.aux2 = xhat, invStd
 	}
 	return n
 }
@@ -808,17 +928,7 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node, eps float64) *Node {
 func (t *Tape) SumAll(a *Node) *Node {
 	v := t.alloc(1, 1)
 	v.Data[0] = a.Value.Sum()
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			g := n.Grad.Data[0]
-			ga := a.grad()
-			for i := range ga.Data {
-				ga.Data[i] += g
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), opSumAll, a, nil)
 }
 
 // MeanAll returns the 1×1 mean of all elements of a.
@@ -842,18 +952,5 @@ func (t *Tape) RowSums(a *Node) *Node {
 		}
 		v.Data[i] = s
 	}
-	n := t.node(v)
-	if t.grad {
-		n.back = func() {
-			ga := a.grad()
-			for i := 0; i < a.Value.Rows; i++ {
-				g := n.Grad.Data[i]
-				dst := ga.Row(i)
-				for j := range dst {
-					dst[j] += g
-				}
-			}
-		}
-	}
-	return n
+	return t.record(t.node(v), opRowSums, a, nil)
 }

@@ -1,0 +1,100 @@
+package ag
+
+import (
+	"testing"
+
+	"aero/internal/tensor"
+)
+
+// buildLoss builds the same composite graph as buildForward but returns
+// the scalar loss node so the graph can be differentiated.
+func buildLoss(t *Tape, x *tensor.Dense, w, gain, bias *Param) *Node {
+	h := t.MatMul(t.Const(x), t.Param(w))
+	h = t.AddRow(h, t.Param(bias))
+	h = t.LayerNormRows(h, t.Param(gain), t.Param(bias), 1e-5)
+	a := t.SliceCols(h, 0, 2)
+	b := t.SliceCols(h, 2, 4)
+	att := t.SoftmaxRows(t.Scale(t.MatMulT(a, b), 0.5))
+	mix := t.MatMul(att, b)
+	cat := t.ConcatCols(a, mix)
+	y := t.Sigmoid(t.Add(cat, t.Tanh(h)))
+	return t.MeanAll(t.Square(y))
+}
+
+// trainStep runs one forward+backward pass on tp (resetting it first) and
+// returns the loss value; params receive accumulated gradients.
+func trainStep(tp *Tape, x *tensor.Dense, w, gain, bias *Param) float64 {
+	tp.Reset()
+	loss := buildLoss(tp, x, w, gain, bias)
+	tp.Backward(loss)
+	return loss.Value.Data[0]
+}
+
+func zeroAll(ps ...*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// TestGradTapeReuseBitIdentical asserts that a Reset-reused gradient tape
+// produces bit-identical losses and parameter gradients to a fresh tape:
+// the arena-backed value/gradient buffers must not leak state between
+// passes.
+func TestGradTapeReuseBitIdentical(t *testing.T) {
+	x, w, gain, bias := inferenceFixture()
+	reused := NewTape()
+	for pass := 0; pass < 3; pass++ {
+		lossReused := trainStep(reused, x, w, gain, bias)
+		gw := w.Grad.Clone()
+		gg := gain.Grad.Clone()
+		gb := bias.Grad.Clone()
+		zeroAll(w, gain, bias)
+
+		lossFresh := trainStep(NewTape(), x, w, gain, bias)
+		if lossFresh != lossReused {
+			t.Fatalf("pass %d: reused-tape loss %v != fresh-tape loss %v", pass, lossReused, lossFresh)
+		}
+		if !tensor.Equal(gw, w.Grad, 0) || !tensor.Equal(gg, gain.Grad, 0) || !tensor.Equal(gb, bias.Grad, 0) {
+			t.Fatalf("pass %d: reused-tape gradients differ from fresh tape", pass)
+		}
+		zeroAll(w, gain, bias)
+	}
+}
+
+// TestBackwardGradsFlushMatchesBackward asserts that the deterministic
+// two-phase path (BackwardGrads + FlushParamGrads) accumulates exactly the
+// same parameter gradients as the locking Backward path.
+func TestBackwardGradsFlushMatchesBackward(t *testing.T) {
+	x, w, gain, bias := inferenceFixture()
+	trainStep(NewTape(), x, w, gain, bias)
+	want := w.Grad.Clone()
+	zeroAll(w, gain, bias)
+
+	tp := NewTape()
+	loss := buildLoss(tp, x, w, gain, bias)
+	tp.BackwardGrads(loss)
+	if w.Grad.Norm() != 0 {
+		t.Fatal("BackwardGrads must not touch Param.Grad")
+	}
+	tp.FlushParamGrads()
+	if !tensor.Equal(want, w.Grad, 0) {
+		t.Fatal("FlushParamGrads accumulation differs from Backward")
+	}
+	zeroAll(w, gain, bias)
+}
+
+// TestGradTapeSteadyStateAllocs pins the training-tape allocation budget:
+// once the arenas are warm, a same-shape forward+backward step must not
+// allocate at all.
+func TestGradTapeSteadyStateAllocs(t *testing.T) {
+	x, w, gain, bias := inferenceFixture()
+	tp := NewTape()
+	trainStep(tp, x, w, gain, bias) // warm the arenas and node chunks
+	allocs := testing.AllocsPerRun(32, func() {
+		trainStep(tp, x, w, gain, bias)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state training pass allocates %.1f objects, want 0", allocs)
+	}
+	zeroAll(w, gain, bias)
+}

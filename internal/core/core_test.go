@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"aero/internal/ag"
 	"aero/internal/anomaly"
 	"aero/internal/dataset"
 	"aero/internal/stats"
@@ -379,7 +380,7 @@ func TestEvalStrideOneMatchesDenser(t *testing.T) {
 
 func TestTimeEmbeddingShapeAndRange(t *testing.T) {
 	te := NewTimeEmbedding(8)
-	tp := newTape()
+	tp := ag.NewTape()
 	pos := []float64{0, 1, 2, 3}
 	dt := []float64{1, 1, 2, 0.5}
 	out := te.Forward(tp, pos, dt)
@@ -396,7 +397,7 @@ func TestTimeEmbeddingShapeAndRange(t *testing.T) {
 
 func TestTimeEmbeddingSensitiveToIntervals(t *testing.T) {
 	te := NewTimeEmbedding(8)
-	tp := newTape()
+	tp := ag.NewTape()
 	pos := []float64{0, 1, 2, 3}
 	a := te.Forward(tp, pos, []float64{1, 1, 1, 1})
 	b := te.Forward(tp, pos, []float64{1, 1, 5, 1})

@@ -10,7 +10,6 @@ import (
 	"aero/internal/ag"
 	"aero/internal/dataset"
 	"aero/internal/evt"
-	"aero/internal/nn"
 	"aero/internal/stats"
 	"aero/internal/tensor"
 	"aero/internal/window"
@@ -79,13 +78,14 @@ func (m *Model) prepare(s *dataset.Series) *prepared {
 }
 
 // times assembles the window-local positions and normalized intervals for
-// the window ending at index end. A non-nil scratch supplies the slices so
-// repeated calls do not allocate.
-func (m *Model) times(p *prepared, end int, sc *scratch) windowTimes {
+// the window ending at index end. A non-nil buf supplies the slices so
+// repeated calls do not allocate; both the scoring scratch and the training
+// scratch thread their own buffer through here.
+func (m *Model) times(p *prepared, end int, buf *windowTimes) windowTimes {
 	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
 	var wt windowTimes
-	if sc != nil {
-		wt = sc.wt
+	if buf != nil {
+		wt = *buf
 	} else {
 		wt = windowTimes{
 			posL: make([]float64, w), dtL: make([]float64, w),
@@ -171,7 +171,11 @@ func (m *Model) reconstruct(p *prepared, end int, sc *scratch) *tensor.Dense {
 	if !m.cfg.usesTemporal() {
 		return out
 	}
-	wt := m.times(p, end, sc)
+	var wtBuf *windowTimes
+	if sc != nil {
+		wtBuf = &sc.wt
+	}
+	wt := m.times(p, end, wtBuf)
 	if m.cfg.multivariateInput() {
 		t, slot := m.inferenceTape(sc, 0)
 		long, short := m.longShort(p, 0, end, slot)
@@ -184,12 +188,20 @@ func (m *Model) reconstruct(p *prepared, end int, sc *scratch) *tensor.Dense {
 		return out
 	}
 	if sc != nil {
-		sc.runSlots(m.n, func(v int, slot *varSlot) {
-			slot.tape.Reset()
-			long, short := m.longShort(p, v, end, slot)
-			pred := m.temporal.forward(slot.tape, long, short, wt) // ω×1
-			copy(out.Row(v), pred.Value.Data)
-		})
+		if len(sc.slots) == 1 {
+			// Closure-free sequential path: keeps the single-slot case
+			// (training, streaming) allocation-free — a closure here would
+			// heap-box its captures on every window.
+			slot := sc.slots[0]
+			for v := 0; v < m.n; v++ {
+				slot.tape.Reset()
+				long, short := m.longShort(p, v, end, slot)
+				pred := m.temporal.forward(slot.tape, long, short, wt) // ω×1
+				copy(out.Row(v), pred.Value.Data)
+			}
+			return out
+		}
+		m.reconstructFan(p, end, wt, sc, out)
 		return out
 	}
 	m.parallelVariates(func(v int) {
@@ -199,6 +211,17 @@ func (m *Model) reconstruct(p *prepared, end int, sc *scratch) *tensor.Dense {
 		copy(out.Row(v), pred.Value.Data)
 	})
 	return out
+}
+
+// reconstructFan is the multi-slot stage-1 fan-out of reconstruct, split
+// out so the sequential path above stays free of closure captures.
+func (m *Model) reconstructFan(p *prepared, end int, wt windowTimes, sc *scratch, out *tensor.Dense) {
+	sc.runSlots(m.n, func(v int, slot *varSlot) {
+		slot.tape.Reset()
+		long, short := m.longShort(p, v, end, slot)
+		pred := m.temporal.forward(slot.tape, long, short, wt) // ω×1
+		copy(out.Row(v), pred.Value.Data)
+	})
 }
 
 // inferenceTape returns a reset forward-only tape, drawn from the scratch
@@ -300,8 +323,6 @@ func (m *Model) windowScores(p *prepared, end int, dyn *dynamicGraphState, sc *s
 	return final, e
 }
 
-func newTape() *ag.Tape { return ag.NewTape() }
-
 // parallelVariates runs f(v) for every variate using the configured worker
 // count.
 func (m *Model) parallelVariates(f func(v int)) {
@@ -374,110 +395,6 @@ func (m *Model) Fit(train *dataset.Series) error {
 	m.thr = th
 	m.trained = true
 	return nil
-}
-
-// trainStage1 trains the temporal reconstruction module and returns the
-// number of epochs run.
-func (m *Model) trainStage1(p *prepared) int {
-	params := m.temporal.params()
-	opt := nn.NewAdam(m.cfg.LR)
-	opt.MaxGradNorm = 5
-	insts := window.Indices(len(p.time), m.cfg.LongWindow, m.cfg.TrainStride)
-	rng := newRand(m.cfg.Seed + 2)
-
-	best := math.Inf(1)
-	wait := 0
-	epoch := 0
-	for ; epoch < m.cfg.MaxEpochs; epoch++ {
-		rng.Shuffle(len(insts), func(i, j int) { insts[i], insts[j] = insts[j], insts[i] })
-		var epochLoss float64
-		for _, inst := range insts {
-			epochLoss += m.stage1Step(p, inst.End, opt, params)
-		}
-		epochLoss /= float64(len(insts))
-		m.cfg.Logf("stage1 epoch %d loss %.6f", epoch, epochLoss)
-		if epochLoss < best-1e-6 {
-			best = epochLoss
-			wait = 0
-		} else if wait++; wait >= m.cfg.Patience {
-			epoch++
-			break
-		}
-	}
-	return epoch
-}
-
-// stage1Step runs one optimizer step over all variates of one window and
-// returns the mean reconstruction loss.
-func (m *Model) stage1Step(p *prepared, end int, opt *nn.Adam, params []*ag.Param) float64 {
-	wt := m.times(p, end, nil)
-	if m.cfg.multivariateInput() {
-		t := newTape()
-		long, short := m.longShort(p, 0, end, nil)
-		pred := m.temporal.forward(t, long, short, wt)
-		loss := t.MSE(pred, t.Const(short))
-		t.Backward(loss)
-		opt.Step(params)
-		return loss.Value.Data[0]
-	}
-	losses := make([]float64, m.n)
-	m.parallelVariates(func(v int) {
-		t := newTape()
-		long, short := m.longShort(p, v, end, nil)
-		pred := m.temporal.forward(t, long, short, wt)
-		loss := t.MSE(pred, t.Const(short))
-		t.Backward(loss)
-		losses[v] = loss.Value.Data[0]
-	})
-	opt.Step(params)
-	return stats.Mean(losses)
-}
-
-// trainStage2 trains the concurrent-noise module with stage 1 frozen and
-// returns the number of epochs run.
-func (m *Model) trainStage2(p *prepared) int {
-	params := m.noise.params()
-	opt := nn.NewAdam(m.cfg.LR)
-	opt.MaxGradNorm = 5
-	insts := window.Indices(len(p.time), m.cfg.LongWindow, m.cfg.TrainStride)
-	// The frozen stage-1 forwards and graph building reuse one scratch
-	// across all windows; each window's tensors are consumed (forward +
-	// backward) before the next window overwrites them.
-	sc := m.newScratch(0)
-
-	best := math.Inf(1)
-	wait := 0
-	epoch := 0
-	for ; epoch < m.cfg.MaxEpochs; epoch++ {
-		var dyn *dynamicGraphState
-		if m.cfg.Variant == VariantDynamicGraph {
-			dyn = newDynamicGraphState(m.n)
-		}
-		var epochLoss float64
-		for _, inst := range insts {
-			// Stage-1 outputs are treated as constants: the temporal
-			// module is frozen during stage 2 (Algorithm 1, line 7).
-			e := m.stage1Errors(p, inst.End, sc)
-			a := m.adjacency(e, dyn, sc)
-			h := propagateInto(a, e, sc.h)
-			t := newTape()
-			pred := m.noise.forward(t, h)
-			loss := t.MSE(pred, t.Const(e)) // loss2 = Y − Ŷ1 − Ŷ2 (Eq. 16)
-			t.Backward(loss)
-			opt.Step(params)
-			epochLoss += loss.Value.Data[0]
-		}
-		epochLoss /= float64(len(insts))
-		m.cfg.Logf("stage2 epoch %d loss %.6f", epoch, epochLoss)
-		if epochLoss < best-1e-6 {
-			best = epochLoss
-			wait = 0
-		} else if wait++; wait >= m.cfg.Patience {
-			epoch++
-			break
-		}
-	}
-	return epoch
 }
 
 // scoreSeries produces per-variate, per-timestamp anomaly scores for a

@@ -38,14 +38,12 @@ type varSlot struct {
 	short *tensor.Dense
 }
 
-// newScratch sizes a scratch for the model's window geometry. workers
-// bounds the stage-1 fan-out; <= 0 uses the model's configured workers.
-func (m *Model) newScratch(workers int) *scratch {
-	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
-	inDim := 1
-	if m.cfg.multivariateInput() {
-		inDim = m.n
-	}
+// clampWorkers resolves a requested stage-1 fan-out width: <= 0 falls back
+// to the configured worker count (then GOMAXPROCS), the result is clamped
+// to the variate count, and multivariate input forces 1 (its single
+// forward pass has nothing to fan out). Shared by the scoring and training
+// scratches so their fan-out policies cannot diverge.
+func (m *Model) clampWorkers(workers int) int {
 	if workers <= 0 {
 		workers = m.cfg.Workers
 	}
@@ -58,6 +56,18 @@ func (m *Model) newScratch(workers int) *scratch {
 	if workers < 1 || m.cfg.multivariateInput() {
 		workers = 1
 	}
+	return workers
+}
+
+// newScratch sizes a scratch for the model's window geometry. workers
+// bounds the stage-1 fan-out; <= 0 uses the model's configured workers.
+func (m *Model) newScratch(workers int) *scratch {
+	w, omega := m.cfg.LongWindow, m.cfg.ShortWindow
+	inDim := 1
+	if m.cfg.multivariateInput() {
+		inDim = m.n
+	}
+	workers = m.clampWorkers(workers)
 	sc := &scratch{
 		wt: windowTimes{
 			posL: make([]float64, w), dtL: make([]float64, w),

@@ -141,8 +141,9 @@ func TestStreamGraphSnapshot(t *testing.T) {
 // TestStreamPushSteadyStateAllocs pins the allocation budget of the online
 // hot path: once the window is warm, Push must reuse the detector's ring
 // and scratch buffers instead of re-allocating the scoring pipeline. The
-// pre-refactor path allocated ~3000 objects per frame; the bound here
-// leaves headroom only for alarm slices and scheduler noise.
+// seed path allocated ~3000 objects per frame; the path now measures 0 in
+// steady state, and the bound leaves headroom only for the alarm slice a
+// firing frame returns.
 func TestStreamPushSteadyStateAllocs(t *testing.T) {
 	m, d := shared(t)
 	s, err := NewStreamDetector(m)
@@ -166,8 +167,8 @@ func TestStreamPushSteadyStateAllocs(t *testing.T) {
 		push()
 	}
 	allocs := testing.AllocsPerRun(64, push)
-	if allocs > 32 {
-		t.Fatalf("steady-state Push allocates %.1f objects/frame, want <= 32", allocs)
+	if allocs > 2 {
+		t.Fatalf("steady-state Push allocates %.1f objects/frame, want <= 2", allocs)
 	}
 }
 
@@ -235,8 +236,8 @@ func TestStreamDynamicGraphVariant(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs > 8 {
-		t.Fatalf("dynamic-graph steady-state Push allocates %.1f objects/frame, want <= 8", allocs)
+	if allocs > 2 {
+		t.Fatalf("dynamic-graph steady-state Push allocates %.1f objects/frame, want <= 2", allocs)
 	}
 }
 

@@ -1,0 +1,22 @@
+package fourier
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkPeriodogram measures the per-series cost paid by the SR and
+// FluxEV baselines, which call Periodogram once per light curve; together
+// with BenchmarkFFT1024 and BenchmarkFFTBluestein1000 it pins the benefit
+// of the per-length twiddle and Bluestein plan caches.
+func BenchmarkPeriodogram(b *testing.B) {
+	x := make([]float64, 700)
+	for i := range x {
+		x[i] = math.Sin(0.1*float64(i)) + 0.25*math.Sin(0.37*float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Periodogram(x)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -152,6 +153,38 @@ func TestFFTDoesNotModifyInput(t *testing.T) {
 		if x[i] != orig[i] {
 			t.Fatal("input modified")
 		}
+	}
+}
+
+// TestFFTConcurrentPlanCache exercises the twiddle/Bluestein plan caches
+// from many goroutines hitting the same fresh lengths at once (run with
+// -race): every transform must agree with a serially computed reference.
+func TestFFTConcurrentPlanCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Lengths chosen to avoid the package's other tests so the caches are
+	// cold: one power of two, one prime (Bluestein).
+	inputs := [][]complex128{randComplex(512, rng), randComplex(509, rng)}
+	want := [][]complex128{FFT(inputs[0]), FFT(inputs[1])}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := inputs[g%2]
+			got := FFT(x)
+			for i := range got {
+				if got[i] != want[g%2][i] {
+					errs <- "concurrent FFT diverged from serial reference"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }
 

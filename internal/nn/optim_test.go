@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aero/internal/ag"
+	"aero/internal/tensor"
+)
+
+// refAdam is the pre-refactor reference implementation: lazily-allocated
+// map-backed moment buffers, with gradient clipping as a separate in-place
+// rescaling pass before the update. The fused slice-backed Adam must
+// reproduce it bit for bit.
+type refAdam struct {
+	lr, beta1, beta2, eps, maxNorm float64
+
+	step int
+	m, v map[*ag.Param]*tensor.Dense
+}
+
+func newRefAdam(lr, maxNorm float64) *refAdam {
+	return &refAdam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, maxNorm: maxNorm,
+		m: make(map[*ag.Param]*tensor.Dense),
+		v: make(map[*ag.Param]*tensor.Dense),
+	}
+}
+
+func (a *refAdam) Step(params []*ag.Param) {
+	if a.maxNorm > 0 {
+		clipGradNorm(params, a.maxNorm)
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.step))
+	for _, p := range params {
+		m := a.m[p]
+		if m == nil {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.beta1*m.Data[i] + (1-a.beta1)*g
+			v.Data[i] = a.beta2*v.Data[i] + (1-a.beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.Value.Data[i] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+func clonedParams(rng *rand.Rand) ([]*ag.Param, []*ag.Param) {
+	var a, b []*ag.Param
+	for i, shape := range [][2]int{{3, 4}, {1, 4}, {4, 4}} {
+		v := tensor.Randn(shape[0], shape[1], 1, rng)
+		a = append(a, ag.NewParam("a", v.Clone()))
+		b = append(b, ag.NewParam("b", v.Clone()))
+		_ = i
+	}
+	return a, b
+}
+
+// TestAdamMatchesReferenceImplementation pins the slice-backed fused Step
+// against the map-backed clip-then-update reference: identical parameter
+// values after every step, with and without clipping engaged, down to the
+// last bit.
+func TestAdamMatchesReferenceImplementation(t *testing.T) {
+	for _, maxNorm := range []float64{0, 5, 1e-3} {
+		rng := rand.New(rand.NewSource(42))
+		got, want := clonedParams(rng)
+		opt := NewAdam(0.01)
+		opt.MaxGradNorm = maxNorm
+		ref := newRefAdam(0.01, maxNorm)
+		for step := 0; step < 25; step++ {
+			// Same synthetic gradients on both sides; occasionally huge so
+			// the clip path actually engages.
+			scale := 1.0
+			if step%5 == 0 {
+				scale = 1e3
+			}
+			for i := range got {
+				for j := range got[i].Grad.Data {
+					g := scale * rng.NormFloat64()
+					got[i].Grad.Data[j] = g
+					want[i].Grad.Data[j] = g
+				}
+			}
+			opt.Step(got)
+			ref.Step(want)
+			for i := range got {
+				if !tensor.Equal(got[i].Value, want[i].Value, 0) {
+					t.Fatalf("maxNorm=%v step %d: fused Adam diverges from reference", maxNorm, step)
+				}
+				if got[i].Grad.Norm() != 0 {
+					t.Fatal("fused step must zero gradients")
+				}
+			}
+		}
+	}
+}
+
+// TestAdamStepAllocFree pins that a steady-state fused step allocates
+// nothing once the moment slices are bound.
+func TestAdamStepAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params, _ := clonedParams(rng)
+	opt := NewAdam(0.01)
+	opt.MaxGradNorm = 5
+	opt.Step(params) // bind moment buffers
+	allocs := testing.AllocsPerRun(32, func() {
+		for _, p := range params {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] = 0.1
+			}
+		}
+		opt.Step(params)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Adam step allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestAdamRejectsDifferentParamSet pins the bind contract: moment history
+// is meaningless for another parameter set, so Step must refuse it.
+func TestAdamRejectsDifferentParamSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := clonedParams(rng)
+	opt := NewAdam(0.01)
+	opt.Step(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a different parameter set")
+		}
+	}()
+	opt.Step(b)
+}

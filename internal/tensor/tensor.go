@@ -317,6 +317,92 @@ func (m *Dense) MatMulT(o *Dense) *Dense {
 	return out
 }
 
+// MatMulAddInto computes out += m · o into the caller-supplied buffer.
+// It is the accumulating kernel the gradient replay path is built on:
+// backward steps add into existing gradient buffers instead of
+// materialising a product and then summing it. Each cell's dot product is
+// accumulated in k order before the single add, so the result is
+// bit-identical to MatMul followed by AddInPlace.
+func (m *Dense) MatMulAddInto(o, out *Dense) {
+	if m.Cols != o.Rows || out.Rows != m.Rows || out.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: matmul-add-into shape mismatch %dx%d · %dx%d -> %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < out.Cols; j++ {
+			var s float64
+			for k, mv := range mrow {
+				if mv == 0 {
+					continue
+				}
+				s += mv * o.Data[k*o.Cols+j]
+			}
+			orow[j] += s
+		}
+	}
+}
+
+// MatMulTAddInto computes out += m · oᵀ without materialising the
+// transpose or a temporary product.
+func (m *Dense) MatMulTAddInto(o, out *Dense) {
+	if m.Cols != o.Cols || out.Rows != m.Rows || out.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: matmulT-add-into shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := 0; j < o.Rows; j++ {
+			orow := o.Data[j*o.Cols : (j+1)*o.Cols]
+			var s float64
+			for k, mv := range mrow {
+				s += mv * orow[k]
+			}
+			out.Data[i*out.Cols+j] += s
+		}
+	}
+}
+
+// TMatMulAddInto computes out += mᵀ · o without materialising the
+// transpose or a temporary product. Like MatMulAddInto, per-cell dot
+// products are accumulated in k order before the single add, so the result
+// is bit-identical to TMatMul followed by AddInPlace.
+func (m *Dense) TMatMulAddInto(o, out *Dense) {
+	if m.Rows != o.Rows || out.Rows != m.Cols || out.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: tmatmul-add-into shape mismatch (%dx%d)ᵀ · %dx%d -> %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < m.Cols; i++ {
+		dst := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < o.Cols; j++ {
+			var s float64
+			for k := 0; k < m.Rows; k++ {
+				mv := m.Data[k*m.Cols+i]
+				if mv == 0 {
+					continue
+				}
+				s += mv * o.Data[k*o.Cols+j]
+			}
+			dst[j] += s
+		}
+	}
+}
+
+// AddTransposed sets m += oᵀ without materialising the transpose.
+func (m *Dense) AddTransposed(o *Dense) *Dense {
+	if m.Rows != o.Cols || m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: add-transposed shape mismatch %dx%d += (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst := m.Row(i)
+		for j := range dst {
+			dst[j] += o.Data[j*o.Cols+i]
+		}
+	}
+	return m
+}
+
 // TMatMul returns mᵀ · o without materialising the transpose.
 func (m *Dense) TMatMul(o *Dense) *Dense {
 	if m.Rows != o.Rows {

@@ -1,0 +1,75 @@
+package aero_test
+
+import (
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"aero"
+)
+
+// trainFingerprint fits the benchmark model with the given worker count
+// and returns (epochs1, epochs2, threshold bits, FNV-1a hash of all test
+// score bits) — a complete fingerprint of the training outcome.
+func trainFingerprint(t *testing.T, workers int) (int, int, uint64, uint64) {
+	t.Helper()
+	d := benchDataset()
+	cfg := benchConfig()
+	cfg.Workers = workers
+	m, err := aero.New(cfg, d.Train.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Scores(d.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, row := range scores {
+		for _, s := range row {
+			bits := math.Float64bits(s)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return m.Epochs1, m.Epochs2, math.Float64bits(m.Threshold()), h.Sum64()
+}
+
+// TestTrainingBitIdentityGolden pins the end-to-end training outcome to
+// the fingerprint captured from the pre-refactor closure-tape + map-Adam
+// implementation (sequential training, same seed): the op-record gradient
+// tapes, fused Adam and restructured epoch loops must not change a single
+// bit of the losses, threshold or scores. The golden bits were recorded on
+// amd64; other architectures may contract floating-point expressions
+// differently (FMA), so the comparison is gated.
+func TestTrainingBitIdentityGolden(t *testing.T) {
+	const (
+		goldenEpochs1 = 3
+		goldenEpochs2 = 3
+		goldenThrBits = uint64(0x3fda8e3d75baa011)
+		goldenScores  = uint64(0x530ada4bb79b4e18)
+	)
+	if testing.Short() {
+		t.Skip("training fingerprint is not fast")
+	}
+	e1, e2, thr, scores := trainFingerprint(t, 1)
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden bits recorded on amd64, running on %s", runtime.GOARCH)
+	}
+	if e1 != goldenEpochs1 || e2 != goldenEpochs2 {
+		t.Fatalf("epochs (%d, %d) != golden (%d, %d)", e1, e2, goldenEpochs1, goldenEpochs2)
+	}
+	if thr != goldenThrBits {
+		t.Fatalf("threshold bits %#x != golden %#x", thr, goldenThrBits)
+	}
+	if scores != goldenScores {
+		t.Fatalf("score hash %#x != golden %#x", scores, goldenScores)
+	}
+}
