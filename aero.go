@@ -41,6 +41,7 @@ import (
 	"aero/internal/dataset"
 	"aero/internal/engine"
 	"aero/internal/evt"
+	"aero/internal/lifecycle"
 )
 
 // Model is a trainable/trained AERO detector. See core.Model.
@@ -122,6 +123,39 @@ type FrameError = engine.FrameError
 // Subscribe, feed frames with Ingest or the Samples channel, and consume
 // Alarms continuously until Close.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// ModelRegistry is a versioned on-disk model store: atomic publishes,
+// monotonically increasing per-tenant versions, quarantine of corrupt
+// entries, and warm detector-state checkpoints. See internal/lifecycle.
+type ModelRegistry = lifecycle.Registry
+
+// ModelVersion identifies one published model of one registry tenant.
+type ModelVersion = lifecycle.Version
+
+// ErrNoVersions is returned by ModelRegistry.Latest for a tenant with no
+// loadable published model.
+var ErrNoVersions = lifecycle.ErrNoVersions
+
+// OpenRegistry opens (creating if needed) a model registry rooted at dir.
+func OpenRegistry(dir string) (*ModelRegistry, error) { return lifecycle.OpenRegistry(dir) }
+
+// Retrainer refits tenant models in the background — on a schedule or on
+// demand — on a bounded worker pool, publishing every result to the
+// registry. Pair its OnResult callback with Subscription.Swap for
+// zero-downtime nightly retrains.
+type Retrainer = lifecycle.Retrainer
+
+// RetrainerConfig wires a Retrainer to its training data, registry and
+// result consumer.
+type RetrainerConfig = lifecycle.RetrainerConfig
+
+// RetrainResult reports one finished background retrain (the seed it is
+// reproducible from, the version it published, the model to swap in).
+type RetrainResult = lifecycle.Result
+
+// NewRetrainer validates cfg and returns an idle retrainer; call Start to
+// launch its workers and Close to stop them.
+func NewRetrainer(cfg RetrainerConfig) (*Retrainer, error) { return lifecycle.NewRetrainer(cfg) }
 
 // DefaultConfig returns the paper's hyperparameters (W=200, ω=60, d_m=64,
 // 4 heads, 1 encoder layer, Adam 1e-3, POT level 0.99 / q 1e-3).

@@ -224,6 +224,125 @@ func BenchmarkStreamPush(b *testing.B) {
 	}
 }
 
+// warmBenchDetector trains the bench model and pushes one full window plus
+// a margin, returning the warm detector ready for lifecycle benchmarks.
+func warmBenchDetector(b *testing.B) (*aero.StreamDetector, *aero.Model, *dataset.Dataset) {
+	b.Helper()
+	d := benchDataset()
+	m, err := aero.New(benchConfig(), d.Train.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		b.Fatal(err)
+	}
+	s, err := aero.NewStreamDetector(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	for t := 0; t < m.Config().LongWindow+8; t++ {
+		frame.Time = float64(t)
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][t%d.Test.Len()]
+		}
+		if _, err := s.Push(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, m, d
+}
+
+// BenchmarkDetectorSnapshot measures serializing one warm detector state —
+// the per-tenant cost of a lifecycle checkpoint. The snapshot size is
+// reported as the snapshot-bytes metric.
+func BenchmarkDetectorSnapshot(b *testing.B) {
+	s, _, _ := warmBenchDetector(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var blob []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		if blob, err = s.SnapshotState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "snapshot-bytes")
+}
+
+// BenchmarkDetectorRestore measures installing a warm snapshot into a
+// detector — the per-tenant cost of a zero-warmup restart.
+func BenchmarkDetectorRestore(b *testing.B) {
+	s, m, _ := warmBenchDetector(b)
+	blob, err := s.SnapshotState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh, err := aero.NewStreamDetector(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fresh.RestoreState(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "snapshot-bytes")
+}
+
+// BenchmarkSubscriptionSwap measures engine-level hot-swap latency: the
+// frame-boundary installation of a new model into a warm serving tenant,
+// including the scratch rebuild and window re-normalization.
+func BenchmarkSubscriptionSwap(b *testing.B) {
+	d := benchDataset()
+	m, err := aero.New(benchConfig(), d.Train.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/twin.json"
+	if err := m.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	twin, err := aero.Load(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := aero.NewEngine(aero.EngineConfig{Shards: 1, Workers: 1})
+	defer e.Close()
+	go func() {
+		for range e.Alarms() {
+		}
+	}()
+	sub, err := e.Subscribe("swap-bench", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	for t := 0; t < m.Config().LongWindow+8; t++ {
+		frame.Time = float64(t)
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][t%d.Test.Len()]
+		}
+		if err := e.Ingest("swap-bench", frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Flush()
+	models := [2]*aero.Model{twin, m}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sub.Swap(models[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineThroughput measures multi-tenant engine throughput: one
 // op is one frame ingested, routed through a shard queue, and scored by
 // the worker pool. Tenants share one trained model; alarms are drained

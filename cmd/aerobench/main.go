@@ -10,8 +10,10 @@
 // Experiments: table1, table2, table3, table4, fig5, fig6, fig7, fig8,
 // fig9, fig10, bench, all. Scale "small" finishes in minutes on a laptop;
 // "paper" uses the paper's dataset sizes and hyperparameters. "bench" runs
-// the training and streaming micro-benchmarks (ScaleTiny shapes, matching
-// BenchmarkAEROTraining and BenchmarkStreamPush in bench_test.go).
+// the training, streaming and lifecycle micro-benchmarks (ScaleTiny
+// shapes, matching BenchmarkAEROTraining, BenchmarkStreamPush,
+// BenchmarkDetectorSnapshot/Restore and BenchmarkSubscriptionSwap in
+// bench_test.go); snapshot sizes surface as the snapshot-bytes metric.
 //
 // With -json FILE, a machine-readable summary — per-experiment wall times
 // and per-benchmark ns/op, B/op and allocs/op — is written to FILE, so CI
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -39,13 +42,16 @@ type experimentResult struct {
 	Seconds float64 `json:"seconds"`
 }
 
-// benchResult is one -json entry for a micro-benchmark.
+// benchResult is one -json entry for a micro-benchmark. Extra carries
+// benchmark-reported custom metrics (e.g. snapshot-bytes for the
+// lifecycle snapshot/restore benchmarks).
 type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // report is the -json document.
@@ -93,15 +99,26 @@ func benchModel(d *dataset.Dataset) (*aero.Model, error) {
 func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 	var out []benchResult
 	record := func(name string, r testing.BenchmarkResult) {
-		out = append(out, benchResult{
+		res := benchResult{
 			Name:        name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Fprintf(w, "%-16s %12.0f ns/op %12d B/op %9d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		out = append(out, res)
+		fmt.Fprintf(w, "%-18s %12.0f ns/op %12d B/op %9d allocs/op",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		for k, v := range res.Extra {
+			fmt.Fprintf(w, " %12.0f %s", v, k)
+		}
+		fmt.Fprintln(w)
 	}
 
 	d := benchDataset()
@@ -153,6 +170,89 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 			}
 		}
 	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	// Lifecycle benchmarks: warm-state snapshot/restore and engine-level
+	// model hot-swap (matching BenchmarkDetectorSnapshot/Restore and
+	// BenchmarkSubscriptionSwap in bench_test.go).
+	blob, err := s.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	record("DetectorSnapshot", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if blob, benchErr = s.SnapshotState(); benchErr != nil {
+				b.Skip(benchErr)
+			}
+		}
+		b.ReportMetric(float64(len(blob)), "snapshot-bytes")
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	fresh, err := aero.NewStreamDetector(m)
+	if err != nil {
+		return nil, err
+	}
+	record("DetectorRestore", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if benchErr = fresh.RestoreState(blob); benchErr != nil {
+				b.Skip(benchErr)
+			}
+		}
+		b.ReportMetric(float64(len(blob)), "snapshot-bytes")
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	tmpDir, err := os.MkdirTemp("", "aerobench-swap-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+	twinPath := filepath.Join(tmpDir, "twin.json")
+	if err := m.Save(twinPath); err != nil {
+		return nil, err
+	}
+	twin, err := aero.Load(twinPath)
+	if err != nil {
+		return nil, err
+	}
+	e := aero.NewEngine(aero.EngineConfig{Shards: 1, Workers: 1})
+	go func() {
+		for range e.Alarms() {
+		}
+	}()
+	sub, err := e.Subscribe("swap-bench", m)
+	if err != nil {
+		return nil, err
+	}
+	warm := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	for i := 0; i < m.Config().LongWindow+8; i++ {
+		warm.Time = float64(i)
+		for v := 0; v < d.Test.N(); v++ {
+			warm.Magnitudes[v] = d.Test.Data[v][i%d.Test.Len()]
+		}
+		if err := e.Ingest("swap-bench", warm); err != nil {
+			return nil, err
+		}
+	}
+	e.Flush()
+	models := [2]*aero.Model{twin, m}
+	record("SubscriptionSwap", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if benchErr = sub.Swap(models[i%2]); benchErr != nil {
+				b.Skip(benchErr)
+			}
+		}
+	}))
+	e.Close()
 	if benchErr != nil {
 		return nil, benchErr
 	}

@@ -3,10 +3,13 @@
 // Usage:
 //
 //	aerogen -out data -dataset SyntheticMiddle
-//	aerodetect -dir data -dataset SyntheticMiddle -config small
+//	aerodetect -dir data -dataset SyntheticMiddle -config small -save model.json
+//	aerodetect -dir data -dataset SyntheticMiddle -load model.json
 //
 // It prints the calibrated threshold, per-star alarm segments, and — when
 // ground-truth labels are present — point-adjusted precision/recall/F1.
+// With -save the trained model is persisted (atomically) for later runs;
+// with -load a saved model is reused instead of retraining from scratch.
 package main
 
 import (
@@ -22,6 +25,8 @@ func main() {
 	dir := flag.String("dir", "data", "dataset directory (as written by aerogen)")
 	name := flag.String("dataset", "SyntheticMiddle", "dataset name")
 	config := flag.String("config", "small", "model configuration: small or paper")
+	load := flag.String("load", "", "load a saved model instead of training")
+	save := flag.String("save", "", "save the trained model to this path (atomic write)")
 	verbose := flag.Bool("v", false, "log training progress")
 	flag.Parse()
 
@@ -31,26 +36,40 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := aero.SmallConfig()
-	if *config == "paper" {
-		cfg = aero.DefaultConfig()
+	var model *aero.Model
+	if *load != "" {
+		if model, err = aero.Load(*load); err != nil {
+			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s: POT threshold %.4f\n", *load, model.Threshold())
+	} else {
+		cfg := aero.SmallConfig()
+		if *config == "paper" {
+			cfg = aero.DefaultConfig()
+		}
+		if *verbose {
+			cfg.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+		}
+		if model, err = aero.New(cfg, d.Train.N()); err != nil {
+			fmt.Fprintf(os.Stderr, "model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("training AERO on %s (%d stars, %d samples)...\n", *name, d.Train.N(), d.Train.Len())
+		if err := model.Fit(d.Train); err != nil {
+			fmt.Fprintf(os.Stderr, "fit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trained: stage1 %d epochs, stage2 %d epochs, POT threshold %.4f\n",
+			model.Epochs1, model.Epochs2, model.Threshold())
 	}
-	if *verbose {
-		cfg.Logf = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	if *save != "" {
+		if err := model.Save(*save); err != nil {
+			fmt.Fprintf(os.Stderr, "save model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved model to %s\n", *save)
 	}
-
-	model, err := aero.New(cfg, d.Train.N())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "model: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("training AERO on %s (%d stars, %d samples)...\n", *name, d.Train.N(), d.Train.Len())
-	if err := model.Fit(d.Train); err != nil {
-		fmt.Fprintf(os.Stderr, "fit: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("trained: stage1 %d epochs, stage2 %d epochs, POT threshold %.4f\n",
-		model.Epochs1, model.Epochs2, model.Threshold())
 
 	pred, err := model.Detect(d.Test)
 	if err != nil {

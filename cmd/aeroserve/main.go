@@ -6,17 +6,30 @@
 //
 //	aerogen -out data -dataset SyntheticMiddle
 //	aeroserve -dir data -dataset SyntheticMiddle -tenants 16 -rate 0
+//	aeroserve -dir data -dataset SyntheticMiddle -checkpoint ckpt \
+//	    -retrain-every 30s -rate 4
 //
 // Each tenant simulates one telescope field observing the test split; the
 // engine shards the tenants, scores frames on a worker pool, and streams
 // alarms to stdout while periodic per-shard stats go to stderr.
+//
+// With -checkpoint the server keeps a model registry at the given
+// directory: the newest published model is used instead of retraining on
+// startup, warm detector states checkpointed by a previous run are
+// restored (tenants resume with a full window instead of re-warming), and
+// on shutdown every tenant's state is checkpointed back. With
+// -retrain-every the model is refit in the background on that interval
+// (each round with a fresh logged seed), published to the registry, and
+// hot-swapped into every serving tenant with zero dropped frames.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aero"
@@ -48,6 +61,8 @@ func main() {
 	name := flag.String("dataset", "SyntheticMiddle", "dataset name")
 	config := flag.String("config", "small", "model configuration: small or paper")
 	load := flag.String("load", "", "load a saved model instead of training")
+	checkpoint := flag.String("checkpoint", "", "model registry directory: reuse the newest published model, restore warm detector states, checkpoint on shutdown")
+	retrainEvery := flag.Duration("retrain-every", 0, "background retrain + hot-swap interval (0 = disabled)")
 	tenants := flag.Int("tenants", 8, "number of simulated telescope fields")
 	rate := flag.Float64("rate", 0, "frames per second per tenant (0 = as fast as possible)")
 	shards := flag.Int("shards", 0, "engine shards (0 = default)")
@@ -67,17 +82,53 @@ func main() {
 	d.Train = truncate(d.Train, *trainLen)
 	d.Test = truncate(d.Test, *testLen)
 
+	// The registry is the model's home when -checkpoint is set; a retrain
+	// schedule without one still needs somewhere to publish, so it falls
+	// back to a throwaway directory.
+	var reg *aero.ModelRegistry
+	if *checkpoint != "" {
+		if reg, err = aero.OpenRegistry(*checkpoint); err != nil {
+			fmt.Fprintf(os.Stderr, "open registry: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *retrainEvery > 0 {
+		tmp, terr := os.MkdirTemp("", "aero-registry-")
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "temp registry: %v\n", terr)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		if reg, err = aero.OpenRegistry(tmp); err != nil {
+			fmt.Fprintf(os.Stderr, "open registry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no -checkpoint given; publishing retrains to throwaway %s\n", tmp)
+	}
+
+	cfg := aero.SmallConfig()
+	if *config == "paper" {
+		cfg = aero.DefaultConfig()
+	}
 	var model *aero.Model
-	if *load != "" {
+	switch {
+	case *load != "":
 		if model, err = aero.Load(*load); err != nil {
 			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
 			os.Exit(1)
 		}
-	} else {
-		cfg := aero.SmallConfig()
-		if *config == "paper" {
-			cfg = aero.DefaultConfig()
+	case reg != nil:
+		m, v, lerr := reg.Latest(*name)
+		switch {
+		case lerr == nil:
+			model = m
+			fmt.Fprintf(os.Stderr, "using published model %s/%s from the registry\n", *name, v)
+		case errors.Is(lerr, aero.ErrNoVersions):
+			// First run against this checkpoint: train below.
+		default:
+			fmt.Fprintf(os.Stderr, "registry %s: %v; retraining from scratch\n", reg.Dir(), lerr)
 		}
+	}
+	if model == nil {
 		if model, err = aero.New(cfg, d.Train.N()); err != nil {
 			fmt.Fprintf(os.Stderr, "model: %v\n", err)
 			os.Exit(1)
@@ -86,6 +137,13 @@ func main() {
 		if err := model.Fit(d.Train); err != nil {
 			fmt.Fprintf(os.Stderr, "fit: %v\n", err)
 			os.Exit(1)
+		}
+		if reg != nil {
+			if v, perr := reg.Publish(*name, model); perr != nil {
+				fmt.Fprintf(os.Stderr, "publish: %v\n", perr)
+			} else {
+				fmt.Fprintf(os.Stderr, "published %s/%s\n", *name, v)
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "model ready: POT threshold %.4f\n", model.Threshold())
@@ -99,7 +157,69 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Warm restarts: restore checkpointed detector states so tenants
+	// resume with a full window instead of re-warming from a cold ring.
+	if reg != nil {
+		restored := 0
+		for _, sub := range subs {
+			blob, lerr := reg.LoadState(sub.ID)
+			if lerr != nil {
+				continue // no checkpoint for this tenant
+			}
+			if rerr := sub.RestoreState(blob); rerr != nil {
+				fmt.Fprintf(os.Stderr, "restore %s: %v\n", sub.ID, rerr)
+				continue
+			}
+			restored++
+		}
+		if restored > 0 {
+			fmt.Fprintf(os.Stderr, "restored %d warm detector states from %s\n", restored, reg.Dir())
+		}
+	}
 	fmt.Fprintf(os.Stderr, "engine up: %d tenants × %d frames each\n", *tenants, d.Test.Len())
+
+	// Background lifecycle: retrain on the configured interval and
+	// hot-swap every tenant on publish.
+	var retrains, hotSwaps atomic.Uint64
+	var retrainer *aero.Retrainer
+	if *retrainEvery > 0 {
+		base := model.Config()
+		retrainer, err = aero.NewRetrainer(aero.RetrainerConfig{
+			Registry: reg,
+			Source:   func(string) (*aero.Series, error) { return d.Train, nil },
+			Config: func(_ string, round int) aero.Config {
+				c := base
+				c.Seed = base.Seed + int64(round) // reproducible from the logged seed
+				return c
+			},
+			Interval: *retrainEvery,
+			Logf:     func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+			OnResult: func(res aero.RetrainResult) {
+				if res.Err != nil {
+					fmt.Fprintf(os.Stderr, "retrain: %v\n", res.Err)
+					return
+				}
+				retrains.Add(1)
+				n := 0
+				for _, sub := range subs {
+					if serr := sub.Swap(res.Model); serr != nil {
+						fmt.Fprintf(os.Stderr, "swap %s: %v\n", sub.ID, serr)
+						continue
+					}
+					n++
+				}
+				hotSwaps.Add(uint64(n))
+				fmt.Fprintf(os.Stderr, "hot-swapped %s/%s (seed %d) into %d tenants mid-stream\n",
+					*name, res.Version, res.Seed, n)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "retrainer: %v\n", err)
+			os.Exit(1)
+		}
+		retrainer.Register(*name)
+		retrainer.Start()
+	}
 
 	// Alarm and error consumers.
 	var consumers sync.WaitGroup
@@ -148,6 +268,16 @@ func main() {
 			defer feeders.Done()
 			id := subs[i].ID
 			frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+			// A restored tenant already has a time cursor; shift the replay
+			// so it continues strictly after the checkpointed feed.
+			offset := 0.0
+			if last, ok := subs[i].LastTime(); ok && last >= d.Test.Time[0] {
+				step := 1.0
+				if d.Test.Len() > 1 {
+					step = d.Test.Time[1] - d.Test.Time[0]
+				}
+				offset = last - d.Test.Time[0] + step
+			}
 			var tick *time.Ticker
 			if *rate > 0 {
 				tick = time.NewTicker(time.Duration(float64(time.Second) / *rate))
@@ -157,7 +287,7 @@ func main() {
 				if tick != nil {
 					<-tick.C
 				}
-				frame.Time = d.Test.Time[t]
+				frame.Time = d.Test.Time[t] + offset
 				for v := 0; v < d.Test.N(); v++ {
 					frame.Magnitudes[v] = d.Test.Data[v][t]
 				}
@@ -169,6 +299,9 @@ func main() {
 		}(i)
 	}
 	feeders.Wait()
+	if retrainer != nil {
+		retrainer.Close() // finish any in-flight retrain (its swap still lands)
+	}
 	eng.Flush()
 	elapsed := time.Since(start)
 	for _, s := range eng.Stats() {
@@ -182,7 +315,26 @@ func main() {
 	eng.Close()
 	consumers.Wait()
 
+	// Checkpoint warm detector states so the next run resumes mid-window.
+	if reg != nil {
+		saved := 0
+		for _, sub := range subs {
+			blob, serr := sub.SnapshotState()
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", sub.ID, serr)
+				continue
+			}
+			if serr := reg.SaveState(sub.ID, blob); serr != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint %s: %v\n", sub.ID, serr)
+				continue
+			}
+			saved++
+		}
+		fmt.Fprintf(os.Stderr, "checkpointed %d warm detector states to %s\n", saved, reg.Dir())
+	}
+
 	total := eng.Totals()
-	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms\n",
-		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(), totalAlarms)
+	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
+		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),
+		totalAlarms, retrains.Load(), hotSwaps.Load())
 }

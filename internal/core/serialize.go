@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"aero/internal/evt"
 	"aero/internal/window"
@@ -82,6 +83,10 @@ type paramRef struct {
 }
 
 // Save writes the trained model to path as JSON. The model must be fitted.
+//
+// The write is atomic: the JSON lands in a temp file in path's directory,
+// is synced, then renamed over path — a crash mid-write can never leave a
+// truncated or half-written checkpoint where a reader expects a model.
 func (m *Model) Save(path string) error {
 	if !m.trained {
 		return fmt.Errorf("core: cannot save an unfitted model")
@@ -103,10 +108,53 @@ func (m *Model) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("core: marshal model: %w", err)
 	}
-	if err := os.WriteFile(path, blob, 0o644); err != nil {
+	if err := WriteFileAtomic(path, blob, 0o644); err != nil {
 		return fmt.Errorf("core: save model: %w", err)
 	}
 	return nil
+}
+
+// WriteFileAtomic writes blob to a temp file in path's directory, syncs it
+// to stable storage, renames it over path, then syncs the directory so the
+// new entry itself survives a crash (without the directory fsync, a rename
+// can vanish on power loss — which would let the registry reuse a version
+// id it promised never to reissue). The temp file lives in the same
+// directory so the rename cannot cross filesystems. Shared by model saves
+// and the lifecycle registry's state checkpoints so the atomicity
+// discipline has one implementation.
+func WriteFileAtomic(path string, blob []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".aero-save-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(blob)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, perm)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		err = derr
+	}
+	return err
 }
 
 // Load reads a model previously written by Save and returns it ready for
@@ -116,12 +164,23 @@ func Load(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load model: %w", err)
 	}
+	return LoadBytes(blob)
+}
+
+// LoadBytes decodes a model from the bytes of a Save file. Callers that
+// need to distinguish I/O failures from corrupt content (e.g. the
+// lifecycle registry, which quarantines only the latter) read the file
+// themselves and hand the bytes here.
+func LoadBytes(blob []byte) (*Model, error) {
 	var st modelState
 	if err := json.Unmarshal(blob, &st); err != nil {
 		return nil, fmt.Errorf("core: parse model: %w", err)
 	}
 	if st.Version != 1 {
 		return nil, fmt.Errorf("core: unsupported model version %d", st.Version)
+	}
+	if len(st.Shapes) != len(st.Params) {
+		return nil, fmt.Errorf("core: corrupt model file: %d parameter blobs but %d shapes", len(st.Params), len(st.Shapes))
 	}
 	m, err := New(fromConfigJSON(st.Config), st.N)
 	if err != nil {
@@ -140,6 +199,10 @@ func Load(path string) (*Model, error) {
 			return nil, fmt.Errorf("core: parameter %d (%s) size mismatch", i, p.name)
 		}
 		copy(p.data, st.Params[i])
+	}
+	if len(st.NormLo) != st.N || len(st.NormHi) != st.N {
+		return nil, fmt.Errorf("core: corrupt model file: %d/%d normalizer bounds for %d variates",
+			len(st.NormLo), len(st.NormHi), st.N)
 	}
 	m.norm = &window.Normalizer{Lo: st.NormLo, Hi: st.NormHi}
 	m.dtScale = st.DTScale

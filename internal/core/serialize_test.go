@@ -121,6 +121,126 @@ func TestLoadRejectsUnknownVersion(t *testing.T) {
 	}
 }
 
+// mutateSavedModel saves the shared model, applies f to the decoded state,
+// and writes the re-marshalled result to a fresh path.
+func mutateSavedModel(t *testing.T, f func(st *modelState)) string {
+	t.Helper()
+	m, _ := shared(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st modelState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	f(&st)
+	bad, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(t.TempDir(), "mutated.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return badPath
+}
+
+// TestLoadRejectsShapesCountMismatch pins the fix for the malformed-file
+// panic: a file with fewer shapes than parameter blobs indexed past the
+// Shapes slice instead of erroring.
+func TestLoadRejectsShapesCountMismatch(t *testing.T) {
+	path := mutateSavedModel(t, func(st *modelState) {
+		st.Shapes = st.Shapes[:len(st.Shapes)-1]
+	})
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected shapes/params count mismatch error")
+	}
+}
+
+func TestLoadRejectsParamsCountMismatch(t *testing.T) {
+	path := mutateSavedModel(t, func(st *modelState) {
+		st.Params = st.Params[:len(st.Params)-1]
+		st.Shapes = st.Shapes[:len(st.Shapes)-1]
+	})
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected parameter count mismatch error")
+	}
+}
+
+func TestLoadRejectsParamSizeMismatch(t *testing.T) {
+	path := mutateSavedModel(t, func(st *modelState) {
+		st.Params[0] = st.Params[0][:len(st.Params[0])-1]
+	})
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected parameter size mismatch error")
+	}
+}
+
+func TestLoadRejectsNormalizerMismatch(t *testing.T) {
+	path := mutateSavedModel(t, func(st *modelState) {
+		st.NormLo = st.NormLo[:1]
+	})
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected normalizer bounds mismatch error")
+	}
+}
+
+// TestLoadTruncatedFile simulates the crash-mid-write Save used to allow:
+// a prefix of a valid model file must be a parse error, not a panic.
+func TestLoadTruncatedFile(t *testing.T) {
+	m, _ := shared(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(blob) / 2, len(blob) - 1} {
+		truncPath := filepath.Join(t.TempDir(), "trunc.json")
+		if err := os.WriteFile(truncPath, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(truncPath); err == nil {
+			t.Fatalf("expected error loading %d-byte prefix", cut)
+		}
+	}
+}
+
+// TestSaveAtomicLeavesNoResidue checks the temp-file+rename discipline:
+// after a Save (including an overwrite of an existing checkpoint) the
+// directory holds exactly the final file, and it loads.
+func TestSaveAtomicLeavesNoResidue(t *testing.T) {
+	m, _ := shared(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	for i := 0; i < 2; i++ { // second pass renames over the existing file
+		if err := m.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 || entries[0].Name() != "model.json" {
+			names := make([]string, len(entries))
+			for j, e := range entries {
+				names[j] = e.Name()
+			}
+			t.Fatalf("save pass %d left %v, want exactly [model.json]", i, names)
+		}
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBandedAttentionTrainsAndScores(t *testing.T) {
 	cfg := testConfig()
 	cfg.AttentionBand = 8

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Detector state snapshots are a versioned little-endian binary encoding
+// of everything a StreamDetector accumulates at runtime — a format
+// deliberately separate from model files (which stay at JSON v1): weights
+// are published through the registry, warm state is checkpointed here.
+//
+//	magic   [8]byte  "AEROSNAP"
+//	version uint32   currently 1
+//	n       uint32   variate count
+//	w       uint32   long-window length (ring capacity)
+//	count   uint64   frames pushed so far (the warm-up counter)
+//	last    float64  newest timestamp (the monotonicity cursor)
+//	times   [w]float64    timestamp ring
+//	raw     [n][w]float64 raw magnitude rings
+//	dyn     uint8         1 iff an evolving-graph state follows
+//	  decay float64       │ only when dyn == 1
+//	  adj   [n·n]float64  ┘
+//	crc     uint32   IEEE CRC-32 of every preceding byte
+//
+// The rings store *raw* magnitudes, not normalized values, so a snapshot
+// can be restored into a retrained model: RestoreState re-normalizes the
+// window under the restoring model's bounds. Restored into the same model,
+// the ring is bit-identical to the one the snapshot captured, because
+// normalize-on-insert applied the same pure function to the same inputs.
+const (
+	stateMagic   = "AEROSNAP"
+	stateVersion = 1
+)
+
+// SnapshotState serializes the detector's runtime state — rings, cursors,
+// warm-up counters and (for the dynamic-graph variant) the evolving
+// adjacency — into a self-validating binary blob. Model weights are not
+// included; persist those with Model.Save. Snapshots may be taken at any
+// point, including before the window is warm.
+func (s *StreamDetector) SnapshotState() ([]byte, error) {
+	n, w := s.m.n, s.m.cfg.LongWindow
+	size := len(stateMagic) + 3*4 + 8 + 8 + 8*w + 8*n*w + 1 + 4
+	if s.dyn != nil {
+		size += 8 + 8*n*n
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, stateMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, stateVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.count))
+	buf = appendFloat64(buf, s.last)
+	for _, t := range s.times {
+		buf = appendFloat64(buf, t)
+	}
+	for v := 0; v < n; v++ {
+		for _, x := range s.raw[v] {
+			buf = appendFloat64(buf, x)
+		}
+	}
+	if s.dyn != nil {
+		buf = append(buf, 1)
+		buf = appendFloat64(buf, s.dyn.decay)
+		for _, x := range s.dyn.a.Data {
+			buf = appendFloat64(buf, x)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// RestoreState replaces the detector's runtime state with a snapshot taken
+// by SnapshotState, so a swapped or freshly restarted detector resumes
+// with a full warm window instead of a cold ring. The snapshot must match
+// the detector's ring geometry (variate count and long-window length); the
+// backing model may be a different — e.g. freshly retrained — one, in
+// which case the window is re-normalized under its bounds.
+//
+// The blob is fully validated (magic, version, geometry, length, CRC)
+// before any detector state is touched: a corrupt or truncated snapshot
+// returns an error and leaves the detector exactly as it was.
+func (s *StreamDetector) RestoreState(blob []byte) error {
+	if len(blob) < len(stateMagic)+8 {
+		return fmt.Errorf("core: detector state truncated (%d bytes)", len(blob))
+	}
+	if string(blob[:len(stateMagic)]) != stateMagic {
+		return fmt.Errorf("core: not a detector state snapshot (bad magic)")
+	}
+	// Checksum first: a flipped bit anywhere — including the header fields
+	// about to be trusted — must be caught before they are interpreted.
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("core: detector state checksum mismatch (%08x != %08x)", got, want)
+	}
+	r := stateReader{buf: body, off: len(stateMagic)}
+	if ver := r.u32(); r.err == nil && ver != stateVersion {
+		return fmt.Errorf("core: unsupported detector state version %d", ver)
+	}
+	n, w := int(r.u32()), int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	if n != s.m.n || w != s.m.cfg.LongWindow {
+		return fmt.Errorf("core: snapshot is %d variates × window %d, detector is %d × %d",
+			n, w, s.m.n, s.m.cfg.LongWindow)
+	}
+	count := r.u64()
+	last := r.f64()
+	times := r.f64s(w)
+	raw := make([][]float64, n)
+	for v := range raw {
+		raw[v] = r.f64s(w)
+	}
+	var decay float64
+	var adj []float64
+	hasDyn := r.u8() == 1
+	if hasDyn {
+		decay = r.f64()
+		adj = r.f64s(n * n)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("core: detector state has %d trailing bytes", len(body)-r.off)
+	}
+	if count > math.MaxInt64 {
+		return fmt.Errorf("core: detector state frame count %d overflows", count)
+	}
+
+	// Everything validated; commit.
+	s.count = int(count)
+	s.last = last
+	copy(s.times, times)
+	filled := s.count
+	if filled > w {
+		filled = w
+	}
+	for v := 0; v < n; v++ {
+		copy(s.raw[v], raw[v])
+		for i := 0; i < w; i++ {
+			if i < filled {
+				s.data[v][i] = s.m.norm.TransformValue(v, s.raw[v][i])
+			} else {
+				s.data[v][i] = 0
+			}
+		}
+	}
+	if s.m.cfg.Variant == VariantDynamicGraph {
+		if s.dyn == nil {
+			s.dyn = newDynamicGraphState(n)
+		}
+		if hasDyn {
+			s.dyn.decay = decay
+			copy(s.dyn.a.Data, adj)
+		} else {
+			// Snapshot predates any evolving state (or came from another
+			// variant); restart the EWMA from its initial complete graph.
+			fresh := newDynamicGraphState(n)
+			s.dyn.decay = fresh.decay
+			s.dyn.a.CopyFrom(fresh.a)
+		}
+	}
+	return nil
+}
+
+func appendFloat64(buf []byte, x float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+}
+
+// stateReader is a bounds-checked cursor over a snapshot body: the first
+// out-of-range read latches err and every later read returns zero values.
+type stateReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *stateReader) take(k int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+k > len(r.buf) {
+		r.err = fmt.Errorf("core: detector state truncated at byte %d", len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+k]
+	r.off += k
+	return b
+}
+
+func (r *stateReader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *stateReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *stateReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *stateReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *stateReader) f64s(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}

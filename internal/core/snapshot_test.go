@@ -1,0 +1,331 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"path/filepath"
+	"testing"
+
+	"aero/internal/dataset"
+)
+
+// pushAt builds the t-th test frame and pushes it into det, failing the
+// test on error.
+func pushAt(t *testing.T, det *StreamDetector, d *dataset.Dataset, idx int) []Alarm {
+	t.Helper()
+	frame := Frame{Time: d.Test.Time[idx], Magnitudes: make([]float64, d.Test.N())}
+	for v := 0; v < d.Test.N(); v++ {
+		frame.Magnitudes[v] = d.Test.Data[v][idx]
+	}
+	alarms, err := det.Push(frame)
+	if err != nil {
+		t.Fatalf("push %d: %v", idx, err)
+	}
+	return alarms
+}
+
+func sameAlarms(a, b []Alarm) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] { // exact float equality on Score included
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreBitIdentical pins the warm-restore contract:
+// Snapshot→Restore→Push must be bit-identical to uninterrupted Push — the
+// restored detector resumes with the full window, the same time cursor and
+// the same warm-up counter, and every subsequent score matches to the bit.
+// The restored hot path must also stay within the steady-state allocation
+// budget.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	m, d := shared(t)
+	w := m.Config().LongWindow
+	for _, cut := range []int{w / 2, w + 13} { // cold ring and warm ring snapshots
+		uninterrupted, err := NewStreamDetector(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		donor, err := NewStreamDetector(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cut; i++ {
+			pushAt(t, uninterrupted, d, i)
+			pushAt(t, donor, d, i)
+		}
+		blob, err := donor.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := NewStreamDetector(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.RestoreState(blob); err != nil {
+			t.Fatalf("restore at cut %d: %v", cut, err)
+		}
+		if restored.Ready() != uninterrupted.Ready() {
+			t.Fatalf("cut %d: restored readiness %v, want %v", cut, restored.Ready(), uninterrupted.Ready())
+		}
+		fired := 0
+		for i := cut; i < d.Test.Len(); i++ {
+			want := pushAt(t, uninterrupted, d, i)
+			got := pushAt(t, restored, d, i)
+			if !sameAlarms(want, got) {
+				t.Fatalf("cut %d frame %d: restored alarms %+v != uninterrupted %+v", cut, i, got, want)
+			}
+			fired += len(want)
+		}
+		if fired == 0 {
+			t.Fatalf("cut %d: no alarms fired; bit-identity check is vacuous", cut)
+		}
+	}
+
+	// Steady-state allocation budget survives a restore.
+	donor, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w+5; i++ {
+		pushAt(t, donor, d, i)
+	}
+	blob, err := donor.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	next := d.Test.Time[w+4] + 1
+	frame := Frame{Magnitudes: make([]float64, d.Test.N())}
+	allocs := testing.AllocsPerRun(64, func() {
+		frame.Time = next
+		next++
+		if _, err := restored.Push(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("restored detector Push allocates %.1f objects/frame, want <= 2", allocs)
+	}
+}
+
+// TestSnapshotRestoreDynamicGraph covers the evolving-graph arm of the
+// state format: the EWMA adjacency must survive the round-trip so restored
+// scores stay bit-identical for the dynamic ablation too.
+func TestSnapshotRestoreDynamicGraph(t *testing.T) {
+	cfg := testConfig()
+	cfg.Variant = VariantDynamicGraph
+	cfg.LongWindow = 24
+	cfg.ShortWindow = 8
+	cfg.ModelDim = 8
+	cfg.FFNHidden = 16
+	cfg.MaxEpochs = 1
+	cfg.TrainStride = 24
+	d := dataset.SyntheticConfig{
+		Name: "dynsnap", N: 4, TrainLen: 120, TestLen: 90,
+		NoiseVariates: 2, AnomalySegments: 1, NoisePct: 3,
+		VariableFrac: 0.5, Seed: 23,
+	}.Generate()
+	m, err := New(cfg, d.Train.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(d.Train); err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted, _ := NewStreamDetector(m)
+	donor, _ := NewStreamDetector(m)
+	cut := cfg.LongWindow + 9 // past warm-up so the EWMA state has evolved
+	for i := 0; i < cut; i++ {
+		pushAt(t, uninterrupted, d, i)
+		pushAt(t, donor, d, i)
+	}
+	blob, err := donor.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewStreamDetector(m)
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < d.Test.Len(); i++ {
+		want := pushAt(t, uninterrupted, d, i)
+		got := pushAt(t, restored, d, i)
+		if !sameAlarms(want, got) {
+			t.Fatalf("frame %d: restored alarms %+v != uninterrupted %+v", i, got, want)
+		}
+		ws := append([]float64(nil), uninterrupted.scores...)
+		gs := append([]float64(nil), restored.scores...)
+		for v := range ws {
+			if ws[v] != gs[v] {
+				t.Fatalf("frame %d variate %d: restored score %v != %v", i, v, gs[v], ws[v])
+			}
+		}
+	}
+}
+
+// reseal recomputes the trailing CRC after test surgery on a snapshot.
+func reseal(blob []byte) []byte {
+	body := blob[:len(blob)-4]
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+// TestRestoreStateRejectsCorrupt walks every validation branch of
+// RestoreState: truncation, bad magic, bit flips, unknown versions,
+// geometry mismatches and trailing garbage must all fail cleanly — and a
+// failed restore must leave the detector untouched.
+func TestRestoreStateRejectsCorrupt(t *testing.T) {
+	m, d := shared(t)
+	w := m.Config().LongWindow
+	donor, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w+3; i++ {
+		pushAt(t, donor, d, i)
+	}
+	blob, err := donor.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := map[string][]byte{}
+	corrupt["empty"] = nil
+	corrupt["truncated-header"] = append([]byte(nil), blob[:10]...)
+	corrupt["truncated-body"] = append([]byte(nil), blob[:len(blob)-20]...)
+	badMagic := append([]byte(nil), blob...)
+	badMagic[0] ^= 0xff
+	corrupt["bad-magic"] = badMagic
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x01
+	corrupt["bit-flip"] = flipped
+	badVersion := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(badVersion[8:], 99)
+	corrupt["bad-version"] = reseal(badVersion)
+	badN := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(badN[12:], uint32(d.Test.N()+1))
+	corrupt["variate-mismatch"] = reseal(badN)
+	badW := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(badW[16:], uint32(w+1))
+	corrupt["window-mismatch"] = reseal(badW)
+	trailing := append([]byte(nil), blob[:len(blob)-4]...)
+	trailing = append(trailing, 0, 0, 0, 0, 0, 0, 0, 0)
+	corrupt["trailing-bytes"] = reseal(append(trailing, 0, 0, 0, 0))
+
+	for name, bad := range corrupt {
+		victim, err := NewStreamDetector(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < w+3; i++ {
+			pushAt(t, victim, d, i)
+		}
+		if err := victim.RestoreState(bad); err == nil {
+			t.Fatalf("%s: RestoreState accepted a corrupt snapshot", name)
+		}
+		// The failed restore must not have touched the victim: its next
+		// frames must match an untouched twin exactly.
+		twin, err := NewStreamDetector(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < w+3; i++ {
+			pushAt(t, twin, d, i)
+		}
+		for i := w + 3; i < w+6; i++ {
+			if !sameAlarms(pushAt(t, twin, d, i), pushAt(t, victim, d, i)) {
+				t.Fatalf("%s: failed restore mutated detector state", name)
+			}
+		}
+	}
+}
+
+// TestSwapSameWeightsBitIdentical pins the hot-swap invariant at the
+// detector level: replaying a feed with a mid-stream Swap to the *same*
+// weights (a Save/Load round-trip of the serving model) must be
+// bit-identical to never swapping at all — the warm window survives the
+// swap re-normalized to the same bits.
+func TestSwapSameWeightsBitIdentical(t *testing.T) {
+	m, d := shared(t)
+	path := filepath.Join(t.TempDir(), "twin.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := d.Test.Len() / 2
+	fired := 0
+	for i := 0; i < d.Test.Len(); i++ {
+		if i == cut {
+			if err := swapped.Swap(twin); err != nil {
+				t.Fatalf("swap: %v", err)
+			}
+		}
+		want := pushAt(t, plain, d, i)
+		got := pushAt(t, swapped, d, i)
+		if !sameAlarms(want, got) {
+			t.Fatalf("frame %d: swapped alarms %+v != plain %+v", i, got, want)
+		}
+		fired += len(want)
+	}
+	if fired == 0 {
+		t.Fatal("no alarms fired; swap bit-identity check is vacuous")
+	}
+}
+
+// TestSwapValidation covers Swap's rejection branches. The mismatched
+// models are hand-built (trained flag forced) — only the geometry checks
+// are under test, not training.
+func TestSwapValidation(t *testing.T) {
+	m, d := shared(t)
+	det, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfitted, err := New(testConfig(), d.Test.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Swap(unfitted); err == nil {
+		t.Fatal("swap accepted an unfitted model")
+	}
+	wrongN, err := New(testConfig(), d.Test.N()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongN.trained = true
+	if err := det.Swap(wrongN); err == nil {
+		t.Fatal("swap accepted a model with the wrong variate count")
+	}
+	cfg := testConfig()
+	cfg.LongWindow++
+	wrongW, err := New(cfg, d.Test.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongW.trained = true
+	if err := det.Swap(wrongW); err == nil {
+		t.Fatal("swap accepted a model with the wrong window length")
+	}
+}

@@ -24,15 +24,19 @@ type StreamDetector struct {
 	m *Model
 
 	// Fixed-size rings over the last LongWindow frames. data holds
-	// normalized magnitudes; slot i of each ring is frame (count-1) when
+	// normalized magnitudes; raw holds the magnitudes as pushed, so Swap
+	// and RestoreState can re-normalize the warm window under a different
+	// model's bounds. Slot i of each ring is frame (count-1) when
 	// (count-1) % w == i.
 	times []float64
-	data  [][]float64 // [variate][ring slot]
+	data  [][]float64 // [variate][ring slot], normalized
+	raw   [][]float64 // [variate][ring slot], as pushed
 	count int
 	last  float64 // timestamp of the newest frame
 
 	dyn *dynamicGraphState // only for VariantDynamicGraph models
 
+	workers  int // scoring fan-out bound, kept so Swap can rebuild the scratch
 	sc       *scratch
 	prep     prepared    // chronological window view, rebuilt per score
 	prepData [][]float64 // backing storage for prep.data
@@ -72,12 +76,15 @@ func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
 		m:        m,
 		times:    make([]float64, w),
 		data:     make([][]float64, m.n),
+		raw:      make([][]float64, m.n),
+		workers:  workers,
 		sc:       m.newScratch(workers),
 		prepData: make([][]float64, m.n),
 		scores:   make([]float64, m.n),
 	}
 	for v := 0; v < m.n; v++ {
 		s.data[v] = make([]float64, w)
+		s.raw[v] = make([]float64, w)
 		s.prepData[v] = make([]float64, w)
 	}
 	s.prep.time = make([]float64, w)
@@ -89,6 +96,11 @@ func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
 
 // Ready reports whether enough frames have arrived to fill one window.
 func (s *StreamDetector) Ready() bool { return s.count >= s.m.cfg.LongWindow }
+
+// LastTime returns the timestamp of the newest frame and whether any frame
+// has arrived. After RestoreState, it is the restored cursor — feeds that
+// resume a checkpointed detector must continue strictly after it.
+func (s *StreamDetector) LastTime() (float64, bool) { return s.last, s.count > 0 }
 
 // Push appends one frame and, once the window is warm, scores it,
 // returning the alarms raised at this instant (empty when none).
@@ -104,7 +116,9 @@ func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
 	s.times[slot] = f.Time
 	for v := 0; v < s.m.n; v++ {
 		// Normalizing on insertion keeps re-scoring the window from
-		// re-transforming all W×N values on every frame.
+		// re-transforming all W×N values on every frame; the raw value is
+		// retained so Swap/RestoreState can re-normalize later.
+		s.raw[v][slot] = f.Magnitudes[v]
 		s.data[v][slot] = s.m.norm.TransformValue(v, f.Magnitudes[v])
 	}
 	s.count++
@@ -150,6 +164,55 @@ func (s *StreamDetector) scoreLast() []float64 {
 		s.scores[v] = final.At(v, omega-1)
 	}
 	return s.scores
+}
+
+// Swap installs a different fitted model into the warm detector without
+// losing the window: the retained raw magnitudes are re-normalized under
+// the new model's bounds, so the next Push scores a full window with the
+// new weights instead of restarting a cold ring. The new model must have
+// the same variate count and long-window length (the ring geometry);
+// everything else — weights, normalizer, threshold, short window, even
+// the graph variant — may differ.
+//
+// Swapping in a model with bit-identical weights and calibration (e.g. a
+// Save/Load round-trip of the current model) leaves the score stream
+// bit-identical: re-normalization applies the same pure function to the
+// same raw values.
+//
+// Like every StreamDetector method, Swap must not race Push; the engine
+// serializes the two on the subscription lock so a swap always lands at a
+// frame boundary.
+func (s *StreamDetector) Swap(m *Model) error {
+	if !m.trained {
+		return fmt.Errorf("core: cannot swap in an unfitted model")
+	}
+	if m.n != s.m.n {
+		return fmt.Errorf("core: swap model has %d variates, detector has %d", m.n, s.m.n)
+	}
+	if m.cfg.LongWindow != s.m.cfg.LongWindow {
+		return fmt.Errorf("core: swap model window %d, detector window %d", m.cfg.LongWindow, s.m.cfg.LongWindow)
+	}
+	w := m.cfg.LongWindow
+	s.m = m
+	s.sc = m.newScratch(s.workers)
+	switch {
+	case m.cfg.Variant != VariantDynamicGraph:
+		s.dyn = nil
+	case s.dyn == nil:
+		s.dyn = newDynamicGraphState(m.n)
+	}
+	// Re-normalize the retained window. Ring slots fill in order 0..w-1
+	// before wrapping, so exactly min(count, w) leading slots hold frames.
+	filled := s.count
+	if filled > w {
+		filled = w
+	}
+	for v := 0; v < m.n; v++ {
+		for i := 0; i < filled; i++ {
+			s.data[v][i] = m.norm.TransformValue(v, s.raw[v][i])
+		}
+	}
+	return nil
 }
 
 // Threshold returns the alarm threshold in use.

@@ -136,6 +136,7 @@ type subscription struct {
 
 	frames uint64 // atomic
 	alarms uint64 // atomic
+	swaps  uint64 // atomic
 }
 
 // shard is one bounded FIFO of pending frames plus the tenants pinned to

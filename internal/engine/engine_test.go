@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"errors"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -135,6 +136,193 @@ func TestEngineMatchesSequentialReplay(t *testing.T) {
 	}
 	if totalWanted == 0 {
 		t.Fatal("fixture produced no alarms; equivalence test is vacuous")
+	}
+}
+
+// TestSwapMatchesSequentialReplay is the hot-swap equivalence contract:
+// replaying a feed with mid-stream Swaps to the *same* weights (Save/Load
+// round-trips of the serving model) must be bit-identical to a sequential
+// replay with no swap at all. One swap lands at a quiesced frame boundary
+// (after Flush), one races live ingestion — since the engine serializes
+// swaps with scoring on the subscription lock, even the racing swap lands
+// between frames, and identical weights make its exact landing spot
+// unobservable. Zero frames may be dropped or re-ordered.
+func TestSwapMatchesSequentialReplay(t *testing.T) {
+	m, _ := fixture(t)
+	path := filepath.Join(t.TempDir(), "twin.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := core.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin2, err := core.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	series := tenantSeries(0).Test
+	det, err := core.NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := det.Replay(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture replay produced no alarms; swap equivalence is vacuous")
+	}
+
+	e := engine.New(engine.Config{Shards: 2, Workers: 2, QueueDepth: 8, BatchSize: 4})
+	sub, err := e.Subscribe("swap", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, wg := collectAlarms(e)
+
+	frame := core.Frame{Magnitudes: make([]float64, series.N())}
+	ingest := func(ti int) {
+		frame.Time = series.Time[ti]
+		for v := 0; v < series.N(); v++ {
+			frame.Magnitudes[v] = series.Data[v][ti]
+		}
+		if err := e.Ingest("swap", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	third := series.Len() / 3
+	for ti := 0; ti < third; ti++ {
+		ingest(ti)
+	}
+	e.Flush()
+	if err := sub.Swap(twin); err != nil { // quiesced swap at a frame boundary
+		t.Fatalf("swap: %v", err)
+	}
+	swapped := make(chan error, 1)
+	for ti := third; ti < 2*third; ti++ {
+		if ti == third+third/2 {
+			go func() { swapped <- sub.Swap(twin2) }() // racing live ingestion
+		}
+		ingest(ti)
+	}
+	if err := <-swapped; err != nil {
+		t.Fatalf("concurrent swap: %v", err)
+	}
+	for ti := 2 * third; ti < series.Len(); ti++ {
+		ingest(ti)
+	}
+	e.Flush()
+	if st := sub.Stats(); st.Swaps != 2 || st.Frames != uint64(series.Len()) {
+		t.Fatalf("stats %+v, want 2 swaps and %d frames", st, series.Len())
+	}
+	e.Close()
+	wg.Wait()
+
+	g := got["swap"]
+	if len(g) != len(want) {
+		t.Fatalf("engine produced %d alarms across swaps, sequential replay %d", len(g), len(want))
+	}
+	for k := range g {
+		if g[k] != want[k] {
+			t.Fatalf("alarm %d: engine %+v != replay %+v", k, g[k], want[k])
+		}
+	}
+}
+
+// TestSubscriptionSwapRejectsMismatch checks that a bad swap surfaces the
+// core validation error and leaves the tenant serving the old model.
+func TestSubscriptionSwapRejectsMismatch(t *testing.T) {
+	m, d := fixture(t)
+	e := engine.New(engine.Config{Shards: 1, Workers: 1})
+	sub, err := e.Subscribe("strict", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfitted, err := core.New(fixtureConfig(), d.Test.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Swap(unfitted); err == nil {
+		t.Fatal("swap accepted an unfitted model")
+	}
+	if st := sub.Stats(); st.Swaps != 0 {
+		t.Fatalf("failed swap counted: %+v", st)
+	}
+	_, wg := collectAlarms(e)
+	e.Close()
+	wg.Wait()
+}
+
+// TestSubscriptionSnapshotRestore round-trips warm detector state through
+// the Subscription pass-throughs: a second engine restores the first's
+// state and continues the feed with bit-identical alarms.
+func TestSubscriptionSnapshotRestore(t *testing.T) {
+	m, _ := fixture(t)
+	series := tenantSeries(0).Test
+	det, err := core.NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := det.Replay(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cut := series.Len() / 2
+	feed := func(e *engine.Engine, id string, lo, hi int) {
+		frame := core.Frame{Magnitudes: make([]float64, series.N())}
+		for ti := lo; ti < hi; ti++ {
+			frame.Time = series.Time[ti]
+			for v := 0; v < series.N(); v++ {
+				frame.Magnitudes[v] = series.Data[v][ti]
+			}
+			if err := e.Ingest(id, frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Flush()
+	}
+
+	e1 := engine.New(engine.Config{Shards: 1, Workers: 1})
+	sub1, err := e1.Subscribe("gen1", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, wg1 := collectAlarms(e1)
+	feed(e1, "gen1", 0, cut)
+	blob, err := sub1.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+	wg1.Wait()
+
+	e2 := engine.New(engine.Config{Shards: 1, Workers: 1})
+	sub2, err := e2.Subscribe("gen2", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	got2, wg2 := collectAlarms(e2)
+	feed(e2, "gen2", cut, series.Len())
+	e2.Close()
+	wg2.Wait()
+
+	all := append(append([]core.Alarm(nil), got1["gen1"]...), got2["gen2"]...)
+	if len(all) != len(want) {
+		t.Fatalf("restart produced %d alarms, uninterrupted replay %d", len(all), len(want))
+	}
+	for k := range all {
+		if all[k] != want[k] {
+			t.Fatalf("alarm %d: restart %+v != replay %+v", k, all[k], want[k])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture replay produced no alarms; restore equivalence is vacuous")
 	}
 }
 

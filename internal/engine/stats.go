@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aero/internal/core"
 	"aero/internal/tensor"
 )
 
@@ -69,6 +70,8 @@ type SubscriptionStats struct {
 	Frames uint64
 	// Alarms counts alarms raised for this tenant.
 	Alarms uint64
+	// Swaps counts model hot-swaps applied to this tenant.
+	Swaps uint64
 	// Ready reports whether the tenant's window is warm.
 	Ready bool
 	// Shard is the index of the shard the tenant is pinned to.
@@ -90,9 +93,51 @@ func (s *Subscription) Stats() SubscriptionStats {
 	return SubscriptionStats{
 		Frames: atomic.LoadUint64(&s.sub.frames),
 		Alarms: atomic.LoadUint64(&s.sub.alarms),
+		Swaps:  atomic.LoadUint64(&s.sub.swaps),
 		Ready:  ready,
 		Shard:  s.sub.shard.id,
 	}
+}
+
+// Swap installs a freshly trained model into the tenant's detector with
+// zero downtime. The subscription mutex serializes the swap against the
+// draining worker's Push, so the swap always lands at a frame boundary:
+// no frame is ever scored by a half-installed model, no queued frame is
+// dropped or re-ordered — frames enqueued before the swap completes score
+// under whichever model is installed when their turn comes, in strict
+// arrival order. The warm window is preserved (core re-normalizes it
+// under the new model's bounds), so a swapped tenant never re-warms.
+//
+// The new model must match the tenant's variate count and window length;
+// see core.StreamDetector.Swap for the exact contract.
+func (s *Subscription) Swap(m *core.Model) error {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	if err := s.sub.det.Swap(m); err != nil {
+		return err
+	}
+	atomic.AddUint64(&s.sub.swaps, 1)
+	return nil
+}
+
+// SnapshotState serializes the tenant's warm detector state (rings,
+// cursors, warm-up counters), serialized against scoring. Pair with
+// RestoreState for zero-warmup restarts; weights are persisted separately
+// through the model registry.
+func (s *Subscription) SnapshotState() ([]byte, error) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.det.SnapshotState()
+}
+
+// RestoreState installs a previously snapshotted detector state into the
+// tenant, so it resumes scoring with a full window instead of re-warming
+// from a cold ring. Restore before feeding frames: a restored state's
+// time cursor rejects frames older than the snapshot's newest.
+func (s *Subscription) RestoreState(blob []byte) error {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.det.RestoreState(blob)
 }
 
 // GraphSnapshot returns the tenant's current window-wise learned adjacency
@@ -102,6 +147,15 @@ func (s *Subscription) GraphSnapshot() (*tensor.Dense, error) {
 	s.sub.mu.Lock()
 	defer s.sub.mu.Unlock()
 	return s.sub.det.GraphSnapshot()
+}
+
+// LastTime returns the tenant's newest scored timestamp and whether any
+// frame has arrived — after RestoreState, the restored cursor a resuming
+// feed must continue strictly after.
+func (s *Subscription) LastTime() (float64, bool) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.det.LastTime()
 }
 
 // Threshold returns the tenant's calibrated alarm threshold.

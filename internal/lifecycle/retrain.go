@@ -1,0 +1,277 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aero/internal/core"
+	"aero/internal/dataset"
+)
+
+// RetrainerConfig wires a Retrainer to its data, its registry and its
+// consumer.
+type RetrainerConfig struct {
+	// Registry receives every successfully trained model. Required.
+	Registry *Registry
+	// Source fetches the training series for a tenant — typically the
+	// latest archived frames of its field. Required; called from worker
+	// goroutines.
+	Source func(tenant string) (*dataset.Series, error)
+	// Config builds the training configuration for a tenant's round-th
+	// retrain (rounds count from 1). Returning a config with a
+	// round-derived Seed makes every retrain reproducible from the seed
+	// logged in its Result — core training is bit-deterministic for a
+	// fixed seed at any worker count. Required; called from worker
+	// goroutines.
+	Config func(tenant string, round int) core.Config
+	// Workers bounds the concurrent retrains. Defaults to 1: background
+	// retraining should sip cores that live scoring is using.
+	Workers int
+	// Interval, when positive, retrains every registered tenant on this
+	// period. Zero means on-demand only (Trigger/TriggerAll).
+	Interval time.Duration
+	// OnResult, when non-nil, observes every finished retrain — failures
+	// included — from the worker goroutine that ran it. This is where a
+	// deployment hot-swaps the published model into its serving tenants.
+	OnResult func(Result)
+	// Logf, when non-nil, receives progress lines (seed, version, epochs).
+	Logf func(format string, args ...any)
+}
+
+// Result reports one finished retrain.
+type Result struct {
+	// Tenant is the retrained tenant id.
+	Tenant string
+	// Round is the per-tenant retrain counter (1 for the first retrain).
+	Round int
+	// Seed is the training seed used; re-running the same round's config
+	// with this seed reproduces Model bit-for-bit.
+	Seed int64
+	// Version is the registry version the model was published as.
+	Version Version
+	// Epochs1 and Epochs2 record the per-stage epochs actually run.
+	Epochs1, Epochs2 int
+	// Duration is the wall time of fetch + fit + publish.
+	Duration time.Duration
+	// Model is the freshly trained model, ready to Swap into serving
+	// detectors. Nil when Err is non-nil.
+	Model *core.Model
+	// Err is non-nil when the retrain failed; no version was published.
+	Err error
+}
+
+// Retrainer refits tenant models in the background on a bounded worker
+// pool, on a schedule or on demand, publishing each result to the
+// registry. Create with NewRetrainer, call Start, and Close when done.
+type Retrainer struct {
+	cfg RetrainerConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants []string        // scheduled set, in registration order
+	queue   []job           // FIFO of pending retrains
+	pending map[string]bool // dedupe: tenant already queued (not yet running)
+	rounds  map[string]int
+	closed  bool
+	started bool
+
+	wg       sync.WaitGroup
+	stopTick chan struct{}
+}
+
+// job is one queued retrain; the round is fixed at trigger time so results
+// report trigger order even when workers finish out of order.
+type job struct {
+	tenant string
+	round  int
+}
+
+// NewRetrainer validates cfg and returns an idle retrainer; no goroutines
+// run until Start.
+func NewRetrainer(cfg RetrainerConfig) (*Retrainer, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("lifecycle: retrainer needs a registry")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("lifecycle: retrainer needs a training-data source")
+	}
+	if cfg.Config == nil {
+		return nil, fmt.Errorf("lifecycle: retrainer needs a config builder")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rt := &Retrainer{
+		cfg:      cfg,
+		pending:  map[string]bool{},
+		rounds:   map[string]int{},
+		stopTick: make(chan struct{}),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt, nil
+}
+
+// Register adds a tenant to the scheduled set (the tenants TriggerAll and
+// the interval timer retrain). Registering an already-registered tenant is
+// a no-op.
+func (rt *Retrainer) Register(tenant string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, have := range rt.tenants {
+		if have == tenant {
+			return
+		}
+	}
+	rt.tenants = append(rt.tenants, tenant)
+}
+
+// Start launches the worker pool and, when Interval is set, the schedule.
+func (rt *Retrainer) Start() {
+	rt.mu.Lock()
+	if rt.started || rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.started = true
+	rt.mu.Unlock()
+	for i := 0; i < rt.cfg.Workers; i++ {
+		rt.wg.Add(1)
+		go rt.worker()
+	}
+	if rt.cfg.Interval > 0 {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			tick := time.NewTicker(rt.cfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					rt.TriggerAll()
+				case <-rt.stopTick:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Trigger enqueues an on-demand retrain for the tenant. It reports false
+// when the tenant is already queued or the retrainer is closed; a retrain
+// currently *running* does not suppress a new trigger (the fresh data it
+// would see justifies a back-to-back round).
+func (rt *Retrainer) Trigger(tenant string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed || rt.pending[tenant] {
+		return false
+	}
+	rt.pending[tenant] = true
+	rt.rounds[tenant]++
+	rt.queue = append(rt.queue, job{tenant: tenant, round: rt.rounds[tenant]})
+	rt.cond.Signal()
+	return true
+}
+
+// TriggerAll triggers every registered tenant, returning how many were
+// newly enqueued.
+func (rt *Retrainer) TriggerAll() int {
+	rt.mu.Lock()
+	tenants := append([]string(nil), rt.tenants...)
+	rt.mu.Unlock()
+	n := 0
+	for _, tenant := range tenants {
+		if rt.Trigger(tenant) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the schedule, abandons retrains still queued, waits for
+// in-flight ones to finish (their results are still delivered), and
+// returns. Close is idempotent.
+func (rt *Retrainer) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		rt.wg.Wait()
+		return
+	}
+	rt.closed = true
+	rt.queue = nil
+	rt.pending = map[string]bool{}
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	close(rt.stopTick)
+	rt.wg.Wait()
+}
+
+// worker pops jobs until Close.
+func (rt *Retrainer) worker() {
+	defer rt.wg.Done()
+	for {
+		rt.mu.Lock()
+		for len(rt.queue) == 0 && !rt.closed {
+			rt.cond.Wait()
+		}
+		if rt.closed {
+			rt.mu.Unlock()
+			return
+		}
+		j := rt.queue[0]
+		rt.queue = rt.queue[1:]
+		delete(rt.pending, j.tenant)
+		rt.mu.Unlock()
+
+		res := rt.retrain(j)
+		if res.Err != nil {
+			rt.cfg.Logf("lifecycle: retrain %s round %d failed: %v", j.tenant, j.round, res.Err)
+		} else {
+			rt.cfg.Logf("lifecycle: retrained %s round %d → %s (seed %d, %d+%d epochs, %s)",
+				j.tenant, j.round, res.Version, res.Seed, res.Epochs1, res.Epochs2,
+				res.Duration.Round(time.Millisecond))
+		}
+		if rt.cfg.OnResult != nil {
+			rt.cfg.OnResult(res)
+		}
+	}
+}
+
+// retrain runs one fetch + deterministic fit + publish.
+func (rt *Retrainer) retrain(j job) Result {
+	start := time.Now()
+	res := Result{Tenant: j.tenant, Round: j.round}
+	cfg := rt.cfg.Config(j.tenant, j.round)
+	res.Seed = cfg.Seed
+	series, err := rt.cfg.Source(j.tenant)
+	if err != nil {
+		res.Err = fmt.Errorf("lifecycle: training data for %q: %w", j.tenant, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	m, err := core.New(cfg, series.N())
+	if err == nil {
+		err = m.Fit(series)
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("lifecycle: retrain %q: %w", j.tenant, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	v, err := rt.cfg.Registry.Publish(j.tenant, m)
+	if err != nil {
+		res.Err = err
+		res.Duration = time.Since(start)
+		return res
+	}
+	res.Version = v
+	res.Model = m
+	res.Epochs1, res.Epochs2 = m.Epochs1, m.Epochs2
+	res.Duration = time.Since(start)
+	return res
+}
