@@ -36,6 +36,7 @@ package aero
 
 import (
 	"aero/internal/anomaly"
+	"aero/internal/backend"
 	"aero/internal/baselines"
 	"aero/internal/core"
 	"aero/internal/dataset"
@@ -87,6 +88,99 @@ type Alarm = core.Alarm
 // tensors/tapes are reused from a per-detector scratch.
 func NewStreamDetector(m *Model) (*StreamDetector, error) {
 	return core.NewStreamDetector(m)
+}
+
+// NewStreamDetectorWorkers is NewStreamDetector with an explicit bound
+// on the per-frame scoring fan-out; multi-detector hosts (the engine,
+// DSPOT-wrapped tenants) pass 1 so cross-tenant parallelism alone
+// saturates the cores.
+func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
+	return core.NewStreamDetectorWorkers(m, workers)
+}
+
+// StreamBackend is the pluggable contract of the streaming pipeline:
+// any frame-at-a-time detector the engine can serve — the AERO
+// StreamDetector, the streaming baseline adapters (SR, Template
+// Matching, FluxEV), or a DSPOT-wrapped composition of either.
+type StreamBackend = core.StreamBackend
+
+// GraphSnapshotter is the optional monitoring capability of backends
+// that learn an inter-variate graph (AERO): a live window-wise
+// adjacency.
+type GraphSnapshotter = core.GraphSnapshotter
+
+// BackendSpec describes one registered backend kind: its tag, a trainer
+// producing a published artifact, and an opener constructing a serving
+// StreamBackend from one.
+type BackendSpec = backend.Spec
+
+// BackendOptions carries the per-kind training/calibration knobs.
+type BackendOptions = backend.Options
+
+// StreamBaselineConfig parameterizes the streaming baseline adapters.
+type StreamBaselineConfig = baselines.StreamConfig
+
+// DefaultStreamBaselineConfig mirrors the batch baselines' settings.
+func DefaultStreamBaselineConfig() StreamBaselineConfig { return baselines.DefaultStreamConfig() }
+
+// DefaultBackendOptions pairs the paper's AERO hyperparameters with the
+// reference streaming-adapter settings; SmallBackendOptions is the
+// CPU-friendly profile.
+func DefaultBackendOptions() BackendOptions { return backend.DefaultOptions() }
+
+// SmallBackendOptions is the CPU-friendly backend-training profile.
+func SmallBackendOptions() BackendOptions { return backend.SmallOptions() }
+
+// BackendKinds lists every registered backend kind, sorted.
+func BackendKinds() []string { return backend.Kinds() }
+
+// LookupBackend returns the spec registered for a backend kind.
+func LookupBackend(kind string) (BackendSpec, bool) { return backend.Get(kind) }
+
+// TrainBackend fits the named backend kind on a training series and
+// returns its published artifact.
+func TrainBackend(kind string, train *Series, opts BackendOptions) ([]byte, error) {
+	return backend.Train(kind, train, opts)
+}
+
+// OpenBackend constructs a cold serving backend of the named kind from
+// its artifact; pair with Engine.SubscribeBackend.
+func OpenBackend(kind string, artifact []byte) (StreamBackend, error) {
+	return backend.Open(kind, artifact)
+}
+
+// DSPOTStage wraps any StreamBackend with per-variate streaming DSPOT
+// (Siffer et al., KDD 2017 §4.4): raw scores are re-thresholded by a
+// drift-corrected EVT tail model that adapts online, instead of the
+// backend's static train-time threshold.
+type DSPOTStage = backend.DSPOTStage
+
+// DSPOTConfig parameterizes the adaptive-alarming stage.
+type DSPOTConfig = backend.DSPOTConfig
+
+// DefaultDSPOTConfig mirrors the paper's POT protocol (level 0.99,
+// q 1e-3) with a 20-frame drift window.
+func DefaultDSPOTConfig() DSPOTConfig { return backend.DefaultDSPOTConfig() }
+
+// NewDSPOTStage wraps a backend with DSPOT alarmers calibrated on
+// per-variate score sequences (see StreamBackendScores).
+func NewDSPOTStage(inner StreamBackend, cfg DSPOTConfig, calib [][]float64) (*DSPOTStage, error) {
+	return backend.NewDSPOTStage(inner, cfg, calib)
+}
+
+// OpenAdaptiveBackend opens a serving backend of the given kind wrapped
+// in a freshly calibrated DSPOT stage (the calibration series is
+// replayed through a scratch instance; the serving instance starts
+// cold).
+func OpenAdaptiveBackend(spec BackendSpec, artifact []byte, cfg DSPOTConfig, calib *Series) (*DSPOTStage, error) {
+	return backend.OpenAdaptive(spec, artifact, cfg, calib)
+}
+
+// StreamBackendScores replays a series through a stream backend and
+// returns the per-variate post-warm score sequences — the raw material
+// for POT/DSPOT calibration.
+func StreamBackendScores(b StreamBackend, s *Series) ([][]float64, error) {
+	return baselines.StreamScores(b, s)
 }
 
 // Engine is a sharded, multi-tenant streaming detection engine: many

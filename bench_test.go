@@ -224,6 +224,78 @@ func BenchmarkStreamPush(b *testing.B) {
 	}
 }
 
+// BenchmarkBackendStreamPush measures the steady-state per-frame cost of
+// every registered backend kind behind the StreamBackend contract —
+// static fitted threshold and DSPOT-wrapped — on the same field the AERO
+// benchmarks use. The streaming baseline adapters are the rows that
+// justify multi-backend serving: their pushes cost microseconds against
+// AERO's milliseconds, and all of them hold the same zero-alloc budget
+// (pinned in internal/baselines and internal/backend).
+func BenchmarkBackendStreamPush(b *testing.B) {
+	d := benchDataset()
+	aeroModel, err := aero.New(benchConfig(), d.Train.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := aeroModel.Fit(d.Train); err != nil {
+		b.Fatal(err)
+	}
+	aeroArtifact, err := aeroModel.MarshalBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range aero.BackendKinds() {
+		spec, ok := aero.LookupBackend(kind)
+		if !ok {
+			b.Fatalf("kind %s not registered", kind)
+		}
+		artifact := aeroArtifact
+		if kind != "aero" {
+			if artifact, err = spec.Train(d.Train, aero.SmallBackendOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, adaptive := range []bool{false, true} {
+			var det aero.StreamBackend
+			if adaptive {
+				det, err = aero.OpenAdaptiveBackend(spec, artifact, aero.DefaultDSPOTConfig(), d.Train)
+			} else {
+				det, err = spec.Open(artifact)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The time cursor and warm-up live outside the closure: the
+			// framework re-invokes it with growing b.N against the same
+			// warm backend, and a reset cursor would violate the
+			// monotonic frame-time check.
+			frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+			t := 0
+			push := func(b *testing.B) {
+				idx := t % d.Test.Len()
+				frame.Time = float64(t)
+				for v := 0; v < d.Test.N(); v++ {
+					frame.Magnitudes[v] = d.Test.Data[v][idx]
+				}
+				if _, err := det.Push(frame); err != nil {
+					b.Fatal(err)
+				}
+				t++
+			}
+			b.Run(det.Kind(), func(b *testing.B) {
+				for t < 2*128 { // past the largest adapter window, once
+					push(b)
+				}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					push(b)
+				}
+			})
+		}
+	}
+}
+
 // warmBenchDetector trains the bench model and pushes one full window plus
 // a margin, returning the warm detector ready for lifecycle benchmarks.
 func warmBenchDetector(b *testing.B) (*aero.StreamDetector, *aero.Model, *dataset.Dataset) {

@@ -14,6 +14,9 @@
 // shapes, matching BenchmarkAEROTraining, BenchmarkStreamPush,
 // BenchmarkDetectorSnapshot/Restore and BenchmarkSubscriptionSwap in
 // bench_test.go); snapshot sizes surface as the snapshot-bytes metric.
+// It also measures per-backend streaming throughput — one warm Push per
+// registered backend kind, static and DSPOT-wrapped (matching
+// BenchmarkBackendStreamPush) — as BackendPush/<kind> entries.
 //
 // With -json FILE, a machine-readable summary — per-experiment wall times
 // and per-benchmark ns/op, B/op and allocs/op — is written to FILE, so CI
@@ -256,7 +259,79 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 	if benchErr != nil {
 		return nil, benchErr
 	}
+
+	// Per-backend streaming throughput: one op is one warm Push through
+	// each registered backend kind, with its static fitted threshold and
+	// wrapped in the DSPOT adaptive-alarming stage (the stage overhead is
+	// the difference between the two rows).
+	aeroArtifact, err := m.MarshalBytes()
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range aero.BackendKinds() {
+		spec, _ := aero.LookupBackend(kind)
+		artifact := aeroArtifact
+		if kind != "aero" {
+			opts := aero.SmallBackendOptions()
+			if artifact, err = spec.Train(d.Train, opts); err != nil {
+				return nil, fmt.Errorf("train %s: %w", kind, err)
+			}
+		}
+		for _, adaptive := range []bool{false, true} {
+			det, err := openBenchBackend(spec, artifact, adaptive, d)
+			if err != nil {
+				return nil, fmt.Errorf("open %s: %w", kind, err)
+			}
+			res, err := benchBackendPush(det, d)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %w", kind, err)
+			}
+			record("BackendPush/"+det.Kind(), res)
+		}
+	}
 	return out, nil
+}
+
+// openBenchBackend opens one serving backend, optionally wrapped in a
+// DSPOT stage calibrated on the training split.
+func openBenchBackend(spec aero.BackendSpec, artifact []byte, adaptive bool, d *dataset.Dataset) (aero.StreamBackend, error) {
+	if adaptive {
+		return aero.OpenAdaptiveBackend(spec, artifact, aero.DefaultDSPOTConfig(), d.Train)
+	}
+	return spec.Open(artifact)
+}
+
+// benchBackendPush warms the backend past every adapter's window and
+// measures one steady-state Push.
+func benchBackendPush(det aero.StreamBackend, d *dataset.Dataset) (testing.BenchmarkResult, error) {
+	frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
+	t := 0
+	var pushErr error
+	push := func() error {
+		idx := t % d.Test.Len()
+		frame.Time = float64(t)
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][idx]
+		}
+		_, err := det.Push(frame)
+		t++
+		return err
+	}
+	for i := 0; i < 2*128; i++ { // past the largest adapter window
+		if err := push(); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := push(); err != nil {
+				pushErr = err
+				b.Skip(err)
+			}
+		}
+	})
+	return res, pushErr
 }
 
 func main() {

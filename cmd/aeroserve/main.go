@@ -6,6 +6,7 @@
 //
 //	aerogen -out data -dataset SyntheticMiddle
 //	aeroserve -dir data -dataset SyntheticMiddle -tenants 16 -rate 0
+//	aeroserve -dir data -dataset SyntheticMiddle -backend sr -tenants 64
 //	aeroserve -dir data -dataset SyntheticMiddle -checkpoint ckpt \
 //	    -retrain-every 30s -rate 4
 //
@@ -13,14 +14,24 @@
 // engine shards the tenants, scores frames on a worker pool, and streams
 // alarms to stdout while periodic per-shard stats go to stderr.
 //
-// With -checkpoint the server keeps a model registry at the given
-// directory: the newest published model is used instead of retraining on
-// startup, warm detector states checkpointed by a previous run are
-// restored (tenants resume with a full window instead of re-warming), and
-// on shutdown every tenant's state is checkpointed back. With
-// -retrain-every the model is refit in the background on that interval
-// (each round with a fresh logged seed), published to the registry, and
-// hot-swapped into every serving tenant with zero dropped frames.
+// -backend selects the serving detector kind: "aero" (the paper's
+// two-stage model) or one of the cheap streaming baseline adapters
+// ("sr", "tm", "fluxev") that keep up at survey rates. -alarm selects
+// the alarming stage: "static" thresholds on the kind's fitted POT
+// threshold, "dspot" wraps the backend in per-variate streaming DSPOT
+// (drift-corrected EVT tails that keep adapting online — the paper's
+// thresholding protocol, live). The default "auto" serves AERO with its
+// calibrated static threshold and every other kind with DSPOT.
+//
+// With -checkpoint the server keeps an artifact registry at the given
+// directory: the newest published artifact of the selected kind is used
+// instead of retraining on startup, warm backend states checkpointed by
+// a previous run are restored (tenants resume with a full window instead
+// of re-warming), and on shutdown every tenant's state is checkpointed
+// back. With -retrain-every the backend is refit in the background on
+// that interval (AERO rounds with a fresh logged seed), published to the
+// registry, and hot-swapped into every serving tenant with zero dropped
+// frames.
 package main
 
 import (
@@ -60,8 +71,11 @@ func main() {
 	dir := flag.String("dir", "data", "dataset directory (as written by aerogen)")
 	name := flag.String("dataset", "SyntheticMiddle", "dataset name")
 	config := flag.String("config", "small", "model configuration: small or paper")
-	load := flag.String("load", "", "load a saved model instead of training")
-	checkpoint := flag.String("checkpoint", "", "model registry directory: reuse the newest published model, restore warm detector states, checkpoint on shutdown")
+	kindFlag := flag.String("backend", "aero", fmt.Sprintf("serving backend kind: %v", aero.BackendKinds()))
+	alarmFlag := flag.String("alarm", "auto", "alarming stage: auto, static (fitted POT threshold) or dspot (adaptive drift-corrected EVT)")
+	dspotDepth := flag.Int("dspot-depth", 20, "DSPOT trailing drift-window depth")
+	load := flag.String("load", "", "load a saved model instead of training (aero backend only)")
+	checkpoint := flag.String("checkpoint", "", "artifact registry directory: reuse the newest published artifact, restore warm backend states, checkpoint on shutdown")
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain + hot-swap interval (0 = disabled)")
 	tenants := flag.Int("tenants", 8, "number of simulated telescope fields")
 	rate := flag.Float64("rate", 0, "frames per second per tenant (0 = as fast as possible)")
@@ -74,90 +88,161 @@ func main() {
 	testLen := flag.Int("testlen", 0, "truncate the replayed feed to this many frames (0 = all)")
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(1)
+	}
+
+	spec, ok := aero.LookupBackend(*kindFlag)
+	if !ok {
+		fail("unknown backend %q (have %v)", *kindFlag, aero.BackendKinds())
+	}
+	isAERO := *kindFlag == "aero"
+	alarm := *alarmFlag
+	if alarm == "auto" {
+		if isAERO {
+			alarm = "static"
+		} else {
+			alarm = "dspot"
+		}
+	}
+	if alarm != "static" && alarm != "dspot" {
+		fail("unknown alarm mode %q (want auto, static or dspot)", *alarmFlag)
+	}
+	if *load != "" && !isAERO {
+		fail("-load supports the aero backend only; %s artifacts live in the -checkpoint registry", *kindFlag)
+	}
+
 	d, err := aero.ReadDataset(*dir, *name)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "load dataset: %v\n", err)
-		os.Exit(1)
+		fail("load dataset: %v", err)
 	}
 	d.Train = truncate(d.Train, *trainLen)
 	d.Test = truncate(d.Test, *testLen)
 
-	// The registry is the model's home when -checkpoint is set; a retrain
-	// schedule without one still needs somewhere to publish, so it falls
-	// back to a throwaway directory.
+	// The registry is the artifact's home when -checkpoint is set; a
+	// retrain schedule without one still needs somewhere to publish, so it
+	// falls back to a throwaway directory.
 	var reg *aero.ModelRegistry
 	if *checkpoint != "" {
 		if reg, err = aero.OpenRegistry(*checkpoint); err != nil {
-			fmt.Fprintf(os.Stderr, "open registry: %v\n", err)
-			os.Exit(1)
+			fail("open registry: %v", err)
 		}
 	} else if *retrainEvery > 0 {
 		tmp, terr := os.MkdirTemp("", "aero-registry-")
 		if terr != nil {
-			fmt.Fprintf(os.Stderr, "temp registry: %v\n", terr)
-			os.Exit(1)
+			fail("temp registry: %v", terr)
 		}
 		defer os.RemoveAll(tmp)
 		if reg, err = aero.OpenRegistry(tmp); err != nil {
-			fmt.Fprintf(os.Stderr, "open registry: %v\n", err)
-			os.Exit(1)
+			fail("open registry: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "no -checkpoint given; publishing retrains to throwaway %s\n", tmp)
 	}
 
-	cfg := aero.SmallConfig()
+	opts := aero.SmallBackendOptions()
 	if *config == "paper" {
-		cfg = aero.DefaultConfig()
+		opts = aero.DefaultBackendOptions()
 	}
+
+	// Obtain the serving artifact: a saved model (-load, aero only), the
+	// registry's newest entry of the selected kind, or a fresh fit. The
+	// aero path additionally keeps the in-memory *Model so thousands of
+	// tenants share one set of weights.
 	var model *aero.Model
+	var artifact []byte
 	switch {
 	case *load != "":
 		if model, err = aero.Load(*load); err != nil {
-			fmt.Fprintf(os.Stderr, "load model: %v\n", err)
-			os.Exit(1)
+			fail("load model: %v", err)
 		}
 	case reg != nil:
-		m, v, lerr := reg.Latest(*name)
+		kind, art, v, lerr := reg.LatestArtifact(*name)
 		switch {
+		case lerr == nil && kind == *kindFlag:
+			artifact = art
+			fmt.Fprintf(os.Stderr, "using published %s artifact %s/%s from the registry\n", kind, *name, v)
 		case lerr == nil:
-			model = m
-			fmt.Fprintf(os.Stderr, "using published model %s/%s from the registry\n", *name, v)
+			fmt.Fprintf(os.Stderr, "registry entry %s/%s is kind %q, serving %q; retraining\n", *name, v, kind, *kindFlag)
 		case errors.Is(lerr, aero.ErrNoVersions):
 			// First run against this checkpoint: train below.
 		default:
 			fmt.Fprintf(os.Stderr, "registry %s: %v; retraining from scratch\n", reg.Dir(), lerr)
 		}
 	}
-	if model == nil {
-		if model, err = aero.New(cfg, d.Train.N()); err != nil {
-			fmt.Fprintf(os.Stderr, "model: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "training on %s (%d stars, %d samples)...\n", *name, d.Train.N(), d.Train.Len())
-		if err := model.Fit(d.Train); err != nil {
-			fmt.Fprintf(os.Stderr, "fit: %v\n", err)
-			os.Exit(1)
+	if model == nil && artifact == nil {
+		fmt.Fprintf(os.Stderr, "training %s backend on %s (%d stars, %d samples)...\n",
+			*kindFlag, *name, d.Train.N(), d.Train.Len())
+		if artifact, err = spec.Train(d.Train, opts); err != nil {
+			fail("train: %v", err)
 		}
 		if reg != nil {
-			if v, perr := reg.Publish(*name, model); perr != nil {
+			if v, perr := reg.PublishArtifact(*name, *kindFlag, artifact); perr != nil {
 				fmt.Fprintf(os.Stderr, "publish: %v\n", perr)
 			} else {
-				fmt.Fprintf(os.Stderr, "published %s/%s\n", *name, v)
+				fmt.Fprintf(os.Stderr, "published %s/%s (%s)\n", *name, v, *kindFlag)
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "model ready: POT threshold %.4f\n", model.Threshold())
+	if isAERO && model == nil {
+		// One shared in-memory model: scoring only reads the weights.
+		b, oerr := spec.Open(artifact)
+		if oerr != nil {
+			fail("open artifact: %v", oerr)
+		}
+		model = b.(*aero.StreamDetector).Model()
+	}
+	if isAERO && artifact == nil {
+		if artifact, err = model.MarshalBytes(); err != nil {
+			fail("marshal model: %v", err)
+		}
+	}
+
+	// DSPOT calibration: replay the training split through one scratch
+	// backend, then every tenant's tail models start from the same fitted
+	// state while its window warms on the live feed.
+	dcfg := aero.DefaultDSPOTConfig()
+	dcfg.Depth = *dspotDepth
+	dcfg.Level, dcfg.Q = opts.Stream.Level, opts.Stream.Q
+	var calibScores [][]float64
+	if alarm == "dspot" {
+		scratch, serr := openBackend(spec, isAERO, model, artifact)
+		if serr != nil {
+			fail("open calibration backend: %v", serr)
+		}
+		if calibScores, err = aero.StreamBackendScores(scratch, d.Train); err != nil {
+			fail("dspot calibration replay: %v", err)
+		}
+	}
+
+	// mkBackend constructs one tenant's serving backend.
+	mkBackend := func() (aero.StreamBackend, error) {
+		inner, merr := openBackend(spec, isAERO, model, artifact)
+		if merr != nil || alarm != "dspot" {
+			return inner, merr
+		}
+		return aero.NewDSPOTStage(inner, dcfg, calibScores)
+	}
+
+	probe, err := mkBackend()
+	if err != nil {
+		fail("backend: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s backend ready: alarm mode %s, threshold %.4f\n", probe.Kind(), alarm, probe.Threshold())
 
 	eng := aero.NewEngine(aero.EngineConfig{Shards: *shards, Workers: *workers, QueueDepth: *queue})
 	subs := make([]*aero.Subscription, *tenants)
 	for i := range subs {
 		id := fmt.Sprintf("field-%03d", i)
-		if subs[i], err = eng.Subscribe(id, model); err != nil {
-			fmt.Fprintf(os.Stderr, "subscribe %s: %v\n", id, err)
-			os.Exit(1)
+		b, berr := mkBackend()
+		if berr != nil {
+			fail("backend %s: %v", id, berr)
+		}
+		if subs[i], err = eng.SubscribeBackend(id, b); err != nil {
+			fail("subscribe %s: %v", id, err)
 		}
 	}
-	// Warm restarts: restore checkpointed detector states so tenants
+	// Warm restarts: restore checkpointed backend states so tenants
 	// resume with a full window instead of re-warming from a cold ring.
 	if reg != nil {
 		restored := 0
@@ -173,25 +258,21 @@ func main() {
 			restored++
 		}
 		if restored > 0 {
-			fmt.Fprintf(os.Stderr, "restored %d warm detector states from %s\n", restored, reg.Dir())
+			fmt.Fprintf(os.Stderr, "restored %d warm backend states from %s\n", restored, reg.Dir())
 		}
 	}
 	fmt.Fprintf(os.Stderr, "engine up: %d tenants × %d frames each\n", *tenants, d.Test.Len())
 
 	// Background lifecycle: retrain on the configured interval and
-	// hot-swap every tenant on publish.
+	// hot-swap every tenant on publish — through the typed model path for
+	// AERO (reproducible round-derived seeds) and the backend's Trainer
+	// for every other kind.
 	var retrains, hotSwaps atomic.Uint64
 	var retrainer *aero.Retrainer
 	if *retrainEvery > 0 {
-		base := model.Config()
-		retrainer, err = aero.NewRetrainer(aero.RetrainerConfig{
+		rtCfg := aero.RetrainerConfig{
 			Registry: reg,
 			Source:   func(string) (*aero.Series, error) { return d.Train, nil },
-			Config: func(_ string, round int) aero.Config {
-				c := base
-				c.Seed = base.Seed + int64(round) // reproducible from the logged seed
-				return c
-			},
 			Interval: *retrainEvery,
 			Logf:     func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
 			OnResult: func(res aero.RetrainResult) {
@@ -202,20 +283,42 @@ func main() {
 				retrains.Add(1)
 				n := 0
 				for _, sub := range subs {
-					if serr := sub.Swap(res.Model); serr != nil {
+					var serr error
+					if res.Model != nil {
+						// Shared-weights fast path: one parsed model swaps
+						// into every tenant (the DSPOT stage passes it
+						// through), instead of a per-tenant artifact parse
+						// under the subscription lock.
+						serr = sub.Swap(res.Model)
+					} else {
+						serr = sub.SwapArtifact(res.Artifact)
+					}
+					if serr != nil {
 						fmt.Fprintf(os.Stderr, "swap %s: %v\n", sub.ID, serr)
 						continue
 					}
 					n++
 				}
 				hotSwaps.Add(uint64(n))
-				fmt.Fprintf(os.Stderr, "hot-swapped %s/%s (seed %d) into %d tenants mid-stream\n",
-					*name, res.Version, res.Seed, n)
+				fmt.Fprintf(os.Stderr, "hot-swapped %s/%s (%s) into %d tenants mid-stream\n",
+					*name, res.Version, res.Kind, n)
 			},
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "retrainer: %v\n", err)
-			os.Exit(1)
+		}
+		if isAERO {
+			base := model.Config()
+			rtCfg.Config = func(_ string, round int) aero.Config {
+				c := base
+				c.Seed = base.Seed + int64(round) // reproducible from the logged seed
+				return c
+			}
+		} else {
+			rtCfg.Train = func(_ string, _ int, series *aero.Series) (string, []byte, error) {
+				art, terr := spec.Train(series, opts)
+				return *kindFlag, art, terr
+			}
+		}
+		if retrainer, err = aero.NewRetrainer(rtCfg); err != nil {
+			fail("retrainer: %v", err)
 		}
 		retrainer.Register(*name)
 		retrainer.Start()
@@ -315,7 +418,7 @@ func main() {
 	eng.Close()
 	consumers.Wait()
 
-	// Checkpoint warm detector states so the next run resumes mid-window.
+	// Checkpoint warm backend states so the next run resumes mid-window.
 	if reg != nil {
 		saved := 0
 		for _, sub := range subs {
@@ -330,11 +433,22 @@ func main() {
 			}
 			saved++
 		}
-		fmt.Fprintf(os.Stderr, "checkpointed %d warm detector states to %s\n", saved, reg.Dir())
+		fmt.Fprintf(os.Stderr, "checkpointed %d warm backend states to %s\n", saved, reg.Dir())
 	}
 
 	total := eng.Totals()
 	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
 		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),
 		totalAlarms, retrains.Load(), hotSwaps.Load())
+}
+
+// openBackend constructs one cold backend instance. AERO tenants share
+// the in-memory model (scoring only reads the weights) instead of
+// re-parsing the artifact per tenant; every other kind opens through its
+// spec.
+func openBackend(spec aero.BackendSpec, isAERO bool, model *aero.Model, artifact []byte) (aero.StreamBackend, error) {
+	if isAERO {
+		return aero.NewStreamDetectorWorkers(model, 1)
+	}
+	return spec.Open(artifact)
 }

@@ -17,6 +17,18 @@ func PRCurve(scores []float64, truth []bool, maxPoints int) []PRPoint {
 	}
 	uniq := append([]float64(nil), scores...)
 	sort.Float64s(uniq)
+	// Deduplicate before stepping: heavily tied scores (clamped-to-zero
+	// baselines, quantized detectors) would otherwise burn most of the
+	// sweep's operating points on one repeated threshold and skew the
+	// subsampled curve toward the tie.
+	k := 0
+	for i, v := range uniq {
+		if i == 0 || v != uniq[k-1] {
+			uniq[k] = v
+			k++
+		}
+	}
+	uniq = uniq[:k]
 	step := len(uniq) / maxPoints
 	if step < 1 {
 		step = 1

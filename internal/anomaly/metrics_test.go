@@ -181,6 +181,45 @@ func TestPRCurveMonotonicEndpoints(t *testing.T) {
 	}
 }
 
+// TestPRCurveDedupesTiedScores is the regression test for the tied-score
+// sweep bug: the threshold candidates were sorted but never
+// deduplicated, so a heavily tied score distribution (here 97% exact
+// zeros, the shape clamped baselines produce) burned nearly every
+// subsampled operating point on the same threshold and collapsed the
+// curve's resolution over the informative tail.
+func TestPRCurveDedupesTiedScores(t *testing.T) {
+	const n = 1000
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	distinct := map[float64]bool{0: true}
+	for i := 30; i < 60; i++ { // one anomalous plateau of distinct scores
+		scores[i] = 1 + float64(i)/100
+		truth[i] = true
+		distinct[scores[i]] = true
+	}
+	curve := PRCurve(scores, truth, 10)
+	seen := map[float64]int{}
+	for _, p := range curve {
+		seen[p.Threshold]++
+		if seen[p.Threshold] > 1 {
+			t.Fatalf("threshold %v swept twice", p.Threshold)
+		}
+	}
+	// 31 distinct scores at maxPoints 10 → step 3 → ≥ 10 distinct
+	// operating points (plus the zero-recall anchor). The broken sweep
+	// stepped over 1000 tied values and spent 97% of its points below the
+	// informative range, leaving at most one non-zero threshold.
+	nonZero := 0
+	for thr := range seen {
+		if thr > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 5 {
+		t.Fatalf("only %d non-zero thresholds swept; tied scores still burn sweep points", nonZero)
+	}
+}
+
 func TestAUPRCPerfectSeparation(t *testing.T) {
 	scores := []float64{0.1, 0.1, 0.9, 0.9, 0.1}
 	truth := []bool{false, false, true, true, false}

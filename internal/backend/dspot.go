@@ -1,0 +1,234 @@
+package backend
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"aero/internal/baselines"
+	"aero/internal/core"
+	"aero/internal/dataset"
+	"aero/internal/evt"
+	"aero/internal/tensor"
+)
+
+// DSPOTConfig parameterizes the adaptive-alarming stage: the POT level/q
+// of the streaming tail fit (paper §IV-B protocol) and the trailing
+// drift-window depth of Siffer et al.'s DSPOT (§4.4).
+type DSPOTConfig struct {
+	Level, Q float64
+	Depth    int
+}
+
+// DefaultDSPOTConfig mirrors the paper's POT protocol with a 20-frame
+// drift window.
+func DefaultDSPOTConfig() DSPOTConfig { return DSPOTConfig{Level: 0.99, Q: 1e-3, Depth: 20} }
+
+// DSPOTStage wraps ANY StreamBackend and replaces its static fitted
+// threshold with per-variate streaming DSPOT: each push scores through
+// the inner backend, then every raw score is re-thresholded by a
+// drift-corrected EVT tail model that keeps adapting online. This is how
+// the paper's thresholding protocol behaves in the streaming pipeline —
+// the engine alarms on drift-corrected extreme-value tails instead of a
+// quantile frozen at train time.
+//
+// The stage must come *after* scoring and before alarming, which is why
+// it wraps the backend rather than filtering the engine's alarm channel:
+// alarms derived from the inner backend's static threshold would already
+// have discarded the sub-threshold scores DSPOT needs to maintain its
+// tail model.
+type DSPOTStage struct {
+	inner core.StreamBackend
+	cfg   DSPOTConfig
+	spots []*evt.DSPOT
+	fired []bool // per-variate verdicts of the newest push, reused
+}
+
+// NewDSPOTStage wraps inner with per-variate DSPOT alarmers calibrated
+// on the given score sequences (one per variate, as produced by
+// baselines.StreamScores over a calibration split). Every sequence must
+// exceed Depth+8 points, the DSPOT calibration minimum.
+func NewDSPOTStage(inner core.StreamBackend, cfg DSPOTConfig, calib [][]float64) (*DSPOTStage, error) {
+	n := inner.Variates()
+	if len(calib) != n {
+		return nil, fmt.Errorf("backend: dspot calibration has %d variates, backend %d", len(calib), n)
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	d := &DSPOTStage{
+		inner: inner,
+		cfg:   cfg,
+		spots: make([]*evt.DSPOT, n),
+		fired: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		d.spots[v] = evt.NewDSPOT(cfg.Level, cfg.Q, cfg.Depth)
+		if err := d.spots[v].Fit(calib[v]); err != nil {
+			return nil, fmt.Errorf("backend: dspot variate %d: %w", v, err)
+		}
+	}
+	return d, nil
+}
+
+// OpenAdaptive opens a serving backend of the given kind wrapped in a
+// freshly calibrated DSPOT stage: a scratch instance replays the
+// calibration series to produce the per-variate score sequences, then
+// the serving instance starts cold (its window warms on the live feed,
+// while the tail models start calibrated).
+func OpenAdaptive(spec Spec, artifact []byte, cfg DSPOTConfig, calib *dataset.Series) (*DSPOTStage, error) {
+	scratch, err := spec.Open(artifact)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := baselines.StreamScores(scratch, calib)
+	if err != nil {
+		return nil, fmt.Errorf("backend: dspot calibration replay: %w", err)
+	}
+	inner, err := spec.Open(artifact)
+	if err != nil {
+		return nil, err
+	}
+	return NewDSPOTStage(inner, cfg, scores)
+}
+
+// Kind implements core.StreamBackend; the tag marks the composition.
+func (d *DSPOTStage) Kind() string { return d.inner.Kind() + "+dspot" }
+
+// Inner returns the wrapped backend.
+func (d *DSPOTStage) Inner() core.StreamBackend { return d.inner }
+
+// Variates implements core.StreamBackend.
+func (d *DSPOTStage) Variates() int { return d.inner.Variates() }
+
+// Ready implements core.StreamBackend.
+func (d *DSPOTStage) Ready() bool { return d.inner.Ready() }
+
+// LastTime implements core.StreamBackend.
+func (d *DSPOTStage) LastTime() (float64, bool) { return d.inner.LastTime() }
+
+// Threshold reports the mean effective alarm level across variates
+// (drift baseline + residual-space tail threshold); unlike a static
+// backend's, it moves as the stage adapts.
+func (d *DSPOTStage) Threshold() float64 {
+	var sum float64
+	for _, sp := range d.spots {
+		sum += sp.Baseline() + sp.Threshold()
+	}
+	return sum / float64(len(d.spots))
+}
+
+// PushScores implements core.StreamBackend: the inner backend's raw
+// scores pass through unchanged, while each one steps its variate's
+// DSPOT (the verdicts back the next Push's alarms).
+func (d *DSPOTStage) PushScores(f core.Frame) ([]float64, error) {
+	scores, err := d.inner.PushScores(f)
+	if err != nil || scores == nil {
+		return nil, err
+	}
+	for v, sc := range scores {
+		d.fired[v] = d.spots[v].Step(sc)
+	}
+	return scores, nil
+}
+
+// Push implements core.StreamBackend, alarming on the DSPOT verdicts
+// instead of the inner backend's static threshold.
+func (d *DSPOTStage) Push(f core.Frame) ([]core.Alarm, error) {
+	scores, err := d.PushScores(f)
+	if err != nil || scores == nil {
+		return nil, err
+	}
+	var alarms []core.Alarm
+	for v, sc := range scores {
+		if d.fired[v] {
+			alarms = append(alarms, core.Alarm{Variate: v, Time: f.Time, Score: sc})
+		}
+	}
+	return alarms, nil
+}
+
+// SwapArtifact delegates to the inner backend; the adaptive tail state
+// is deliberately kept across swaps — it tracks the *score stream*, which
+// a same-kind retrain perturbs far less than a cold refit would, and it
+// keeps adapting online either way.
+func (d *DSPOTStage) SwapArtifact(artifact []byte) error { return d.inner.SwapArtifact(artifact) }
+
+// Swap passes an in-memory model swap through to the inner backend when
+// it accepts one (AERO), so wrapped tenants keep the shared-weights fast
+// path — no per-tenant artifact re-parse under the subscription lock.
+// The adaptive tail state is kept, as with SwapArtifact.
+func (d *DSPOTStage) Swap(m *core.Model) error {
+	sw, ok := d.inner.(interface{ Swap(m *core.Model) error })
+	if !ok {
+		return fmt.Errorf("backend: %s does not accept a model swap", d.inner.Kind())
+	}
+	return sw.Swap(m)
+}
+
+// GraphSnapshot passes through the inner backend's monitoring
+// capability, when present.
+func (d *DSPOTStage) GraphSnapshot() (*tensor.Dense, error) {
+	if g, ok := d.inner.(core.GraphSnapshotter); ok {
+		return g.GraphSnapshot()
+	}
+	return nil, fmt.Errorf("backend: %s does not expose a graph snapshot", d.inner.Kind())
+}
+
+const dspotSnapshotVersion = 1
+
+// dspotSnapshot checkpoints the composition: the inner backend's own
+// snapshot plus every variate's adaptive tail state.
+type dspotSnapshot struct {
+	Kind    string           `json:"kind"`
+	Version int              `json:"version"`
+	Inner   []byte           `json:"inner"`
+	Spots   []evt.DSPOTState `json:"spots"`
+}
+
+// SnapshotState implements core.StreamBackend.
+func (d *DSPOTStage) SnapshotState() ([]byte, error) {
+	inner, err := d.inner.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	st := dspotSnapshot{Kind: d.Kind(), Version: dspotSnapshotVersion, Inner: inner,
+		Spots: make([]evt.DSPOTState, len(d.spots))}
+	for v, sp := range d.spots {
+		st.Spots[v] = sp.State()
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements core.StreamBackend. The blob is validated —
+// including against the inner backend, which itself validates before
+// mutating — and the tail states are committed only after the inner
+// restore succeeds.
+func (d *DSPOTStage) RestoreState(blob []byte) error {
+	var st dspotSnapshot
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("backend: parse dspot state: %w", err)
+	}
+	if st.Kind != d.Kind() {
+		return fmt.Errorf("backend: state kind %q, want %q", st.Kind, d.Kind())
+	}
+	if st.Version != dspotSnapshotVersion {
+		return fmt.Errorf("backend: unsupported dspot state version %d", st.Version)
+	}
+	if len(st.Spots) != len(d.spots) {
+		return fmt.Errorf("backend: state has %d tail models, want %d", len(st.Spots), len(d.spots))
+	}
+	fresh := make([]*evt.DSPOT, len(d.spots))
+	for v := range fresh {
+		fresh[v] = evt.NewDSPOT(d.cfg.Level, d.cfg.Q, d.cfg.Depth)
+		if err := fresh[v].SetState(st.Spots[v]); err != nil {
+			return fmt.Errorf("backend: dspot state variate %d: %w", v, err)
+		}
+	}
+	if err := d.inner.RestoreState(st.Inner); err != nil {
+		return err
+	}
+	copy(d.spots, fresh)
+	return nil
+}
+
+var _ core.StreamBackend = (*DSPOTStage)(nil)

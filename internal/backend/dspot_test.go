@@ -1,0 +1,322 @@
+package backend_test
+
+import (
+	"math"
+	"testing"
+
+	"aero/internal/backend"
+	"aero/internal/baselines"
+	"aero/internal/core"
+	"aero/internal/dataset"
+	"aero/internal/engine"
+	"aero/internal/evt"
+)
+
+func dspotTestData() *dataset.Dataset {
+	return dataset.SyntheticConfig{
+		Name: "dspot", N: 3, TrainLen: 400, TestLen: 300,
+		NoiseVariates: 2, AnomalySegments: 1, NoisePct: 3,
+		VariableFrac: 0.5, Seed: 17,
+	}.Generate()
+}
+
+type alarmKey struct {
+	v  int
+	t  float64
+	sc float64
+}
+
+// TestDSPOTStageMatchesDirectStep is the satellite identity contract:
+// the engine-served DSPOT stage must alarm exactly where feeding the
+// same per-variate score sequence through evt.DSPOT.Step directly does —
+// same frames, same variates, bit-identical scores. The stage is
+// plumbing, not math.
+func TestDSPOTStageMatchesDirectStep(t *testing.T) {
+	d := dspotTestData()
+	spec, ok := backend.Get(baselines.KindFluxEV)
+	if !ok {
+		t.Fatal("fluxev not registered")
+	}
+	opts := backend.SmallOptions()
+	artifact, err := spec.Train(d.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := backend.DefaultDSPOTConfig()
+
+	// Reference: raw score sequence of the test split through a twin
+	// backend, thresholded by evt.DSPOT directly.
+	calibTwin, err := spec.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := baselines.StreamScores(calibTwin, d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreTwin, err := spec.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []alarmKey
+	{
+		spots := make([]*evt.DSPOT, d.Test.N())
+		for v := range spots {
+			spots[v] = evt.NewDSPOT(dcfg.Level, dcfg.Q, dcfg.Depth)
+			if err := spots[v].Fit(calib[v]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+		for ti := 0; ti < d.Test.Len(); ti++ {
+			frame.Time = d.Test.Time[ti]
+			for v := 0; v < d.Test.N(); v++ {
+				frame.Magnitudes[v] = d.Test.Data[v][ti]
+			}
+			scores, err := scoreTwin.PushScores(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, sc := range scores {
+				if spots[v].Step(sc) {
+					want = append(want, alarmKey{v: v, t: frame.Time, sc: sc})
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("direct DSPOT produced no alarms; identity test is vacuous")
+	}
+
+	// Engine path: the same artifact + calibration split, served through
+	// the stage behind the sharded engine.
+	stage, err := backend.OpenAdaptive(spec, artifact, dcfg, d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.Config{Shards: 2, Workers: 2, QueueDepth: 8, BatchSize: 4})
+	if _, err := e.SubscribeBackend("dspot", stage); err != nil {
+		t.Fatal(err)
+	}
+	var got []alarmKey
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range e.Alarms() {
+			got = append(got, alarmKey{v: a.Variate, t: a.Time, sc: a.Score})
+		}
+	}()
+	frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+	for ti := 0; ti < d.Test.Len(); ti++ {
+		frame.Time = d.Test.Time[ti]
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][ti]
+		}
+		if err := e.Ingest("dspot", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	e.Close()
+	<-done
+
+	if len(got) != len(want) {
+		t.Fatalf("engine stage raised %d alarms, direct DSPOT %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("alarm %d: engine %+v != direct %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDSPOTStagePushAllocs pins the adaptive stage at the same
+// steady-state budget as the raw adapters: a warm benign push (score in
+// the below-tail common case) performs zero allocations.
+func TestDSPOTStagePushAllocs(t *testing.T) {
+	d := dspotTestData()
+	for _, kind := range []string{baselines.KindSR, baselines.KindTM, baselines.KindFluxEV} {
+		t.Run(kind, func(t *testing.T) {
+			spec, _ := backend.Get(kind)
+			artifact, err := spec.Train(d.Train, backend.SmallOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stage, err := backend.OpenAdaptive(spec, artifact, backend.DefaultDSPOTConfig(), d.Train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm on real data, then hold the last frame's values: a flat
+			// continuation scores ~0 on every adapter, the common
+			// below-tail DSPOT step.
+			frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+			next := 0
+			for ; next < 2*128; next++ {
+				frame.Time = float64(next)
+				for v := range frame.Magnitudes {
+					frame.Magnitudes[v] = d.Test.Data[v][next%d.Test.Len()]
+				}
+				if _, err := stage.Push(frame); err != nil {
+					t.Fatal(err)
+				}
+			}
+			push := func() {
+				frame.Time = float64(next)
+				next++
+				if _, err := stage.Push(frame); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Settle until every adapter's window is past the transition
+			// onto the flat continuation (scores may cross the DSPOT tail
+			// while real data drains out of the window).
+			for i := 0; i < 150; i++ {
+				push()
+			}
+			if allocs := testing.AllocsPerRun(64, push); allocs != 0 {
+				t.Fatalf("steady-state %s+dspot Push allocates %.1f objects/frame, want 0", kind, allocs)
+			}
+		})
+	}
+}
+
+// TestDSPOTStageSnapshotRestore pins warm-restart bit-identity of the
+// composition: inner window AND adaptive tail state round-trip, so the
+// resumed alarm stream equals the uninterrupted one exactly.
+func TestDSPOTStageSnapshotRestore(t *testing.T) {
+	d := dspotTestData()
+	spec, _ := backend.Get(baselines.KindFluxEV)
+	artifact, err := spec.Train(d.Train, backend.SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := backend.DefaultDSPOTConfig()
+	mk := func() *backend.DSPOTStage {
+		s, err := backend.OpenAdaptive(spec, artifact, dcfg, d.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	replay := func(s *backend.DSPOTStage, lo, hi int) []alarmKey {
+		var out []alarmKey
+		frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+		for ti := lo; ti < hi; ti++ {
+			frame.Time = d.Test.Time[ti]
+			for v := 0; v < d.Test.N(); v++ {
+				frame.Magnitudes[v] = d.Test.Data[v][ti]
+			}
+			alarms, err := s.Push(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range alarms {
+				out = append(out, alarmKey{v: a.Variate, t: a.Time, sc: a.Score})
+			}
+		}
+		return out
+	}
+
+	want := replay(mk(), 0, d.Test.Len())
+	if len(want) == 0 {
+		t.Fatal("no alarms; restore identity is vacuous")
+	}
+
+	cut := d.Test.Len() / 2
+	first := mk()
+	got := replay(first, 0, cut)
+	blob, err := first.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := mk()
+	if err := second.RestoreState(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if err := second.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, replay(second, cut, d.Test.Len())...)
+
+	if len(got) != len(want) {
+		t.Fatalf("restart produced %d alarms, uninterrupted run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("alarm %d: restart %+v != uninterrupted %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDSPOTStageThresholdAdapts checks the stage's reason to exist: its
+// effective threshold moves with the stream (drift correction), unlike
+// the frozen static calibration underneath.
+func TestDSPOTStageThresholdAdapts(t *testing.T) {
+	d := dspotTestData()
+	spec, _ := backend.Get(baselines.KindFluxEV)
+	artifact, err := spec.Train(d.Train, backend.SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage, err := backend.OpenAdaptive(spec, artifact, backend.DefaultDSPOTConfig(), d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stage.Threshold()
+	if math.IsNaN(before) || math.IsInf(before, 0) {
+		t.Fatalf("unusable initial threshold %v", before)
+	}
+	static := stage.Inner().Threshold()
+	frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+	moved := false
+	for ti := 0; ti < d.Test.Len(); ti++ {
+		frame.Time = d.Test.Time[ti]
+		for v := 0; v < d.Test.N(); v++ {
+			frame.Magnitudes[v] = d.Test.Data[v][ti]
+		}
+		if _, err := stage.Push(frame); err != nil {
+			t.Fatal(err)
+		}
+		if stage.Threshold() != before {
+			moved = true
+		}
+		if stage.Inner().Threshold() != static {
+			t.Fatal("static threshold moved")
+		}
+	}
+	if !moved {
+		t.Fatal("adaptive threshold never moved over the whole feed")
+	}
+}
+
+// TestTrainOpenRoundTrip covers the spec registry surface for every
+// kind: train → open → serve a few frames.
+func TestTrainOpenRoundTrip(t *testing.T) {
+	d := dspotTestData()
+	kinds := backend.Kinds()
+	if len(kinds) < 4 {
+		t.Fatalf("expected >= 4 registered kinds, have %v", kinds)
+	}
+	for _, kind := range kinds {
+		if kind == core.KindAERO {
+			continue // covered by the engine identity tests (training is slow)
+		}
+		artifact, err := backend.Train(kind, d.Train, backend.SmallOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := backend.Open(kind, artifact)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if b.Kind() != kind || b.Variates() != d.Train.N() {
+			t.Fatalf("%s: wrong identity %s/%d", kind, b.Kind(), b.Variates())
+		}
+	}
+	if _, err := backend.Train("nope", d.Train, backend.SmallOptions()); err == nil {
+		t.Fatal("unknown kind trained")
+	}
+	if _, err := backend.Open("nope", nil); err == nil {
+		t.Fatal("unknown kind opened")
+	}
+}

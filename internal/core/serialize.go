@@ -88,8 +88,21 @@ type paramRef struct {
 // is synced, then renamed over path — a crash mid-write can never leave a
 // truncated or half-written checkpoint where a reader expects a model.
 func (m *Model) Save(path string) error {
+	blob, err := m.MarshalBytes()
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(path, blob, 0o644); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// MarshalBytes serializes the fitted model to the bytes Save writes —
+// the AERO backend artifact. LoadBytes is the inverse.
+func (m *Model) MarshalBytes() ([]byte, error) {
 	if !m.trained {
-		return fmt.Errorf("core: cannot save an unfitted model")
+		return nil, fmt.Errorf("core: cannot save an unfitted model")
 	}
 	st := modelState{
 		Version: 1,
@@ -106,12 +119,9 @@ func (m *Model) Save(path string) error {
 	}
 	blob, err := json.Marshal(st)
 	if err != nil {
-		return fmt.Errorf("core: marshal model: %w", err)
+		return nil, fmt.Errorf("core: marshal model: %w", err)
 	}
-	if err := WriteFileAtomic(path, blob, 0o644); err != nil {
-		return fmt.Errorf("core: save model: %w", err)
-	}
-	return nil
+	return blob, nil
 }
 
 // WriteFileAtomic writes blob to a temp file in path's directory, syncs it

@@ -94,6 +94,17 @@ func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
 	return s, nil
 }
 
+// Kind implements StreamBackend: the AERO backend kind tag.
+func (s *StreamDetector) Kind() string { return KindAERO }
+
+// Model returns the fitted model currently serving the detector (the
+// latest swapped-in one). Hosts use it to share one set of weights
+// across many detectors.
+func (s *StreamDetector) Model() *Model { return s.m }
+
+// Variates returns the number of stars each frame must carry.
+func (s *StreamDetector) Variates() int { return s.m.n }
+
 // Ready reports whether enough frames have arrived to fill one window.
 func (s *StreamDetector) Ready() bool { return s.count >= s.m.cfg.LongWindow }
 
@@ -105,6 +116,25 @@ func (s *StreamDetector) LastTime() (float64, bool) { return s.last, s.count > 0
 // Push appends one frame and, once the window is warm, scores it,
 // returning the alarms raised at this instant (empty when none).
 func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
+	scores, err := s.PushScores(f)
+	if err != nil || scores == nil {
+		return nil, err
+	}
+	var alarms []Alarm
+	for v, sc := range scores {
+		if sc >= s.m.thr.Z {
+			alarms = append(alarms, Alarm{Variate: v, Time: f.Time, Score: sc})
+		}
+	}
+	return alarms, nil
+}
+
+// PushScores appends one frame and, once the window is warm, returns the
+// raw per-variate scores of this instant (nil during warm-up). The slice
+// is reused by the next push. Push derives alarms from these scores; a
+// composable alarming stage (see internal/backend's DSPOT wrapper)
+// consumes them directly instead.
+func (s *StreamDetector) PushScores(f Frame) ([]float64, error) {
 	if len(f.Magnitudes) != s.m.n {
 		return nil, fmt.Errorf("core: frame has %d stars, model expects %d", len(f.Magnitudes), s.m.n)
 	}
@@ -126,15 +156,7 @@ func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
 	if !s.Ready() {
 		return nil, nil
 	}
-
-	scores := s.scoreLast()
-	var alarms []Alarm
-	for v, sc := range scores {
-		if sc >= s.m.thr.Z {
-			alarms = append(alarms, Alarm{Variate: v, Time: f.Time, Score: sc})
-		}
-	}
-	return alarms, nil
+	return s.scoreLast(), nil
 }
 
 // window linearizes the rings into the reusable chronological prepared
@@ -213,6 +235,17 @@ func (s *StreamDetector) Swap(m *Model) error {
 		}
 	}
 	return nil
+}
+
+// SwapArtifact implements StreamBackend: the AERO artifact is the model
+// JSON written by Model.Save, decoded and installed via Swap (the warm
+// window is kept and re-normalized under the new model's bounds).
+func (s *StreamDetector) SwapArtifact(artifact []byte) error {
+	m, err := LoadBytes(artifact)
+	if err != nil {
+		return err
+	}
+	return s.Swap(m)
 }
 
 // Threshold returns the alarm threshold in use.

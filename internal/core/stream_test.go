@@ -241,6 +241,64 @@ func TestStreamDynamicGraphVariant(t *testing.T) {
 	}
 }
 
+// TestStreamDetectorBackendContract pins the StreamBackend conformance
+// of the AERO detector: the kind tag, Push deriving its alarms exactly
+// from PushScores against the threshold, and SwapArtifact accepting the
+// model's own marshaled bytes (and nothing else).
+func TestStreamDetectorBackendContract(t *testing.T) {
+	m, d := shared(t)
+	s, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := NewStreamDetector(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != KindAERO || s.Variates() != d.Test.N() {
+		t.Fatalf("identity %s/%d", s.Kind(), s.Variates())
+	}
+	frame := Frame{Magnitudes: make([]float64, d.Test.N())}
+	for ti := 0; ti < d.Test.Len(); ti++ {
+		frame.Time = d.Test.Time[ti]
+		for v := range frame.Magnitudes {
+			frame.Magnitudes[v] = d.Test.Data[v][ti]
+		}
+		alarms, err := s.Push(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores, err := twin.PushScores(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var derived []Alarm
+		for v, sc := range scores {
+			if sc >= twin.Threshold() {
+				derived = append(derived, Alarm{Variate: v, Time: frame.Time, Score: sc})
+			}
+		}
+		if len(alarms) != len(derived) {
+			t.Fatalf("t=%d: Push %d alarms, PushScores-derived %d", ti, len(alarms), len(derived))
+		}
+		for k := range alarms {
+			if alarms[k] != derived[k] {
+				t.Fatalf("t=%d alarm %d: %+v != %+v", ti, k, alarms[k], derived[k])
+			}
+		}
+	}
+	blob, err := m.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapArtifact(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapArtifact([]byte("not a model")); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+}
+
 func TestStreamMemoryBounded(t *testing.T) {
 	m, d := shared(t)
 	s, err := NewStreamDetector(m)

@@ -1,0 +1,188 @@
+package engine_test
+
+import (
+	"testing"
+
+	"aero/internal/backend"
+	"aero/internal/core"
+	"aero/internal/engine"
+)
+
+// openIdentityBackend opens one serving instance for the bit-identity
+// test: the kind's cold backend, optionally DSPOT-wrapped (calibrated on
+// the fixture's training split — the deterministic calibration makes
+// twin instances exact clones).
+func openIdentityBackend(t *testing.T, spec backend.Spec, artifact []byte, adaptive bool) core.StreamBackend {
+	t.Helper()
+	if adaptive {
+		stage, err := backend.OpenAdaptive(spec, artifact, backend.DefaultDSPOTConfig(), fixD.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stage
+	}
+	b, err := spec.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEngineBackendMatchesSequentialReplay extends the engine's
+// equivalence contract to every registered backend kind, static and
+// DSPOT-wrapped: the sharded worker-pool pipeline must produce exactly
+// the alarms sequential pushes through a twin backend produce — same
+// frames, same order, bit-identical scores. CI runs each kind's subtree
+// in a -race matrix step.
+func TestEngineBackendMatchesSequentialReplay(t *testing.T) {
+	m, _ := fixture(t)
+	series := tenantSeries(0).Test
+	opts := backend.Options{AERO: fixtureConfig(), Stream: backend.SmallOptions().Stream}
+
+	totalAlarms := 0
+	for _, kind := range backend.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			spec, ok := backend.Get(kind)
+			if !ok {
+				t.Fatalf("kind %s not registered", kind)
+			}
+			var artifact []byte
+			var err error
+			if kind == core.KindAERO {
+				// Reuse the shared fixture model instead of re-training.
+				if artifact, err = m.MarshalBytes(); err != nil {
+					t.Fatal(err)
+				}
+			} else if artifact, err = spec.Train(fixD.Train, opts); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, mode := range []struct {
+				name     string
+				adaptive bool
+			}{{"static", false}, {"dspot", true}} {
+				mode := mode
+				t.Run(mode.name, func(t *testing.T) {
+					// Sequential reference.
+					ref := openIdentityBackend(t, spec, artifact, mode.adaptive)
+					var want []core.Alarm
+					frame := core.Frame{Magnitudes: make([]float64, series.N())}
+					for ti := 0; ti < series.Len(); ti++ {
+						frame.Time = series.Time[ti]
+						for v := 0; v < series.N(); v++ {
+							frame.Magnitudes[v] = series.Data[v][ti]
+						}
+						alarms, err := ref.Push(frame)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want = append(want, alarms...)
+					}
+
+					// Engine path with a twin instance.
+					e := engine.New(engine.Config{Shards: 3, Workers: 4, QueueDepth: 16, BatchSize: 4})
+					sub, err := e.SubscribeBackend("twin", openIdentityBackend(t, spec, artifact, mode.adaptive))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, wg := collectAlarms(e)
+					for ti := 0; ti < series.Len(); ti++ {
+						frame.Time = series.Time[ti]
+						for v := 0; v < series.N(); v++ {
+							frame.Magnitudes[v] = series.Data[v][ti]
+						}
+						if err := e.Ingest("twin", frame); err != nil {
+							t.Fatal(err)
+						}
+					}
+					e.Flush()
+					if st := sub.Stats(); st.Frames != uint64(series.Len()) || !st.Ready {
+						t.Fatalf("stats %+v, want %d frames and ready", st, series.Len())
+					}
+					e.Close()
+					wg.Wait()
+
+					g := got["twin"]
+					if len(g) != len(want) {
+						t.Fatalf("engine produced %d alarms, sequential replay %d", len(g), len(want))
+					}
+					for k := range g {
+						if g[k] != want[k] {
+							t.Fatalf("alarm %d: engine %+v != replay %+v", k, g[k], want[k])
+						}
+					}
+					totalAlarms += len(want)
+				})
+			}
+		})
+	}
+	// The contract is only meaningful if the feed alarms somewhere.
+	if totalAlarms == 0 {
+		t.Fatal("no backend raised any alarm; equivalence suite is vacuous")
+	}
+}
+
+// TestSubscriptionBackendCapabilities covers the capability seams of a
+// non-AERO tenant: model swaps and graph snapshots are cleanly rejected,
+// artifact swaps land and count, and the kind tag is visible.
+func TestSubscriptionBackendCapabilities(t *testing.T) {
+	m, _ := fixture(t)
+	artifact, err := backend.Train("fluxev", fixD.Train, backend.SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := backend.Open("fluxev", artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.Config{Shards: 1, Workers: 1})
+	sub, err := e.SubscribeBackend("flux", det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Kind() != "fluxev" {
+		t.Fatalf("kind %q", sub.Kind())
+	}
+	if err := sub.Swap(m); err == nil {
+		t.Fatal("model swap accepted by a fluxev tenant")
+	}
+	if _, err := sub.GraphSnapshot(); err == nil {
+		t.Fatal("graph snapshot served by a fluxev tenant")
+	}
+	if st := sub.Stats(); st.Swaps != 0 {
+		t.Fatalf("failed swap counted: %+v", st)
+	}
+	if err := sub.SwapArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+	if st := sub.Stats(); st.Swaps != 1 {
+		t.Fatalf("artifact swap not counted: %+v", st)
+	}
+
+	// A DSPOT-wrapped AERO tenant keeps the shared-weights model-swap
+	// fast path: the stage passes Swap through to the inner detector.
+	aeroArtifact, err := m.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeroSpec, _ := backend.Get(core.KindAERO)
+	stage, err := backend.OpenAdaptive(aeroSpec, aeroArtifact, backend.DefaultDSPOTConfig(), fixD.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := e.SubscribeBackend("aero-dspot", stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.Swap(m); err != nil {
+		t.Fatal(err)
+	}
+	if st := wrapped.Stats(); st.Swaps != 1 {
+		t.Fatalf("model swap through the stage not counted: %+v", st)
+	}
+
+	_, wg := collectAlarms(e)
+	e.Close()
+	wg.Wait()
+}

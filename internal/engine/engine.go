@@ -1,15 +1,17 @@
 // Package engine provides a sharded, multi-tenant streaming detection
-// front end over core.StreamDetector — the production shape of the paper's
-// §III-F online mode. A survey telescope like GWAC emits one frame across
-// thousands of stars every ~15 s; one StreamDetector handles one field
-// (tenant). The engine owns many such tenants at once:
+// front end over the core.StreamBackend contract — the production shape
+// of the paper's §III-F online mode. A survey telescope like GWAC emits
+// one frame across thousands of stars every ~15 s; one backend (an AERO
+// StreamDetector, a streaming baseline adapter, or a DSPOT-wrapped
+// composition) handles one field (tenant). The engine owns many such
+// tenants at once:
 //
 //   - each subscription (tenant) is pinned to one of N shards, so its
 //     frames are always scored in arrival order;
 //   - a worker pool sized to GOMAXPROCS drains shards in batches, so
 //     scoring work from many tenants keeps every core busy without
-//     oversubscribing (per-detector scoring stays allocation-free on the
-//     detector's own scratch);
+//     oversubscribing (per-backend scoring stays allocation-free on the
+//     backend's own scratch);
 //   - ingest is backpressure-aware: per-shard queues are bounded, and both
 //     the Ingest call and the Samples channel block — rather than drop —
 //     when a shard is saturated;
@@ -125,14 +127,14 @@ type item struct {
 }
 
 // subscription is the engine-internal state of one tenant. mu serializes
-// detector access between the draining worker and snapshot readers.
+// backend access between the draining worker and snapshot readers.
 type subscription struct {
 	id    string
 	shard *shard
 	n     int
 
 	mu  sync.Mutex
-	det *core.StreamDetector
+	det core.StreamBackend
 
 	frames uint64 // atomic
 	alarms uint64 // atomic
@@ -239,10 +241,10 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// Subscribe registers a tenant backed by the fitted model and pins it to
-// the least-loaded shard. Many subscriptions may share one model: scoring
-// only reads the trained weights, while all mutable state lives in the
-// per-tenant detector.
+// Subscribe registers a tenant backed by the fitted AERO model and pins
+// it to the least-loaded shard. Many subscriptions may share one model:
+// scoring only reads the trained weights, while all mutable state lives
+// in the per-tenant detector.
 func (e *Engine) Subscribe(id string, m *core.Model) (*Subscription, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
@@ -253,6 +255,21 @@ func (e *Engine) Subscribe(id string, m *core.Model) (*Subscription, error) {
 	det, err := core.NewStreamDetectorWorkers(m, 1)
 	if err != nil {
 		return nil, err
+	}
+	return e.SubscribeBackend(id, det)
+}
+
+// SubscribeBackend registers a tenant served by any StreamBackend — an
+// AERO detector, a streaming baseline adapter, or a DSPOT-wrapped
+// composition — and pins it to the least-loaded shard. The engine takes
+// ownership of the backend's mutable state: every later access goes
+// through the subscription lock.
+func (e *Engine) SubscribeBackend(id string, det core.StreamBackend) (*Subscription, error) {
+	if det == nil {
+		return nil, fmt.Errorf("engine: nil backend for %q", id)
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -270,7 +287,7 @@ func (e *Engine) Subscribe(id string, m *core.Model) (*Subscription, error) {
 			sh = cand
 		}
 	}
-	sub := &subscription{id: id, shard: sh, n: m.Variates(), det: det}
+	sub := &subscription{id: id, shard: sh, n: det.Variates(), det: det}
 	e.subs[id] = sub
 	sh.mu.Lock()
 	sh.subsN++

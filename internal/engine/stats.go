@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -99,6 +100,14 @@ func (s *Subscription) Stats() SubscriptionStats {
 	}
 }
 
+// modelSwapper is the AERO-specific capability behind Subscription.Swap:
+// installing an in-memory *core.Model without a serialize/parse round
+// trip. StreamDetector implements it; DSPOT-wrapped or baseline tenants
+// swap through SwapArtifact instead.
+type modelSwapper interface {
+	Swap(m *core.Model) error
+}
+
 // Swap installs a freshly trained model into the tenant's detector with
 // zero downtime. The subscription mutex serializes the swap against the
 // draining worker's Push, so the swap always lands at a frame boundary:
@@ -108,16 +117,42 @@ func (s *Subscription) Stats() SubscriptionStats {
 // arrival order. The warm window is preserved (core re-normalizes it
 // under the new model's bounds), so a swapped tenant never re-warms.
 //
-// The new model must match the tenant's variate count and window length;
-// see core.StreamDetector.Swap for the exact contract.
+// The new model must match the tenant's variate count and window length
+// (see core.StreamDetector.Swap for the exact contract), and the tenant
+// must be AERO-backed; other backends hot-swap via SwapArtifact.
 func (s *Subscription) Swap(m *core.Model) error {
 	s.sub.mu.Lock()
 	defer s.sub.mu.Unlock()
-	if err := s.sub.det.Swap(m); err != nil {
+	sw, ok := s.sub.det.(modelSwapper)
+	if !ok {
+		return fmt.Errorf("engine: %s backend does not accept a model swap; use SwapArtifact", s.sub.det.Kind())
+	}
+	if err := sw.Swap(m); err != nil {
 		return err
 	}
 	atomic.AddUint64(&s.sub.swaps, 1)
 	return nil
+}
+
+// SwapArtifact installs a freshly trained artifact of the tenant's
+// backend kind with zero downtime — the backend-agnostic form of Swap,
+// with the same frame-boundary ordering guarantee (the subscription
+// mutex serializes it against the draining worker's Push).
+func (s *Subscription) SwapArtifact(artifact []byte) error {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	if err := s.sub.det.SwapArtifact(artifact); err != nil {
+		return err
+	}
+	atomic.AddUint64(&s.sub.swaps, 1)
+	return nil
+}
+
+// Kind returns the tenant's backend kind tag (e.g. "aero", "sr+dspot").
+func (s *Subscription) Kind() string {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	return s.sub.det.Kind()
 }
 
 // SnapshotState serializes the tenant's warm detector state (rings,
@@ -142,11 +177,15 @@ func (s *Subscription) RestoreState(blob []byte) error {
 
 // GraphSnapshot returns the tenant's current window-wise learned adjacency
 // (live Fig. 8), serialized against scoring. It fails until the tenant's
-// window is warm.
+// window is warm, and for backends that do not learn a graph.
 func (s *Subscription) GraphSnapshot() (*tensor.Dense, error) {
 	s.sub.mu.Lock()
 	defer s.sub.mu.Unlock()
-	return s.sub.det.GraphSnapshot()
+	g, ok := s.sub.det.(core.GraphSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("engine: %s backend does not expose a graph snapshot", s.sub.det.Kind())
+	}
+	return g.GraphSnapshot()
 }
 
 // LastTime returns the tenant's newest scored timestamp and whether any

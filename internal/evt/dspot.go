@@ -68,6 +68,42 @@ func (d *DSPOT) mean() float64 {
 // Threshold returns the current residual-space alarm threshold.
 func (d *DSPOT) Threshold() float64 { return d.spot.Threshold() }
 
+// Baseline returns the current drift-corrected baseline (the trailing
+// window mean); Baseline()+Threshold() is the effective alarm level in
+// raw score space.
+func (d *DSPOT) Baseline() float64 { return d.mean() }
+
+// DSPOTState is the serializable runtime state of a DSPOT detector (the
+// wrapped SPOT tail model plus the drift window).
+type DSPOTState struct {
+	SPOT  SPOTState `json:"spot"`
+	Depth int       `json:"depth"`
+	Win   []float64 `json:"win"`
+	Sum   float64   `json:"sum"`
+	Pos   int       `json:"pos"`
+	Full  bool      `json:"full"`
+}
+
+// State captures the detector's current runtime state.
+func (d *DSPOT) State() DSPOTState {
+	return DSPOTState{
+		SPOT: d.spot.State(), Depth: d.depth,
+		Win: append([]float64(nil), d.win...), Sum: d.sum, Pos: d.pos, Full: d.full,
+	}
+}
+
+// SetState replaces the detector's runtime state with a snapshot taken by
+// State. The snapshot's drift-window depth must match the detector's.
+func (d *DSPOT) SetState(st DSPOTState) error {
+	if st.Depth != d.depth || len(st.Win) != d.depth {
+		return fmt.Errorf("evt: DSPOT state depth %d (win %d), detector depth %d", st.Depth, len(st.Win), d.depth)
+	}
+	d.spot.SetState(st.SPOT)
+	copy(d.win, st.Win)
+	d.sum, d.pos, d.full = st.Sum, st.Pos, st.Full
+	return nil
+}
+
 // Step consumes one observation and reports whether it is anomalous
 // relative to the drift-corrected baseline. Non-anomalous observations
 // update the trailing window; anomalies do not (so an alarm does not

@@ -284,6 +284,39 @@ func (s *SPOT) Fit(init []float64) error {
 // Threshold returns the current alarm threshold z_q.
 func (s *SPOT) Threshold() float64 { return s.z }
 
+// SPOTState is the serializable runtime state of a SPOT detector, used by
+// streaming-backend snapshots to checkpoint adaptive thresholds. Floats
+// survive a JSON round-trip bit-exactly (encoding/json emits the shortest
+// representation that parses back to the same float64).
+type SPOTState struct {
+	Level    float64   `json:"level"`
+	Q        float64   `json:"q"`
+	T        float64   `json:"t"`
+	Z        float64   `json:"z"`
+	Model    GPD       `json:"model"`
+	Excesses []float64 `json:"excesses"`
+	N        int       `json:"n"`
+	Ready    bool      `json:"ready"`
+}
+
+// State captures the detector's current runtime state.
+func (s *SPOT) State() SPOTState {
+	return SPOTState{
+		Level: s.Level, Q: s.Q, T: s.t, Z: s.z, Model: s.model,
+		Excesses: append([]float64(nil), s.excesses...), N: s.n, Ready: s.ready,
+	}
+}
+
+// SetState replaces the detector's runtime state with a snapshot taken by
+// State.
+func (s *SPOT) SetState(st SPOTState) {
+	s.Level, s.Q = st.Level, st.Q
+	s.t, s.z, s.model = st.T, st.Z, st.Model
+	s.excesses = append(s.excesses[:0], st.Excesses...)
+	s.n = st.N
+	s.ready = st.Ready
+}
+
 // Step consumes one score and reports whether it is an anomaly. Non-anomalous
 // peaks update the tail model, following the SPOT update rule.
 func (s *SPOT) Step(x float64) bool {

@@ -1,24 +1,29 @@
-// Package lifecycle manages trained models as long-lived, versioned
-// artifacts — the piece a catalog-scale deployment needs between "Fit
-// returns a *core.Model" and "thousands of tenants serve live frames with
-// it". It provides:
+// Package lifecycle manages trained detectors as long-lived, versioned
+// artifacts — the piece a catalog-scale deployment needs between "the
+// trainer returns a fitted backend" and "thousands of tenants serve live
+// frames with it". It provides:
 //
-//   - Registry: a versioned on-disk model store with atomic publishes
+//   - Registry: a versioned on-disk artifact store with atomic publishes
 //     (temp-file + sync + rename), monotonically increasing version ids,
-//     per-tenant listings, quarantine of corrupt entries, and warm
-//     detector-state checkpoints alongside the models;
+//     per-tenant listings, quarantine of corrupt entries, a backend-kind
+//     tag on every entry (AERO models and streaming-baseline
+//     calibrations share one registry), and warm backend-state
+//     checkpoints alongside the artifacts;
 //   - Retrainer: a bounded background worker pool that refits tenant
-//     models on a schedule or on demand, reusing the deterministic core
-//     training path so every retrain is reproducible from its logged
-//     seed, and publishing each result to the registry.
+//     detectors on a schedule or on demand — through the deterministic
+//     core training path (every AERO retrain is reproducible from its
+//     logged seed) or a caller-supplied per-backend Trainer — and
+//     publishes each result to the registry.
 //
-// The engine side of the lifecycle — installing a published model into a
-// serving tenant without downtime — is engine.Subscription.Swap; wiring a
-// Retrainer's OnResult callback to Swap is all a deployment needs for
-// nightly retrains (see cmd/aeroserve).
+// The engine side of the lifecycle — installing a published artifact
+// into a serving tenant without downtime — is engine.Subscription.Swap
+// (AERO models) / SwapArtifact (any kind); wiring a Retrainer's OnResult
+// callback to either is all a deployment needs for nightly retrains (see
+// cmd/aeroserve).
 package lifecycle
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -50,11 +55,18 @@ const (
 // published model.
 var ErrNoVersions = errors.New("lifecycle: no published versions")
 
-// Registry is a versioned on-disk model store. Layout:
+// Registry is a versioned on-disk store of trained backend artifacts.
+// Layout:
 //
-//	<dir>/<tenant>/v00000001.json        published models (JSON v1)
+//	<dir>/<tenant>/v00000001.json        published artifacts (kind-tagged envelope)
 //	<dir>/<tenant>/v00000002.json.corrupt  quarantined entries
-//	<dir>/<tenant>/state.bin             warm detector-state checkpoint
+//	<dir>/<tenant>/state.bin             warm backend-state checkpoint
+//
+// Each entry is a {"kind", "artifact"} envelope so one registry serves
+// heterogeneous backends (AERO models next to streaming-baseline
+// calibrations); entries written before the envelope existed are raw
+// AERO model JSON and keep loading (their missing kind tag reads as
+// "aero").
 //
 // Every write is atomic (temp file in the same directory, sync, rename),
 // so a reader — or a crashed publisher restarting — never observes a
@@ -155,16 +167,61 @@ func (r *Registry) modelPath(tenant string, v Version) string {
 	return filepath.Join(r.dir, tenant, v.String()+modelSuffix)
 }
 
-// Publish stores a fitted model as the tenant's next version and returns
-// the version id. The on-disk write is atomic (the model appears under
-// its final name complete or not at all) and happens outside the registry
-// lock: only the id reservation and the index update are serialized, so
-// concurrent publishers for different tenants do not queue behind one
-// fsync. A failed save burns its reserved id — gaps are fine, reuse is
-// not.
+// registryEntry is the on-disk envelope of one published version: the
+// backend kind tag plus the kind's artifact (AERO model JSON, adapter
+// calibration, ...). Entries written before the envelope existed are raw
+// AERO model JSON; decodeEntry recognizes them by the absent kind tag.
+type registryEntry struct {
+	Kind     string          `json:"kind"`
+	Artifact json.RawMessage `json:"artifact"`
+}
+
+// decodeEntry splits a stored blob into its backend kind and artifact.
+// Legacy entries (raw model JSON, no envelope) decode as KindAERO.
+func decodeEntry(blob []byte) (kind string, artifact []byte, err error) {
+	var e registryEntry
+	if uerr := json.Unmarshal(blob, &e); uerr != nil {
+		return "", nil, fmt.Errorf("parse registry entry: %w", uerr)
+	}
+	if e.Kind == "" {
+		return core.KindAERO, blob, nil // legacy pre-envelope entry
+	}
+	if len(e.Artifact) == 0 {
+		return "", nil, fmt.Errorf("registry entry of kind %q has no artifact", e.Kind)
+	}
+	return e.Kind, e.Artifact, nil
+}
+
+// Publish stores a fitted AERO model as the tenant's next version and
+// returns the version id — PublishArtifact for the built-in kind.
 func (r *Registry) Publish(tenant string, m *core.Model) (Version, error) {
+	blob, err := m.MarshalBytes()
+	if err != nil {
+		return 0, fmt.Errorf("lifecycle: publish %q: %w", tenant, err)
+	}
+	return r.PublishArtifact(tenant, core.KindAERO, blob)
+}
+
+// PublishArtifact stores a trained backend artifact, tagged with its
+// kind, as the tenant's next version and returns the version id. The
+// on-disk write is atomic (the entry appears under its final name
+// complete or not at all) and happens outside the registry lock: only
+// the id reservation and the index update are serialized, so concurrent
+// publishers for different tenants do not queue behind one fsync. A
+// failed save burns its reserved id — gaps are fine, reuse is not.
+func (r *Registry) PublishArtifact(tenant, kind string, artifact []byte) (Version, error) {
 	if err := validTenant(tenant); err != nil {
 		return 0, err
+	}
+	if kind == "" {
+		return 0, fmt.Errorf("lifecycle: publish %q: empty backend kind", tenant)
+	}
+	if !json.Valid(artifact) {
+		return 0, fmt.Errorf("lifecycle: publish %q: %s artifact is not valid JSON", tenant, kind)
+	}
+	blob, err := json.Marshal(registryEntry{Kind: kind, Artifact: artifact})
+	if err != nil {
+		return 0, fmt.Errorf("lifecycle: publish %q: %w", tenant, err)
 	}
 	if err := os.MkdirAll(filepath.Join(r.dir, tenant), 0o755); err != nil {
 		return 0, fmt.Errorf("lifecycle: publish %q: %w", tenant, err)
@@ -173,7 +230,7 @@ func (r *Registry) Publish(tenant string, m *core.Model) (Version, error) {
 	next := r.maxSeen[tenant] + 1
 	r.maxSeen[tenant] = next
 	r.mu.Unlock()
-	if err := m.Save(r.modelPath(tenant, next)); err != nil {
+	if err := core.WriteFileAtomic(r.modelPath(tenant, next), blob, 0o644); err != nil {
 		return 0, fmt.Errorf("lifecycle: publish %q %s: %w", tenant, next, err)
 	}
 	r.mu.Lock()
@@ -192,38 +249,81 @@ func insertVersion(vs []Version, v Version) []Version {
 	return vs
 }
 
-// Latest loads the tenant's newest loadable model. Corrupt entries are
-// quarantined and skipped, falling back to older versions; ErrNoVersions
-// is returned once none remain. The model parse runs outside the registry
-// lock.
+// Latest loads the tenant's newest loadable AERO model. Corrupt entries
+// are quarantined and skipped, falling back to older versions;
+// ErrNoVersions is returned once none remain. A loadable newest entry of
+// a different backend kind is an error (not corruption) — callers
+// serving non-AERO tenants use LatestArtifact. The model parse runs
+// outside the registry lock.
 func (r *Registry) Latest(tenant string) (*core.Model, Version, error) {
-	if err := validTenant(tenant); err != nil {
+	kind, artifact, v, err := r.LatestArtifact(tenant)
+	if err != nil {
 		return nil, 0, err
+	}
+	if kind != core.KindAERO {
+		return nil, 0, fmt.Errorf("lifecycle: tenant %q serves backend kind %q; use LatestArtifact", tenant, kind)
+	}
+	m, err := core.LoadBytes(artifact)
+	if err != nil {
+		// The envelope decoded but the artifact inside is bad: quarantine
+		// and fall back, exactly as a pre-envelope corrupt model would.
+		r.quarantine(tenant, v)
+		return r.Latest(tenant)
+	}
+	return m, v, nil
+}
+
+// LatestArtifact returns the tenant's newest loadable entry as its
+// backend kind tag plus the raw artifact. Corrupt entries are
+// quarantined and skipped, falling back to older versions; ErrNoVersions
+// is returned once none remain.
+func (r *Registry) LatestArtifact(tenant string) (kind string, artifact []byte, v Version, err error) {
+	if terr := validTenant(tenant); terr != nil {
+		return "", nil, 0, terr
 	}
 	for {
 		r.mu.Lock()
 		vs := r.versions[tenant]
 		if len(vs) == 0 {
 			r.mu.Unlock()
-			return nil, 0, fmt.Errorf("%w for tenant %q", ErrNoVersions, tenant)
+			return "", nil, 0, fmt.Errorf("%w for tenant %q", ErrNoVersions, tenant)
 		}
-		v := vs[len(vs)-1]
+		v = vs[len(vs)-1]
 		r.mu.Unlock()
-		m, err := r.loadVersion(tenant, v)
+		kind, artifact, err = r.loadVersion(tenant, v)
 		if err == nil {
-			return m, v, nil
+			return kind, artifact, v, nil
 		}
 		if !errors.Is(err, errEntryCorrupt) {
-			return nil, 0, err
+			return "", nil, 0, err
 		}
 	}
 }
 
-// Load loads one specific published version of a tenant's model. A
+// Load loads one specific published version of a tenant's AERO model. A
 // corrupt entry is quarantined and reported as an error.
 func (r *Registry) Load(tenant string, v Version) (*core.Model, error) {
-	if err := validTenant(tenant); err != nil {
+	kind, artifact, err := r.LoadArtifact(tenant, v)
+	if err != nil {
 		return nil, err
+	}
+	if kind != core.KindAERO {
+		return nil, fmt.Errorf("lifecycle: version %s of %q is backend kind %q; use LoadArtifact", v, tenant, kind)
+	}
+	m, err := core.LoadBytes(artifact)
+	if err != nil {
+		r.quarantine(tenant, v)
+		return nil, fmt.Errorf("%w: version %s of %q: %v", errEntryCorrupt, v, tenant, err)
+	}
+	return m, nil
+}
+
+// LoadArtifact loads one specific published version as its backend kind
+// tag plus the raw artifact. A corrupt entry is quarantined and reported
+// as an error.
+func (r *Registry) LoadArtifact(tenant string, v Version) (kind string, artifact []byte, err error) {
+	if terr := validTenant(tenant); terr != nil {
+		return "", nil, terr
 	}
 	r.mu.Lock()
 	found := false
@@ -235,7 +335,7 @@ func (r *Registry) Load(tenant string, v Version) (*core.Model, error) {
 	}
 	r.mu.Unlock()
 	if !found {
-		return nil, fmt.Errorf("lifecycle: tenant %q has no version %s", tenant, v)
+		return "", nil, fmt.Errorf("lifecycle: tenant %q has no version %s", tenant, v)
 	}
 	return r.loadVersion(tenant, v)
 }
@@ -244,29 +344,30 @@ func (r *Registry) Load(tenant string, v Version) (*core.Model, error) {
 // entry was quarantined), as opposed to transient I/O trouble.
 var errEntryCorrupt = errors.New("lifecycle: corrupt registry entry")
 
-// loadVersion reads and decodes one entry. The read and the parse fail
-// differently on purpose: a read error (fd exhaustion, permissions, an
-// NFS blip) is returned as-is — quarantining on it would permanently
-// discard a healthy model over a transient condition — while a decode
-// error means the bytes themselves are bad, so the entry is quarantined.
-func (r *Registry) loadVersion(tenant string, v Version) (*core.Model, error) {
+// loadVersion reads and decodes one entry's envelope. The read and the
+// parse fail differently on purpose: a read error (fd exhaustion,
+// permissions, an NFS blip) is returned as-is — quarantining on it would
+// permanently discard a healthy entry over a transient condition — while
+// a decode error means the bytes themselves are bad, so the entry is
+// quarantined.
+func (r *Registry) loadVersion(tenant string, v Version) (kind string, artifact []byte, err error) {
 	p := r.modelPath(tenant, v)
 	blob, err := os.ReadFile(p)
 	if errors.Is(err, fs.ErrNotExist) {
 		// Deleted behind the registry's back: gone is gone — drop the
 		// entry so Latest falls back instead of failing forever.
 		r.quarantine(tenant, v)
-		return nil, fmt.Errorf("%w: version %s of %q vanished", errEntryCorrupt, v, tenant)
+		return "", nil, fmt.Errorf("%w: version %s of %q vanished", errEntryCorrupt, v, tenant)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("lifecycle: read version %s of %q: %w", v, tenant, err)
+		return "", nil, fmt.Errorf("lifecycle: read version %s of %q: %w", v, tenant, err)
 	}
-	m, err := core.LoadBytes(blob)
+	kind, artifact, err = decodeEntry(blob)
 	if err != nil {
 		r.quarantine(tenant, v)
-		return nil, fmt.Errorf("%w: version %s of %q: %v", errEntryCorrupt, v, tenant, err)
+		return "", nil, fmt.Errorf("%w: version %s of %q: %v", errEntryCorrupt, v, tenant, err)
 	}
-	return m, nil
+	return kind, artifact, nil
 }
 
 // quarantine renames a version that failed to load aside (so it can be

@@ -22,9 +22,15 @@ type RetrainerConfig struct {
 	// retrain (rounds count from 1). Returning a config with a
 	// round-derived Seed makes every retrain reproducible from the seed
 	// logged in its Result — core training is bit-deterministic for a
-	// fixed seed at any worker count. Required; called from worker
-	// goroutines.
+	// fixed seed at any worker count. Required for the default AERO
+	// path (i.e. when Train is nil); called from worker goroutines.
 	Config func(tenant string, round int) core.Config
+	// Train, when non-nil, replaces the default AERO fit with a
+	// per-backend trainer: it produces the (kind, artifact) pair to
+	// publish — typically a closure over a backend.Spec's Train. The
+	// Result then carries Kind/Artifact but no Model; consumers hot-swap
+	// via Subscription.SwapArtifact. Called from worker goroutines.
+	Train func(tenant string, round int, train *dataset.Series) (kind string, artifact []byte, err error)
 	// Workers bounds the concurrent retrains. Defaults to 1: background
 	// retraining should sip cores that live scoring is using.
 	Workers int
@@ -48,14 +54,21 @@ type Result struct {
 	// Seed is the training seed used; re-running the same round's config
 	// with this seed reproduces Model bit-for-bit.
 	Seed int64
-	// Version is the registry version the model was published as.
+	// Version is the registry version the artifact was published as.
 	Version Version
-	// Epochs1 and Epochs2 record the per-stage epochs actually run.
+	// Kind is the backend kind tag the artifact was published under.
+	Kind string
+	// Artifact is the published artifact bytes, ready for
+	// Subscription.SwapArtifact on any backend kind. Nil when Err is
+	// non-nil.
+	Artifact []byte
+	// Epochs1 and Epochs2 record the per-stage epochs actually run
+	// (AERO retrains only).
 	Epochs1, Epochs2 int
 	// Duration is the wall time of fetch + fit + publish.
 	Duration time.Duration
 	// Model is the freshly trained model, ready to Swap into serving
-	// detectors. Nil when Err is non-nil.
+	// detectors. Nil for non-AERO retrains and when Err is non-nil.
 	Model *core.Model
 	// Err is non-nil when the retrain failed; no version was published.
 	Err error
@@ -96,8 +109,8 @@ func NewRetrainer(cfg RetrainerConfig) (*Retrainer, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("lifecycle: retrainer needs a training-data source")
 	}
-	if cfg.Config == nil {
-		return nil, fmt.Errorf("lifecycle: retrainer needs a config builder")
+	if cfg.Config == nil && cfg.Train == nil {
+		return nil, fmt.Errorf("lifecycle: retrainer needs a config builder or a backend trainer")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -242,18 +255,36 @@ func (rt *Retrainer) worker() {
 	}
 }
 
-// retrain runs one fetch + deterministic fit + publish.
+// retrain runs one fetch + fit + publish: the default deterministic AERO
+// path, or the caller's per-backend Trainer when one is configured.
 func (rt *Retrainer) retrain(j job) Result {
 	start := time.Now()
 	res := Result{Tenant: j.tenant, Round: j.round}
-	cfg := rt.cfg.Config(j.tenant, j.round)
-	res.Seed = cfg.Seed
 	series, err := rt.cfg.Source(j.tenant)
 	if err != nil {
 		res.Err = fmt.Errorf("lifecycle: training data for %q: %w", j.tenant, err)
 		res.Duration = time.Since(start)
 		return res
 	}
+	if rt.cfg.Train != nil {
+		kind, artifact, terr := rt.cfg.Train(j.tenant, j.round, series)
+		if terr != nil {
+			res.Err = fmt.Errorf("lifecycle: retrain %q: %w", j.tenant, terr)
+			res.Duration = time.Since(start)
+			return res
+		}
+		v, perr := rt.cfg.Registry.PublishArtifact(j.tenant, kind, artifact)
+		if perr != nil {
+			res.Err = perr
+			res.Duration = time.Since(start)
+			return res
+		}
+		res.Version, res.Kind, res.Artifact = v, kind, artifact
+		res.Duration = time.Since(start)
+		return res
+	}
+	cfg := rt.cfg.Config(j.tenant, j.round)
+	res.Seed = cfg.Seed
 	m, err := core.New(cfg, series.N())
 	if err == nil {
 		err = m.Fit(series)
@@ -263,13 +294,16 @@ func (rt *Retrainer) retrain(j job) Result {
 		res.Duration = time.Since(start)
 		return res
 	}
-	v, err := rt.cfg.Registry.Publish(j.tenant, m)
+	artifact, err := m.MarshalBytes()
+	if err == nil {
+		res.Version, err = rt.cfg.Registry.PublishArtifact(j.tenant, core.KindAERO, artifact)
+	}
 	if err != nil {
 		res.Err = err
 		res.Duration = time.Since(start)
 		return res
 	}
-	res.Version = v
+	res.Kind, res.Artifact = core.KindAERO, artifact
 	res.Model = m
 	res.Epochs1, res.Epochs2 = m.Epochs1, m.Epochs2
 	res.Duration = time.Since(start)
