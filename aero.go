@@ -35,6 +35,7 @@
 package aero
 
 import (
+	"aero/internal/alerts"
 	"aero/internal/anomaly"
 	"aero/internal/backend"
 	"aero/internal/baselines"
@@ -217,6 +218,53 @@ type FrameError = engine.FrameError
 // Subscribe, feed frames with Ingest or the Samples channel, and consume
 // Alarms continuously until Close.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// TriagePipeline is the streaming alert-triage subsystem: the engine's
+// raw cross-tenant alarm flood reduced to a short, ranked incident feed
+// through four stages — stable-Bloom dedup, per-source episode
+// coalescing, cross-tenant onset correlation (with lead-lag histograms
+// per tenant pair), and breadth-weighted severity ranking. Deterministic
+// for a fixed alarm sequence, allocation-free on the benign path, and
+// checkpointable mid-episode. See internal/alerts.
+type TriagePipeline = alerts.Pipeline
+
+// TriageConfig parameterizes the triage pipeline; the zero value uses
+// production defaults.
+type TriageConfig = alerts.Config
+
+// TriageStream is a triage pipeline attached to a live engine via its
+// alarm tap, emitting ranked incidents on a channel.
+type TriageStream = alerts.Stream
+
+// Incident is one ranked triage output: a cluster of alarm episodes
+// whose onsets coincide across tenants.
+type Incident = alerts.Incident
+
+// IncidentEpisode is one coalesced run of alarms from a single
+// (tenant, variate) source inside an incident.
+type IncidentEpisode = alerts.Episode
+
+// TriageStats snapshots the triage pipeline's counters, including the
+// alarm→incident reduction ratio.
+type TriageStats = alerts.Stats
+
+// LeadLagStat summarizes one ordered tenant pair's onset-offset
+// histogram: "Lead's episodes start ~Offset before Lag's".
+type LeadLagStat = alerts.LeadLagStat
+
+// DefaultTriageConfig returns the production triage defaults.
+func DefaultTriageConfig() TriageConfig { return alerts.DefaultConfig() }
+
+// NewTriagePipeline returns an empty triage pipeline; feed it alarms in
+// stream order with Push.
+func NewTriagePipeline(cfg TriageConfig) *TriagePipeline { return alerts.NewPipeline(cfg) }
+
+// AttachTriage installs a triage pipeline as the engine's alarm consumer
+// (taking ownership of the Alarms channel) and returns its ranked
+// incident feed. buffer sizes the incident channel (≤0 = default).
+func AttachTriage(e *Engine, cfg TriageConfig, buffer int) (*TriageStream, error) {
+	return alerts.Attach(e, cfg, buffer)
+}
 
 // ModelRegistry is a versioned on-disk model store: atomic publishes,
 // monotonically increasing per-tenant versions, quarantine of corrupt

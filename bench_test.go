@@ -8,6 +8,7 @@ package aero_test
 import (
 	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	"aero"
@@ -293,6 +294,41 @@ func BenchmarkBackendStreamPush(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkTriagePush measures the benign-path cost of one alarm
+// through the four-stage triage pipeline — dedup probe, episode
+// extension, watermark bookkeeping — across 8 tenants with open
+// episodes. This is the per-alarm overhead -triage adds on top of the
+// engine's fan-in channel, and it must hold the same steady-state
+// budget as every other hot path: zero allocations
+// (TestTriagePushAllocs in internal/alerts pins it).
+func BenchmarkTriagePush(b *testing.B) {
+	cfg := aero.TriageConfig{BucketWidth: 1, EpisodeGap: 4, MaxEpisodeLen: math.MaxFloat64 / 4, Window: 2}
+	p := aero.NewTriagePipeline(cfg)
+	const tenants = 8
+	var ids [tenants]string
+	for i := range ids {
+		ids[i] = fmt.Sprintf("field-%d", i)
+	}
+	t, i := 0, 0
+	push := func() {
+		a := aero.EngineAlarm{Sub: ids[i%tenants], Alarm: aero.Alarm{Variate: 0, Time: float64(t), Score: 1}}
+		if len(p.Push(a)) != 0 {
+			b.Fatal("benign push emitted incidents")
+		}
+		if i++; i%tenants == 0 {
+			t++ // one dedup bucket per round: every push survives and extends
+		}
+	}
+	for k := 0; k < 8*tenants; k++ {
+		push()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		push()
 	}
 }
 

@@ -10,10 +10,11 @@
 // Experiments: table1, table2, table3, table4, fig5, fig6, fig7, fig8,
 // fig9, fig10, bench, all. Scale "small" finishes in minutes on a laptop;
 // "paper" uses the paper's dataset sizes and hyperparameters. "bench" runs
-// the training, streaming and lifecycle micro-benchmarks (ScaleTiny
-// shapes, matching BenchmarkAEROTraining, BenchmarkStreamPush,
-// BenchmarkDetectorSnapshot/Restore and BenchmarkSubscriptionSwap in
-// bench_test.go); snapshot sizes surface as the snapshot-bytes metric.
+// the training, streaming, lifecycle and triage micro-benchmarks
+// (ScaleTiny shapes, matching BenchmarkAEROTraining, BenchmarkStreamPush,
+// BenchmarkDetectorSnapshot/Restore, BenchmarkSubscriptionSwap and
+// BenchmarkTriagePush in bench_test.go); snapshot sizes surface as the
+// snapshot-bytes metric.
 // It also measures per-backend streaming throughput — one warm Push per
 // registered backend kind, static and DSPOT-wrapped (matching
 // BenchmarkBackendStreamPush) — as BackendPush/<kind> entries.
@@ -27,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -256,6 +258,40 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 		}
 	}))
 	e.Close()
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	// Triage: one benign-path alarm through the four-stage pipeline —
+	// dedup probe plus episode extension across 8 warm tenants (matching
+	// BenchmarkTriagePush in bench_test.go).
+	tp := aero.NewTriagePipeline(aero.TriageConfig{
+		BucketWidth: 1, EpisodeGap: 4, MaxEpisodeLen: math.MaxFloat64 / 4, Window: 2,
+	})
+	const triageTenants = 8
+	var triageIDs [triageTenants]string
+	for i := range triageIDs {
+		triageIDs[i] = fmt.Sprintf("field-%d", i)
+	}
+	tt, ti := 0, 0
+	triagePush := func() {
+		a := aero.EngineAlarm{Sub: triageIDs[ti%triageTenants], Alarm: aero.Alarm{Variate: 0, Time: float64(tt), Score: 1}}
+		if len(tp.Push(a)) != 0 {
+			benchErr = fmt.Errorf("benign triage push emitted incidents")
+		}
+		if ti++; ti%triageTenants == 0 {
+			tt++
+		}
+	}
+	for i := 0; i < 8*triageTenants; i++ {
+		triagePush()
+	}
+	record("TriagePush", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			triagePush()
+		}
+	}))
 	if benchErr != nil {
 		return nil, benchErr
 	}

@@ -23,6 +23,24 @@
 // thresholding protocol, live). The default "auto" serves AERO with its
 // calibrated static threshold and every other kind with DSPOT.
 //
+// With -triage the raw alarm flood is triaged into a short, ranked
+// incident feed before it reaches stdout: a stable Bloom filter dedups
+// repeat alarms per (tenant, star, time-bucket), surviving alarms
+// coalesce into per-source episodes, episodes whose onsets coincide
+// across tenants correlate into candidate incidents (the astronomical
+// cross-match — a real transient hits many fields, an artifact hits
+// one), and incidents are ranked by cluster breadth × peak score.
+// Per-alarm output is replaced by INCIDENT lines; the final stats report
+// the alarm→incident reduction ratio and the strongest lead-lag
+// orderings between fields. Correlation clusters episode onsets against
+// the alarm stream's watermark, so it assumes the roughly synchronized
+// field feeds a survey camera produces — pass -rate to keep the
+// simulated tenants in lockstep instead of letting each replay sprint
+// ahead independently. With -checkpoint the triage state (dedup filter,
+// mid-flight episodes, pending incidents) is checkpointed and restored
+// alongside the detector states, so a restart resumes episodes
+// mid-flight.
+//
 // With -checkpoint the server keeps an artifact registry at the given
 // directory: the newest published artifact of the selected kind is used
 // instead of retraining on startup, warm backend states checkpointed by
@@ -35,6 +53,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -83,7 +102,10 @@ func main() {
 	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	statsEvery := flag.Duration("stats", 2*time.Second, "stats print interval")
-	quiet := flag.Bool("quiet", false, "suppress per-alarm output")
+	quiet := flag.Bool("quiet", false, "suppress per-alarm (and per-incident) output")
+	triage := flag.Bool("triage", false, "triage the alarm flood into a ranked incident feed (dedup → episodes → cross-tenant correlation → ranking)")
+	triageBucket := flag.Float64("triage-bucket", 0, "triage dedup time-bucket in feed time units (0 = 4 frame periods)")
+	triageWindow := flag.Float64("triage-window", 0, "cross-tenant onset correlation window in feed time units (0 = 2 buckets)")
 	trainLen := flag.Int("trainlen", 0, "truncate the training split to this many frames (0 = all)")
 	testLen := flag.Int("testlen", 0, "truncate the replayed feed to this many frames (0 = all)")
 	flag.Parse()
@@ -324,19 +346,95 @@ func main() {
 		retrainer.Start()
 	}
 
-	// Alarm and error consumers.
+	// Frame period of the replayed feed, used for the triage defaults and
+	// to convert lead-lag offsets back into frames.
+	step := 1.0
+	if d.Test.Len() > 1 {
+		step = d.Test.Time[1] - d.Test.Time[0]
+	}
+
+	// Alarm/incident and error consumers. Feed output goes through a
+	// flushed bufio.Writer: an unbuffered write syscall per alarm would
+	// let stdout I/O backpressure the engine's fan-in channel during
+	// alarm bursts. The writer is flushed whenever the feed channel goes
+	// momentarily idle (the burst is over) and at shutdown.
+	out := bufio.NewWriterSize(os.Stdout, 64<<10)
 	var consumers sync.WaitGroup
-	var totalAlarms int
-	consumers.Add(1)
-	go func() {
-		defer consumers.Done()
-		for a := range eng.Alarms() {
-			totalAlarms++
-			if !*quiet {
-				fmt.Printf("ALARM %s star %d t=%.0fs score %.4f\n", a.Sub, a.Variate, a.Time, a.Score)
+	var triageStream *aero.TriageStream
+	var topIncidents []aero.Incident
+	noteIncident := func(inc aero.Incident) {
+		topIncidents = append(topIncidents, inc)
+		for i := len(topIncidents) - 1; i > 0 && topIncidents[i].Severity > topIncidents[i-1].Severity; i-- {
+			topIncidents[i], topIncidents[i-1] = topIncidents[i-1], topIncidents[i]
+		}
+		if len(topIncidents) > 5 {
+			topIncidents = topIncidents[:5]
+		}
+	}
+	printIncident := func(inc aero.Incident) {
+		if *quiet {
+			return
+		}
+		tag := ""
+		if inc.Demoted {
+			tag = " [single-field: artifact?]"
+		}
+		fmt.Fprintf(out, "INCIDENT #%d onset=%.0fs span=%.0fs tenants=%d episodes=%d frames=%d peak=%.4f severity=%.2f%s\n",
+			inc.ID, inc.Onset, inc.End-inc.Onset, inc.Tenants, len(inc.Episodes), inc.Frames, inc.Peak, inc.Severity, tag)
+	}
+	if *triage {
+		tcfg := aero.TriageConfig{BucketWidth: *triageBucket, Window: *triageWindow}
+		if tcfg.BucketWidth <= 0 {
+			tcfg.BucketWidth = 4 * step
+		}
+		if tcfg.Window <= 0 {
+			tcfg.Window = 2 * tcfg.BucketWidth
+		}
+		var aerr error
+		if triageStream, aerr = aero.AttachTriage(eng, tcfg, 0); aerr != nil {
+			fail("attach triage: %v", aerr)
+		}
+		// Resume triage mid-flight from the previous run's checkpoint:
+		// open episodes continue instead of re-onsetting.
+		if reg != nil {
+			if blob, lerr := reg.LoadState("triage"); lerr == nil {
+				if rerr := triageStream.Pipeline().RestoreState(blob); rerr != nil {
+					fmt.Fprintf(os.Stderr, "restore triage state: %v\n", rerr)
+				} else {
+					st := triageStream.Pipeline().Stats()
+					fmt.Fprintf(os.Stderr, "restored triage state (%d episodes resume mid-flight)\n", st.OpenEpisodes)
+				}
 			}
 		}
-	}()
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			ch := triageStream.Incidents()
+			for inc := range ch {
+				noteIncident(inc)
+				printIncident(inc)
+				if len(ch) == 0 {
+					out.Flush()
+				}
+			}
+			out.Flush()
+		}()
+	} else {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			ch := eng.Alarms()
+			for a := range ch {
+				if !*quiet {
+					fmt.Fprintf(out, "ALARM %s star %d t=%.0fs score %.4f\n", a.Sub, a.Variate, a.Time, a.Score)
+				}
+				if len(ch) == 0 {
+					out.Flush()
+				}
+			}
+			out.Flush()
+		}()
+	}
 	consumers.Add(1)
 	go func() {
 		defer consumers.Done()
@@ -354,8 +452,13 @@ func main() {
 			select {
 			case <-tick.C:
 				t := eng.Totals()
-				fmt.Fprintf(os.Stderr, "stats: %d frames scored (%.0f/s), %d alarms, %d errors, %d queued\n",
-					t.Frames, t.FramesPerSec, t.Alarms, t.Errors, t.QueueDepth)
+				line := fmt.Sprintf("stats: %d frames scored (%.0f/s), %d alarms (%d blocked), %d errors, %d queued",
+					t.Frames, t.FramesPerSec, t.Alarms, t.AlarmsBlocked, t.Errors, t.QueueDepth)
+				if triageStream != nil {
+					ts := triageStream.Pipeline().Stats()
+					line += fmt.Sprintf(", triage %d→%d (%.1f%% reduction)", ts.Alarms, ts.Incidents, 100*ts.Reduction)
+				}
+				fmt.Fprintln(os.Stderr, line)
 			case <-statsDone:
 				return
 			}
@@ -375,10 +478,6 @@ func main() {
 			// so it continues strictly after the checkpointed feed.
 			offset := 0.0
 			if last, ok := subs[i].LastTime(); ok && last >= d.Test.Time[0] {
-				step := 1.0
-				if d.Test.Len() > 1 {
-					step = d.Test.Time[1] - d.Test.Time[0]
-				}
 				offset = last - d.Test.Time[0] + step
 			}
 			var tick *time.Ticker
@@ -411,8 +510,8 @@ func main() {
 		if s.Subscriptions == 0 && s.Frames == 0 {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "shard %d: %d tenants, %d frames, %d alarms, %d errors\n",
-			s.Shard, s.Subscriptions, s.Frames, s.Alarms, s.Errors)
+		fmt.Fprintf(os.Stderr, "shard %d: %d tenants, %d frames, %d alarms (%d blocked), %d errors\n",
+			s.Shard, s.Subscriptions, s.Frames, s.Alarms, s.AlarmsBlocked, s.Errors)
 	}
 	close(statsDone)
 	eng.Close()
@@ -436,10 +535,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checkpointed %d warm backend states to %s\n", saved, reg.Dir())
 	}
 
+	// Triage epilogue: checkpoint the mid-flight triage state when a
+	// registry is kept (episodes resume on restart), otherwise flush the
+	// remaining episodes into final incidents; then report the reduction,
+	// the top-ranked incidents and the strongest lead-lag orderings.
+	if triageStream != nil {
+		p := triageStream.Pipeline()
+		if reg != nil {
+			if blob, terr := p.SnapshotState(); terr != nil {
+				fmt.Fprintf(os.Stderr, "snapshot triage: %v\n", terr)
+			} else if terr := reg.SaveState("triage", blob); terr != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint triage: %v\n", terr)
+			} else {
+				fmt.Fprintf(os.Stderr, "checkpointed triage state (%d open episodes resume next run)\n",
+					p.Stats().OpenEpisodes)
+			}
+		} else {
+			for _, inc := range p.Finalize() {
+				noteIncident(inc)
+				printIncident(inc)
+			}
+			out.Flush()
+		}
+		ts := p.Stats()
+		fmt.Fprintf(os.Stderr, "triage: %d alarms → %d incidents (%.1f%% reduction; %d deduped, %d episodes, %d still open)\n",
+			ts.Alarms, ts.Incidents, 100*ts.Reduction, ts.Deduped, ts.Episodes, ts.OpenEpisodes)
+		for i, inc := range topIncidents {
+			tag := ""
+			if inc.Demoted {
+				tag = " [single-field: artifact?]"
+			}
+			fmt.Fprintf(os.Stderr, "  top %d: incident #%d onset=%.0fs tenants=%d peak=%.4f severity=%.2f%s\n",
+				i+1, inc.ID, inc.Onset, inc.Tenants, inc.Peak, inc.Severity, tag)
+		}
+		for i, ll := range p.LeadLag(3) {
+			if i == 5 {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  leadlag: %s leads %s by ~%.1f frames (%.0f%% of %d pairings)\n",
+				ll.Lead, ll.Lag, ll.Offset/step, 100*ll.Share, ll.Count)
+		}
+	}
+
 	total := eng.Totals()
 	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
 		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),
-		totalAlarms, retrains.Load(), hotSwaps.Load())
+		total.Alarms, retrains.Load(), hotSwaps.Load())
 }
 
 // openBackend constructs one cold backend instance. AERO tenants share

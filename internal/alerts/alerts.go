@@ -1,0 +1,678 @@
+// Package alerts is the streaming alert-triage subsystem: it consumes
+// the engine's raw fan-in alarm stream across all tenants and reduces it
+// to a short, ranked incident feed. At survey scale one atmospheric
+// event or instrument artifact fires hundreds of near-duplicate
+// threshold alarms; the scientific unit of interest is the *grouped*
+// event — which fields brightened, when each onset was, how wide the
+// event reached. The pipeline runs four stages in order:
+//
+//  1. Dedup: a stable Bloom filter over (tenant, variate, time-bucket)
+//     keys drops repeat alarms for the same source in the same bucket.
+//     Aging keeps the filter stable on unbounded streams (old keys are
+//     probabilistically evicted, so it never saturates).
+//  2. Episodes: surviving alarms for one (tenant, variate) coalesce into
+//     an episode — onset, end, peak score, frame count — which closes
+//     when the stream goes quiet for EpisodeGap or the episode exceeds
+//     its duration cap.
+//  3. Correlation: closed episodes whose onsets fall within Window of
+//     each other form one candidate incident — the astronomical
+//     cross-match: a real transient hits many fields at once, an
+//     artifact hits one. Every finalized incident also feeds per
+//     tenant-pair lead-lag histograms ("A leads B by ~N frames").
+//  4. Ranking: incident severity is peak score boosted by cluster
+//     breadth, with single-tenant incidents demoted as probable
+//     artifacts; each Push returns its finalized incidents most-severe
+//     first.
+//
+// The pipeline honors the codebase's streaming contracts: output is a
+// pure function of the pushed alarm sequence (no wall clock, no map
+// iteration order, no randomness — the golden tests replay a recorded
+// sequence and compare incidents exactly), the benign path (duplicate
+// drop or episode extension) is allocation-free in steady state, and
+// the whole warm state snapshots/restores through the versioned binary
+// format so a -checkpoint restart resumes episodes mid-flight.
+//
+// A Pipeline is safe for concurrent use; every method takes an internal
+// lock. Feed it from the engine with Attach, or push alarms directly.
+package alerts
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"aero/internal/engine"
+)
+
+// Config parameterizes the triage pipeline. The zero value is usable:
+// every field defaults to a sensible production setting. Time-valued
+// fields are in the feed's time units (for GWAC, seconds; one frame
+// every ~15 s).
+type Config struct {
+	// BucketWidth is the dedup time-bucket: repeat alarms for one
+	// (tenant, variate) inside one bucket collapse to the first.
+	// Defaults to 5.
+	BucketWidth float64
+	// BloomCells sizes the stable Bloom filter (rounded up to a power of
+	// two; one byte per cell). Defaults to 65536.
+	BloomCells int
+	// BloomHashes is the filter's probes per key. Defaults to 4.
+	BloomHashes int
+	// BloomAging is the number of cells aged toward zero per insert —
+	// the eviction rate that keeps the filter stable. Defaults to 32.
+	BloomAging int
+	// BloomMax is the cell ceiling; together with BloomAging it sets how
+	// long a key stays remembered (≈ cells·max/aging unique inserts).
+	// Defaults to 2.
+	BloomMax uint8
+	// EpisodeGap closes an episode after this much silence. It must
+	// exceed BucketWidth (dedup thins an ongoing episode to one
+	// surviving alarm per bucket, so a smaller gap would fragment every
+	// episode); values not exceeding BucketWidth fall back to the
+	// default. Defaults to 3×BucketWidth.
+	EpisodeGap float64
+	// MaxEpisodeLen caps episode duration; a longer event continues as a
+	// fresh episode. The cap bounds how long a candidate incident must
+	// stay open, so it is what makes incident emission prompt.
+	// Defaults to 40×BucketWidth.
+	MaxEpisodeLen float64
+	// Window is the cross-tenant correlation span: episodes whose onsets
+	// fall within Window of a candidate's first onset join that
+	// candidate. Defaults to 2×BucketWidth.
+	Window float64
+	// MinTenants is the breadth below which an incident is demoted as a
+	// probable single-field artifact. Defaults to 2.
+	MinTenants int
+	// Demotion scales the severity of sub-MinTenants incidents.
+	// Defaults to 0.25.
+	Demotion float64
+}
+
+// DefaultConfig returns the production defaults described on Config.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 5
+	}
+	if c.BloomCells <= 0 {
+		c.BloomCells = 1 << 16
+	}
+	if c.BloomHashes <= 0 {
+		c.BloomHashes = 4
+	}
+	if c.BloomAging <= 0 {
+		c.BloomAging = 32
+	}
+	if c.BloomMax == 0 {
+		c.BloomMax = 2
+	}
+	if c.EpisodeGap <= c.BucketWidth {
+		c.EpisodeGap = 3 * c.BucketWidth
+	}
+	if c.MaxEpisodeLen <= 0 {
+		c.MaxEpisodeLen = 40 * c.BucketWidth
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * c.BucketWidth
+	}
+	if c.MinTenants <= 0 {
+		c.MinTenants = 2
+	}
+	if c.Demotion <= 0 {
+		c.Demotion = 0.25
+	}
+	return c
+}
+
+// Episode is one coalesced run of alarms from a single (tenant, variate)
+// source: the paper's per-star threshold crossings reduced to onset,
+// extent and peak.
+type Episode struct {
+	Tenant   string
+	Variate  int
+	Onset    float64 // time of the first alarm
+	End      float64 // time of the last alarm
+	Peak     float64 // highest surviving alarm score
+	PeakTime float64 // when the peak fired
+	Frames   int     // surviving (post-dedup) alarms coalesced
+}
+
+// Incident is one ranked triage output: a cluster of episodes whose
+// onsets coincide across tenants, with severity derived from cluster
+// breadth × peak score. Incidents returned by one Push are ordered
+// most-severe first; IDs increase in emission order.
+type Incident struct {
+	ID      uint64
+	Onset   float64 // earliest member onset
+	End     float64 // latest member end
+	Peak    float64 // highest member peak score
+	Tenants int     // distinct tenants reached
+	Frames  int     // surviving alarms across all members
+	// Severity is Peak × (1 + log2(Tenants)), scaled down by
+	// Config.Demotion when breadth is below MinTenants.
+	Severity float64
+	// Demoted marks a probable artifact: breadth below MinTenants.
+	Demoted bool
+	// Episodes are the members, sorted by (Onset, Tenant, Variate).
+	Episodes []Episode
+}
+
+// Stats is a point-in-time snapshot of the pipeline's counters.
+type Stats struct {
+	// Alarms counts raw alarms pushed in.
+	Alarms uint64
+	// Deduped counts alarms dropped as same-bucket duplicates.
+	Deduped uint64
+	// Episodes counts closed episodes.
+	Episodes uint64
+	// Incidents counts emitted incidents.
+	Incidents uint64
+	// OpenEpisodes is the number of episodes currently mid-flight.
+	OpenEpisodes int
+	// PendingIncidents is the number of candidate incidents not yet
+	// finalized.
+	PendingIncidents int
+	// Reduction is the alarm→incident reduction ratio, 1 −
+	// Incidents/Alarms (0 until any alarm has arrived).
+	Reduction float64
+}
+
+// LeadLagStat summarizes one ordered tenant pair's onset-offset
+// histogram: across incidents containing both tenants, Lead's onset
+// preceded Lag's by ~Offset time units in Share of observations.
+type LeadLagStat struct {
+	Lead, Lag string
+	Offset    float64 // mode histogram bin center, in time units
+	Share     float64 // fraction of observations in the mode bin
+	Count     uint64  // total observations for the pair
+}
+
+// epKey addresses one alarm source.
+type epKey struct {
+	tenant  string
+	variate int
+}
+
+// candidate is one incident being assembled: episodes joined by onset
+// proximity to the anchor (the first member's onset). It finalizes when
+// the watermark passes deadline — the latest time any episode eligible
+// to join could still close.
+type candidate struct {
+	anchor   float64
+	deadline float64
+	eps      []Episode
+}
+
+// pairKey orders one lead-lag tenant pair.
+type pairKey struct {
+	lead, lag string
+}
+
+// lagHist is one pair's onset-offset histogram over [0, 2·Window] —
+// two members of one candidate can onset up to Window on either side of
+// the anchor, so pair offsets reach twice the window.
+type lagHist struct {
+	bins  []uint64
+	total uint64
+}
+
+// leadLagBins is the histogram resolution over [0, 2·Window].
+const leadLagBins = 16
+
+// Pipeline is the four-stage triage state machine. Create one with
+// NewPipeline, feed it alarms in stream order with Push, and read the
+// returned incidents; Finalize flushes everything still in flight.
+type Pipeline struct {
+	mu  sync.Mutex
+	cfg Config
+
+	bloom *stableBloom
+
+	open     map[epKey]*Episode
+	openList []*Episode // insertion-ordered view of open; scan order is part of determinism
+	epFree   []*Episode
+
+	closed []*Episode // episodes closed by the current Push, pre-correlation
+
+	cands    []*candidate // creation-ordered
+	candFree []*candidate
+
+	lags map[pairKey]*lagHist
+
+	watermark    float64 // max alarm time seen
+	nextExpiry   float64 // earliest possible episode close; +Inf when none
+	nextDeadline float64 // earliest candidate finalize deadline; +Inf when none
+	seq          uint64  // next incident ID
+
+	nAlarms    uint64
+	nDeduped   uint64
+	nEpisodes  uint64
+	nIncidents uint64
+
+	out    []Incident    // Push/Finalize result buffer, reused
+	tlist  []tenantOnset // emit scratch: per-tenant earliest onset
+	seenWM bool          // whether any alarm has arrived (watermark valid)
+}
+
+// tenantOnset is emit's scratch entry: one member tenant's first onset.
+type tenantOnset struct {
+	tenant string
+	onset  float64
+}
+
+// NewPipeline returns an empty triage pipeline.
+func NewPipeline(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	return &Pipeline{
+		cfg:          cfg,
+		bloom:        newStableBloom(cfg.BloomCells, cfg.BloomHashes, cfg.BloomAging, cfg.BloomMax),
+		open:         make(map[epKey]*Episode),
+		lags:         make(map[pairKey]*lagHist),
+		nextExpiry:   math.Inf(1),
+		nextDeadline: math.Inf(1),
+	}
+}
+
+// Config returns the pipeline's resolved configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Push feeds one alarm through dedup → episodes → correlation → ranking
+// and returns the incidents finalized by it, most-severe first (usually
+// none). The returned slice is reused by the next Push/Finalize; copy
+// the incidents to retain them. The benign path — a duplicate drop or an
+// in-flight episode extension — allocates nothing in steady state.
+//
+// Alarms must arrive in per-tenant time order (the engine guarantees
+// this); tenants may interleave freely. The pipeline's clock is the
+// watermark — the newest alarm time seen across all tenants — so a
+// tenant lagging far behind the rest may have a quiet episode closed by
+// the others' progress.
+func (p *Pipeline) Push(a engine.Alarm) []Incident {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out = p.out[:0]
+	p.nAlarms++
+	if !p.seenWM || a.Time > p.watermark {
+		p.watermark = a.Time
+		p.seenWM = true
+	}
+
+	// Stage 1: dedup.
+	h := dedupHash(a.Sub, a.Variate, int64(math.Floor(a.Time/p.cfg.BucketWidth)))
+	if p.bloom.seen(h) {
+		p.nDeduped++
+	} else {
+		p.bloom.insert(h)
+		p.expire() // close overdue episodes before admitting, so a gap-stale episode for this key is gone
+		p.admit(a)
+	}
+	// Benign fast path: closing and finalizing both require the
+	// watermark strictly past the deadline, so equality stays here.
+	if p.watermark <= p.nextExpiry && p.watermark <= p.nextDeadline && len(p.closed) == 0 {
+		return p.out
+	}
+
+	// Stages 2–4 on whatever the watermark advanced past.
+	p.expire()
+	p.correlate()
+	p.finalizeDue(false)
+	p.rank()
+	return p.out
+}
+
+// admit opens or extends the episode for the alarm's (tenant, variate).
+func (p *Pipeline) admit(a engine.Alarm) {
+	k := epKey{a.Sub, a.Variate}
+	ep := p.open[k]
+	if ep != nil && (a.Time-ep.End > p.cfg.EpisodeGap || a.Time-ep.Onset >= p.cfg.MaxEpisodeLen) {
+		// Gap-stale (possible when this tenant itself drives the
+		// watermark) or over the duration cap: close and start fresh.
+		p.closeEpisode(ep)
+		ep = nil
+	}
+	if ep == nil {
+		ep = p.getEpisode()
+		*ep = Episode{Tenant: a.Sub, Variate: a.Variate, Onset: a.Time, End: a.Time, Peak: a.Score, PeakTime: a.Time, Frames: 1}
+		p.open[k] = ep
+		p.openList = append(p.openList, ep)
+	} else {
+		if a.Time > ep.End {
+			ep.End = a.Time
+		}
+		ep.Frames++
+		if a.Score > ep.Peak {
+			ep.Peak = a.Score
+			ep.PeakTime = a.Time
+		}
+	}
+	if d := ep.End + p.cfg.EpisodeGap; d < p.nextExpiry {
+		p.nextExpiry = d
+	}
+}
+
+// expire closes every open episode the watermark has left behind by more
+// than EpisodeGap, preserving openList order (part of the determinism
+// contract).
+func (p *Pipeline) expire() {
+	if p.watermark <= p.nextExpiry { // closing needs watermark strictly past End+Gap
+		return
+	}
+	keep := p.openList[:0]
+	next := math.Inf(1)
+	for _, ep := range p.openList {
+		if p.watermark-ep.End > p.cfg.EpisodeGap {
+			delete(p.open, epKey{ep.Tenant, ep.Variate})
+			p.closed = append(p.closed, ep)
+			continue
+		}
+		keep = append(keep, ep)
+		if d := ep.End + p.cfg.EpisodeGap; d < next {
+			next = d
+		}
+	}
+	p.openList = keep
+	p.nextExpiry = next
+}
+
+// closeEpisode retires one open episode immediately (cap or gap closure
+// discovered by admit), keeping openList compact.
+func (p *Pipeline) closeEpisode(ep *Episode) {
+	delete(p.open, epKey{ep.Tenant, ep.Variate})
+	for i, e := range p.openList {
+		if e == ep {
+			p.openList = append(p.openList[:i], p.openList[i+1:]...)
+			break
+		}
+	}
+	p.closed = append(p.closed, ep)
+}
+
+// correlate assigns the Push's closed episodes — in canonical (onset,
+// tenant, variate) order — to candidate incidents by onset proximity.
+func (p *Pipeline) correlate() {
+	if len(p.closed) == 0 {
+		return
+	}
+	sortEpisodes(p.closed)
+	for _, ep := range p.closed {
+		p.nEpisodes++
+		var c *candidate
+		for _, cand := range p.cands {
+			if math.Abs(ep.Onset-cand.anchor) <= p.cfg.Window {
+				c = cand
+				break
+			}
+		}
+		if c == nil {
+			c = p.getCandidate()
+			c.anchor = ep.Onset
+			// No episode with a joinable onset can still be open once the
+			// watermark passes this: a joiner starts by anchor+Window, runs
+			// at most MaxEpisodeLen, then needs EpisodeGap of silence to
+			// close (plus one gap of slack for the closing scan itself).
+			c.deadline = ep.Onset + p.cfg.Window + p.cfg.MaxEpisodeLen + 2*p.cfg.EpisodeGap
+			if c.deadline < p.nextDeadline {
+				p.nextDeadline = c.deadline
+			}
+			p.cands = append(p.cands, c)
+		}
+		c.eps = append(c.eps, *ep)
+		p.putEpisode(ep)
+	}
+	p.closed = p.closed[:0]
+}
+
+// finalizeDue emits every candidate whose deadline the watermark has
+// passed (or all of them, when flush is set), in creation order.
+func (p *Pipeline) finalizeDue(flush bool) {
+	keep := p.cands[:0]
+	next := math.Inf(1)
+	for _, c := range p.cands {
+		if flush || p.watermark > c.deadline {
+			p.emit(c)
+			continue
+		}
+		keep = append(keep, c)
+		if c.deadline < next {
+			next = c.deadline
+		}
+	}
+	p.cands = keep
+	p.nextDeadline = next
+}
+
+// emit turns one candidate into an Incident, updates the lead-lag
+// histograms, and recycles the candidate.
+func (p *Pipeline) emit(c *candidate) {
+	sortEpisodes2(c.eps)
+	inc := Incident{
+		Onset:    math.Inf(1),
+		Episodes: append([]Episode(nil), c.eps...),
+	}
+	p.tlist = p.tlist[:0]
+	for i := range c.eps {
+		ep := &c.eps[i]
+		if ep.Onset < inc.Onset {
+			inc.Onset = ep.Onset
+		}
+		if ep.End > inc.End {
+			inc.End = ep.End
+		}
+		if ep.Peak > inc.Peak {
+			inc.Peak = ep.Peak
+		}
+		inc.Frames += ep.Frames
+		known := false
+		for _, t := range p.tlist {
+			if t.tenant == ep.Tenant {
+				known = true
+				break
+			}
+		}
+		if !known {
+			p.tlist = append(p.tlist, tenantOnset{ep.Tenant, ep.Onset})
+		}
+	}
+	inc.Tenants = len(p.tlist)
+	inc.Severity = inc.Peak * (1 + math.Log2(float64(inc.Tenants)))
+	if inc.Tenants < p.cfg.MinTenants {
+		inc.Severity *= p.cfg.Demotion
+		inc.Demoted = true
+	}
+	p.recordLeadLag()
+	p.out = append(p.out, inc)
+	c.eps = c.eps[:0]
+	p.candFree = append(p.candFree, c)
+}
+
+// recordLeadLag feeds every ordered pair of member tenants' first onsets
+// into the pair's offset histogram. tlist is in episode order, i.e.
+// sorted by onset (ties broken by tenant name), so the earlier-onset
+// tenant of each pair leads.
+func (p *Pipeline) recordLeadLag() {
+	for i := 0; i < len(p.tlist); i++ {
+		for j := i + 1; j < len(p.tlist); j++ {
+			lead, lag := p.tlist[i], p.tlist[j]
+			d := lag.onset - lead.onset
+			if d < 0 { // equal-onset ties keep list order; negatives cannot happen
+				lead, lag = lag, lead
+				d = -d
+			}
+			k := pairKey{lead.tenant, lag.tenant}
+			h := p.lags[k]
+			if h == nil {
+				h = &lagHist{bins: make([]uint64, leadLagBins)}
+				p.lags[k] = h
+			}
+			bin := int(d / (2 * p.cfg.Window) * leadLagBins)
+			if bin >= leadLagBins {
+				bin = leadLagBins - 1
+			}
+			h.bins[bin]++
+			h.total++
+		}
+	}
+}
+
+// rank orders the Push's emitted incidents most-severe first (severity
+// desc, then onset asc, then lead episode) and assigns their IDs in that
+// order.
+func (p *Pipeline) rank() {
+	out := p.out
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && incidentLess(&out[j], &out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	for i := range out {
+		out[i].ID = p.seq
+		p.seq++
+	}
+	p.nIncidents += uint64(len(out))
+}
+
+// incidentLess ranks a before b: higher severity first, then earlier
+// onset, then the lexicographically first lead episode.
+func incidentLess(a, b *Incident) bool {
+	if a.Severity != b.Severity {
+		return a.Severity > b.Severity
+	}
+	if a.Onset != b.Onset {
+		return a.Onset < b.Onset
+	}
+	if len(a.Episodes) > 0 && len(b.Episodes) > 0 {
+		return a.Episodes[0].Tenant < b.Episodes[0].Tenant
+	}
+	return false
+}
+
+// Finalize closes every in-flight episode and candidate and returns the
+// resulting incidents, most-severe first — the end-of-feed flush. The
+// dedup filter, watermark, counters and lead-lag histograms survive, so
+// the pipeline remains usable. The returned slice is reused by the next
+// Push/Finalize.
+//
+// Checkpointing deployments snapshot instead of finalizing: a snapshot
+// keeps episodes mid-flight so a restart resumes them.
+func (p *Pipeline) Finalize() []Incident {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out = p.out[:0]
+	for _, ep := range p.openList {
+		delete(p.open, epKey{ep.Tenant, ep.Variate})
+		p.closed = append(p.closed, ep)
+	}
+	p.openList = p.openList[:0]
+	p.nextExpiry = math.Inf(1)
+	p.correlate()
+	p.finalizeDue(true)
+	p.rank()
+	return p.out
+}
+
+// Stats snapshots the pipeline's counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{
+		Alarms:           p.nAlarms,
+		Deduped:          p.nDeduped,
+		Episodes:         p.nEpisodes,
+		Incidents:        p.nIncidents,
+		OpenEpisodes:     len(p.openList),
+		PendingIncidents: len(p.cands),
+	}
+	if s.Alarms > 0 {
+		s.Reduction = 1 - float64(s.Incidents)/float64(s.Alarms)
+	}
+	return s
+}
+
+// LeadLag reports every ordered tenant pair observed at least minCount
+// times, most-observed first (ties by pair name): Lead's episodes start
+// ~Offset time units before Lag's in Share of their co-occurrences.
+func (p *Pipeline) LeadLag(minCount uint64) []LeadLagStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	binWidth := 2 * p.cfg.Window / leadLagBins
+	var out []LeadLagStat
+	for k, h := range p.lags {
+		if h.total < minCount || h.total == 0 {
+			continue
+		}
+		mode, best := 0, uint64(0)
+		for i, c := range h.bins {
+			if c > best {
+				mode, best = i, c
+			}
+		}
+		out = append(out, LeadLagStat{
+			Lead:   k.lead,
+			Lag:    k.lag,
+			Offset: (float64(mode) + 0.5) * binWidth,
+			Share:  float64(best) / float64(h.total),
+			Count:  h.total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Lead != out[j].Lead {
+			return out[i].Lead < out[j].Lead
+		}
+		return out[i].Lag < out[j].Lag
+	})
+	return out
+}
+
+func (p *Pipeline) getEpisode() *Episode {
+	if n := len(p.epFree); n > 0 {
+		ep := p.epFree[n-1]
+		p.epFree = p.epFree[:n-1]
+		return ep
+	}
+	return new(Episode)
+}
+
+func (p *Pipeline) putEpisode(ep *Episode) { p.epFree = append(p.epFree, ep) }
+
+func (p *Pipeline) getCandidate() *candidate {
+	if n := len(p.candFree); n > 0 {
+		c := p.candFree[n-1]
+		p.candFree = p.candFree[:n-1]
+		return c
+	}
+	return new(candidate)
+}
+
+// sortEpisodes insertion-sorts a batch of closed episodes into canonical
+// (Onset, Tenant, Variate) order. Batches are small; an explicit sort
+// keeps the hot path free of sort.Slice's interface allocation.
+func sortEpisodes(eps []*Episode) {
+	for i := 1; i < len(eps); i++ {
+		for j := i; j > 0 && episodeLess(eps[j], eps[j-1]); j-- {
+			eps[j], eps[j-1] = eps[j-1], eps[j]
+		}
+	}
+}
+
+// sortEpisodes2 is sortEpisodes over values (candidate members).
+func sortEpisodes2(eps []Episode) {
+	for i := 1; i < len(eps); i++ {
+		for j := i; j > 0 && episodeLess(&eps[j], &eps[j-1]); j-- {
+			eps[j], eps[j-1] = eps[j-1], eps[j]
+		}
+	}
+}
+
+func episodeLess(a, b *Episode) bool {
+	if a.Onset != b.Onset {
+		return a.Onset < b.Onset
+	}
+	if a.Tenant != b.Tenant {
+		return a.Tenant < b.Tenant
+	}
+	return a.Variate < b.Variate
+}

@@ -1,0 +1,95 @@
+package alerts
+
+// stableBloom is a stable Bloom filter (Deng & Rafiei, SIGMOD 2006) over
+// dedup keys: a fixed array of small counters ("cells") in which every
+// insert first *ages* a constant number of cells back toward zero and
+// then sets the key's k cells to the ceiling. Aging is what makes the
+// filter stable: on an unbounded stream the fraction of nonzero cells
+// converges to a constant below one, so the filter never saturates and
+// old keys are probabilistically evicted — exactly the semantics alarm
+// dedup wants, where "have I seen this (tenant, variate, bucket)?" only
+// needs to be remembered for the recent past.
+//
+// The textbook filter ages cells chosen at random. This one ages cells
+// selected by a rolling cursor advanced with an odd stride modulo the
+// power-of-two cell count, which visits every cell with the same
+// long-run frequency as uniform sampling but keeps the pipeline's
+// determinism contract: a fixed alarm sequence always produces the same
+// dedup decisions, and the cursor is part of the triage snapshot so a
+// restored pipeline resumes bit-identically.
+//
+// At the defaults (64 Ki cells, k=4, 32 aged per insert, ceiling 2) the
+// stationary wrongly-deduped (false-positive) probability is ≈0.2%, and
+// a key stays remembered for ≈ cells·max/aging = 4096 subsequent unique
+// inserts; see DESIGN.md for the bound.
+type stableBloom struct {
+	cells []uint8
+	mask  uint32
+	k     int   // hash probes per key
+	age   int   // cells decremented per insert
+	max   uint8 // cell ceiling
+	cur   uint32
+}
+
+// bloomStride is the cursor advance per aged cell. Any odd constant
+// cycles a power-of-two cell array uniformly; this one (the golden-ratio
+// multiplier) also decorrelates the visit order from the probe order.
+const bloomStride = 0x9e3779b1
+
+func newStableBloom(cells, k, age int, max uint8) *stableBloom {
+	n := 1
+	for n < cells {
+		n <<= 1
+	}
+	return &stableBloom{cells: make([]uint8, n), mask: uint32(n - 1), k: k, age: age, max: max}
+}
+
+// seen reports whether all of the key's cells are nonzero — the key was
+// inserted recently enough that aging has not evicted it.
+func (b *stableBloom) seen(h uint64) bool {
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	for i := 0; i < b.k; i++ {
+		if b.cells[(h1+uint32(i)*h2)&b.mask] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// insert ages `age` cursor-selected cells, then sets the key's cells to
+// the ceiling.
+func (b *stableBloom) insert(h uint64) {
+	for i := 0; i < b.age; i++ {
+		b.cur = (b.cur + bloomStride) & b.mask
+		if c := b.cells[b.cur]; c > 0 {
+			b.cells[b.cur] = c - 1
+		}
+	}
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	for i := 0; i < b.k; i++ {
+		b.cells[(h1+uint32(i)*h2)&b.mask] = b.max
+	}
+}
+
+// dedupHash hashes one dedup key (tenant, variate, time bucket) to the
+// 64 bits the filter's double hashing splits into its probe sequence:
+// FNV-1a over the tenant id mixed with the integers, then a final
+// avalanche so bucket increments flip high bits too.
+func dedupHash(tenant string, variate int, bucket int64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * prime
+	}
+	h = (h ^ uint64(uint32(variate))) * prime
+	h = (h ^ uint64(bucket)) * prime
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,125 @@
+package alerts
+
+import (
+	"strings"
+	"testing"
+)
+
+// warmPipeline feeds enough of the recorded sequence to leave episodes,
+// candidates and lead-lag history in flight.
+func warmPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p := NewPipeline(testConfig())
+	seq := recordedSequence()
+	for _, a := range seq {
+		if a.Time >= 540 {
+			break
+		}
+		p.Push(a)
+	}
+	st := p.Stats()
+	if st.OpenEpisodes == 0 || st.Incidents == 0 {
+		t.Fatalf("warm pipeline not representative: %+v", st)
+	}
+	return p
+}
+
+// TestTriageSnapshotRoundTrip checks a restored pipeline reports the
+// same counters and produces an identical second snapshot.
+func TestTriageSnapshotRoundTrip(t *testing.T) {
+	p := warmPipeline(t)
+	blob, err := p.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPipeline(testConfig())
+	if err := q.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Stats(), p.Stats(); got != want {
+		t.Fatalf("restored stats %+v != %+v", got, want)
+	}
+	blob2, err := q.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("snapshot → restore → snapshot is not idempotent")
+	}
+}
+
+// TestTriageSnapshotValidation proves a corrupt, truncated or mismatched
+// snapshot is rejected before any pipeline state is touched.
+func TestTriageSnapshotValidation(t *testing.T) {
+	p := warmPipeline(t)
+	blob, err := p.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Pipeline { return NewPipeline(testConfig()) }
+	intact := func(t *testing.T, q *Pipeline) {
+		t.Helper()
+		if st := q.Stats(); st.Alarms != 0 || st.OpenEpisodes != 0 {
+			t.Fatalf("failed restore mutated the pipeline: %+v", st)
+		}
+	}
+
+	t.Run("bit flip", func(t *testing.T) {
+		for _, off := range []int{4, len(blob) / 2, len(blob) - 8} {
+			bad := append([]byte(nil), blob...)
+			bad[off] ^= 0x40
+			q := fresh()
+			if err := q.RestoreState(bad); err == nil {
+				t.Fatalf("accepted snapshot with bit flip at %d", off)
+			}
+			intact(t, q)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 7, len(blob) / 3, len(blob) - 1} {
+			q := fresh()
+			if err := q.RestoreState(blob[:n]); err == nil {
+				t.Fatalf("accepted snapshot truncated to %d bytes", n)
+			}
+			intact(t, q)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		copy(bad, "NOTTRIAG")
+		q := fresh()
+		if err := q.RestoreState(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("bad magic: %v", err)
+		}
+		intact(t, q)
+	})
+	t.Run("geometry mismatch", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.BloomCells = 1 << 10
+		q := NewPipeline(cfg)
+		if err := q.RestoreState(blob); err == nil || !strings.Contains(err.Error(), "filter") {
+			t.Fatalf("geometry mismatch: %v", err)
+		}
+	})
+	t.Run("config mismatch", func(t *testing.T) {
+		// Episode and candidate state is only meaningful under the
+		// time-domain parameters that built it.
+		cfg := testConfig()
+		cfg.Window = 25
+		q := NewPipeline(cfg)
+		if err := q.RestoreState(blob); err == nil || !strings.Contains(err.Error(), "config") {
+			t.Fatalf("config mismatch: %v", err)
+		}
+		intact(t, q)
+	})
+	t.Run("good restore still works after rejects", func(t *testing.T) {
+		q := fresh()
+		for _, n := range []int{9, 40} {
+			_ = q.RestoreState(blob[:n])
+		}
+		if err := q.RestoreState(blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package alerts
+
+import "aero/internal/engine"
+
+// Stream is a triage pipeline attached to a live engine: the engine's
+// alarm tap pushes every alarm through the pipeline, and finalized
+// incidents flow out on the Incidents channel. Create one with Attach.
+type Stream struct {
+	p         *Pipeline
+	incidents chan Incident
+}
+
+// Attach installs a triage pipeline as the engine's alarm consumer (via
+// Engine.Tap — the stream owns the Alarms channel from here on) and
+// returns its incident feed. buffer sizes the Incidents channel
+// (defaulting to 256); a slow incident consumer backpressures the alarm
+// tap and, transitively, the engine, so nothing is dropped.
+//
+// The Incidents channel closes once Engine.Close has drained every
+// alarm. Episodes still in flight at that point are deliberately NOT
+// auto-finalized: a checkpointing deployment snapshots them
+// (SnapshotState) so a restart resumes mid-episode, and an end-of-feed
+// report calls Finalize explicitly.
+func Attach(e *engine.Engine, cfg Config, buffer int) (*Stream, error) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Stream{p: NewPipeline(cfg), incidents: make(chan Incident, buffer)}
+	err := e.Tap(func(a engine.Alarm) {
+		for _, inc := range s.p.Push(a) {
+			s.incidents <- inc
+		}
+	}, func() { close(s.incidents) })
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Incidents returns the ranked incident feed. Consume it continuously;
+// it closes after Engine.Close drains the alarm stream.
+func (s *Stream) Incidents() <-chan Incident { return s.incidents }
+
+// Pipeline returns the underlying pipeline for stats, lead-lag reports,
+// snapshot/restore and the end-of-feed Finalize. All pipeline methods
+// are safe to call while alarms flow.
+func (s *Stream) Pipeline() *Pipeline { return s.p }

@@ -136,9 +136,10 @@ type subscription struct {
 	mu  sync.Mutex
 	det core.StreamBackend
 
-	frames uint64 // atomic
-	alarms uint64 // atomic
-	swaps  uint64 // atomic
+	frames  uint64 // atomic
+	alarms  uint64 // atomic
+	blocked uint64 // atomic: alarm emissions that found the fan-in channel full
+	swaps   uint64 // atomic
 }
 
 // shard is one bounded FIFO of pending frames plus the tenants pinned to
@@ -160,6 +161,7 @@ type shard struct {
 	subsN     int
 	frames    uint64
 	alarmsN   uint64
+	blockedN  uint64 // alarm emissions that found the fan-in channel full
 	errsN     uint64
 	rate      float64 // EWMA of frames/s, updated per drain
 	lastDrain time.Time
@@ -203,6 +205,8 @@ type Engine struct {
 
 	routerErrs atomic.Uint64 // frames that failed routing (no shard saw them)
 
+	tapped   atomic.Bool // an alarm tap owns the Alarms channel
+	tapWG    sync.WaitGroup
 	workerWG sync.WaitGroup
 	routerWG sync.WaitGroup
 	start    time.Time
@@ -357,6 +361,48 @@ func (e *Engine) Samples() chan<- Sample { return e.in }
 // continuously; it is closed by Close after all pending frames drain.
 func (e *Engine) Alarms() <-chan Alarm { return e.alarms }
 
+// ErrTapped is returned by Tap when an alarm tap is already installed.
+var ErrTapped = errors.New("engine: alarm tap already installed")
+
+// Tap installs fn as the engine's alarm consumer: a dedicated goroutine
+// drains the fan-in Alarms channel and invokes fn once per alarm, in
+// channel order. The tap takes ownership of the channel — do not also
+// range over Alarms — and inherits its backpressure contract: a slow fn
+// stalls the workers and, transitively, ingest. Alert-triage pipelines
+// attach here (see internal/alerts.Attach).
+//
+// final, if non-nil, runs after the last alarm is delivered — i.e. once
+// Close has drained the engine — so downstream stages can flush and
+// close their own feeds. Close does not return until final has. At most
+// one tap may be installed, before or while alarms flow.
+func (e *Engine) Tap(fn func(Alarm), final func()) error {
+	// Registration happens under e.mu — the lock Close holds while
+	// flipping the closed flag — so a Tap racing Close either completes
+	// its tapWG.Add before Close reaches tapWG.Wait, or observes closed
+	// and is rejected; the WaitGroup never sees Add concurrent with Wait.
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if !e.tapped.CompareAndSwap(false, true) {
+		e.mu.Unlock()
+		return ErrTapped
+	}
+	e.tapWG.Add(1)
+	e.mu.Unlock()
+	go func() {
+		defer e.tapWG.Done()
+		for a := range e.alarms {
+			fn(a)
+		}
+		if final != nil {
+			final()
+		}
+	}()
+	return nil
+}
+
 // Errors returns the frame-error channel. Errors beyond its buffer are
 // dropped from the channel (never from the counters: see Stats and
 // Totals). Closed by Close.
@@ -435,7 +481,7 @@ func (e *Engine) drain(sh *shard) {
 	sh.cond.Broadcast()
 	sh.mu.Unlock()
 
-	var alarmsN, errsN uint64
+	var alarmsN, blockedN, errsN uint64
 	for i := range batch {
 		it := &batch[i]
 		sub := it.sub
@@ -451,7 +497,17 @@ func (e *Engine) drain(sh *shard) {
 		for _, a := range alarms {
 			atomic.AddUint64(&sub.alarms, 1)
 			alarmsN++
-			e.alarms <- Alarm{Sub: sub.id, Alarm: a}
+			out := Alarm{Sub: sub.id, Alarm: a}
+			select {
+			case e.alarms <- out:
+			default:
+				// The fan-in channel is full: count the stall (the
+				// consumer is the bottleneck, not scoring), then park on
+				// the blocking send — backpressure, never loss.
+				atomic.AddUint64(&sub.blocked, 1)
+				blockedN++
+				e.alarms <- out
+			}
 		}
 	}
 
@@ -462,6 +518,7 @@ func (e *Engine) drain(sh *shard) {
 	}
 	sh.frames += uint64(len(batch))
 	sh.alarmsN += alarmsN
+	sh.blockedN += blockedN
 	sh.errsN += errsN
 	if !sh.lastDrain.IsZero() {
 		if dt := now.Sub(sh.lastDrain).Seconds(); dt > 0 {
@@ -544,4 +601,8 @@ func (e *Engine) Close() {
 	e.workerWG.Wait()
 	close(e.alarms)
 	close(e.errs)
+	// With a tap installed, Close returning means the tap has consumed
+	// every alarm and run its final hook — callers can read triage
+	// results immediately.
+	e.tapWG.Wait()
 }

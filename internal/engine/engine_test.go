@@ -440,6 +440,155 @@ func TestEngineCloseUnblocksProducers(t *testing.T) {
 	wg.Wait()
 }
 
+// chattyBackend is a stub StreamBackend that raises exactly one alarm
+// per frame (score = the frame's time), so alarm-channel backpressure
+// tests control the alarm volume precisely.
+type chattyBackend struct {
+	n      int
+	count  int
+	last   float64
+	alarms [1]core.Alarm
+}
+
+func (c *chattyBackend) Kind() string       { return "chatty" }
+func (c *chattyBackend) Variates() int      { return c.n }
+func (c *chattyBackend) Ready() bool        { return c.count > 0 }
+func (c *chattyBackend) Threshold() float64 { return 0 }
+func (c *chattyBackend) LastTime() (float64, bool) {
+	return c.last, c.count > 0
+}
+func (c *chattyBackend) PushScores(f core.Frame) ([]float64, error) {
+	c.count++
+	c.last = f.Time
+	return nil, nil
+}
+func (c *chattyBackend) Push(f core.Frame) ([]core.Alarm, error) {
+	if _, err := c.PushScores(f); err != nil {
+		return nil, err
+	}
+	c.alarms[0] = core.Alarm{Variate: 0, Time: f.Time, Score: f.Time}
+	return c.alarms[:], nil
+}
+func (c *chattyBackend) SwapArtifact([]byte) error      { return errors.New("chatty: no artifacts") }
+func (c *chattyBackend) SnapshotState() ([]byte, error) { return nil, errors.New("chatty: no state") }
+func (c *chattyBackend) RestoreState([]byte) error      { return errors.New("chatty: no state") }
+
+// TestEngineSlowAlarmConsumerBackpressure pins the fan-in contract under
+// a slow Alarms consumer: with a one-slot alarm channel and a tiny shard
+// queue, scoring must stall (backpressure reaching Ingest) rather than
+// drop or reorder alarms, and the stall must be visible in the new
+// AlarmsBlocked counters. Once the consumer drains, every alarm arrives
+// exactly once, in per-tenant arrival order.
+func TestEngineSlowAlarmConsumerBackpressure(t *testing.T) {
+	e := engine.New(engine.Config{Shards: 1, Workers: 1, QueueDepth: 2, BatchSize: 1, AlarmBuffer: 1})
+	sub, err := e.SubscribeBackend("slow", &chattyBackend{n: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 64
+	fed := make(chan struct{})
+	go func() {
+		defer close(fed)
+		f := core.Frame{Magnitudes: make([]float64, 1)}
+		for ti := 0; ti < frames; ti++ {
+			f.Time = float64(ti)
+			if err := e.Ingest("slow", f); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Nobody consumes Alarms yet: scoring must wedge after the channel
+	// slot plus in-flight frames, and the feeder must park on the full
+	// shard queue instead of completing.
+	deadline := time.Now().Add(5 * time.Second)
+	for sub.Stats().AlarmsBlocked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scoring never reported a blocked alarm emission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let any incorrect dropping/draining manifest
+	select {
+	case <-fed:
+		t.Fatalf("feeder finished with no alarm consumer (scored %d frames): alarms were dropped", sub.Stats().Frames)
+	default:
+	}
+	if got := sub.Stats().Frames; got >= frames {
+		t.Fatalf("all %d frames scored against a stalled consumer", got)
+	}
+
+	// Drain: every alarm must appear exactly once, in arrival order.
+	var alarms []core.Alarm
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range e.Alarms() {
+			alarms = append(alarms, a.Alarm)
+		}
+	}()
+	<-fed
+	e.Flush()
+	e.Close()
+	<-done
+	if len(alarms) != frames {
+		t.Fatalf("consumer received %d alarms, want %d", len(alarms), frames)
+	}
+	for i, a := range alarms {
+		if a.Time != float64(i) || a.Score != float64(i) {
+			t.Fatalf("alarm %d out of order: %+v", i, a)
+		}
+	}
+	if tot := e.Totals(); tot.AlarmsBlocked == 0 || tot.Alarms != frames {
+		t.Fatalf("totals %+v, want %d alarms and nonzero AlarmsBlocked", tot, frames)
+	}
+	if st := sub.Stats(); st.AlarmsBlocked == 0 {
+		t.Fatalf("subscription stats %+v, want nonzero AlarmsBlocked", st)
+	}
+}
+
+// TestEngineTap covers the alarm-tap contract: the tap consumes every
+// alarm in channel order, its final hook runs before Close returns, and
+// a second tap is rejected.
+func TestEngineTap(t *testing.T) {
+	e := engine.New(engine.Config{Shards: 1, Workers: 1})
+	if _, err := e.SubscribeBackend("tap", &chattyBackend{n: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got []engine.Alarm
+	finalRan := false
+	if err := e.Tap(func(a engine.Alarm) { got = append(got, a) }, func() { finalRan = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tap(func(engine.Alarm) {}, nil); !errors.Is(err, engine.ErrTapped) {
+		t.Fatalf("second tap: got %v, want ErrTapped", err)
+	}
+	const frames = 32
+	f := core.Frame{Magnitudes: make([]float64, 1)}
+	for ti := 0; ti < frames; ti++ {
+		f.Time = float64(ti)
+		if err := e.Ingest("tap", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close() // must wait for the tap's final hook
+	if !finalRan {
+		t.Fatal("tap final hook had not run when Close returned")
+	}
+	if len(got) != frames {
+		t.Fatalf("tap saw %d alarms, want %d", len(got), frames)
+	}
+	for i, a := range got {
+		if a.Sub != "tap" || a.Time != float64(i) {
+			t.Fatalf("tap alarm %d out of order: %+v", i, a)
+		}
+	}
+	if err := e.Tap(func(engine.Alarm) {}, nil); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("tap after close: got %v, want ErrClosed", err)
+	}
+}
+
 // TestEngineSubscribeAndIngestErrors covers the synchronous error paths.
 func TestEngineSubscribeAndIngestErrors(t *testing.T) {
 	m, d := fixture(t)

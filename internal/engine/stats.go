@@ -17,8 +17,14 @@ type ShardStats struct {
 	Subscriptions int
 	// Frames counts frames scored (including warmup frames).
 	Frames uint64
-	// Alarms counts alarms emitted.
+	// Alarms counts alarms emitted — the denominator of any downstream
+	// triage reduction ratio.
 	Alarms uint64
+	// AlarmsBlocked counts alarm emissions that found the fan-in channel
+	// full and had to park until the consumer caught up: a nonzero,
+	// growing value means the alarm consumer — not scoring — is the
+	// pipeline's bottleneck.
+	AlarmsBlocked uint64
 	// Errors counts frames rejected at scoring time.
 	Errors uint64
 	// QueueDepth is the number of frames currently waiting.
@@ -38,6 +44,7 @@ func (e *Engine) Stats() []ShardStats {
 			Subscriptions: sh.subsN,
 			Frames:        sh.frames,
 			Alarms:        sh.alarmsN,
+			AlarmsBlocked: sh.blockedN,
 			Errors:        sh.errsN,
 			QueueDepth:    sh.count,
 			FramesPerSec:  sh.rate,
@@ -56,6 +63,7 @@ func (e *Engine) Totals() ShardStats {
 		t.Subscriptions += s.Subscriptions
 		t.Frames += s.Frames
 		t.Alarms += s.Alarms
+		t.AlarmsBlocked += s.AlarmsBlocked
 		t.Errors += s.Errors
 		t.QueueDepth += s.QueueDepth
 	}
@@ -69,8 +77,12 @@ func (e *Engine) Totals() ShardStats {
 type SubscriptionStats struct {
 	// Frames counts frames scored for this tenant.
 	Frames uint64
-	// Alarms counts alarms raised for this tenant.
+	// Alarms counts alarms raised for this tenant — the denominator of
+	// any downstream triage reduction ratio.
 	Alarms uint64
+	// AlarmsBlocked counts this tenant's alarm emissions that found the
+	// fan-in channel full and parked until the consumer caught up.
+	AlarmsBlocked uint64
 	// Swaps counts model hot-swaps applied to this tenant.
 	Swaps uint64
 	// Ready reports whether the tenant's window is warm.
@@ -92,11 +104,12 @@ func (s *Subscription) Stats() SubscriptionStats {
 	ready := s.sub.det.Ready()
 	s.sub.mu.Unlock()
 	return SubscriptionStats{
-		Frames: atomic.LoadUint64(&s.sub.frames),
-		Alarms: atomic.LoadUint64(&s.sub.alarms),
-		Swaps:  atomic.LoadUint64(&s.sub.swaps),
-		Ready:  ready,
-		Shard:  s.sub.shard.id,
+		Frames:        atomic.LoadUint64(&s.sub.frames),
+		Alarms:        atomic.LoadUint64(&s.sub.alarms),
+		AlarmsBlocked: atomic.LoadUint64(&s.sub.blocked),
+		Swaps:         atomic.LoadUint64(&s.sub.swaps),
+		Ready:         ready,
+		Shard:         s.sub.shard.id,
 	}
 }
 
