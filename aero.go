@@ -160,8 +160,28 @@ type DSPOTStage = backend.DSPOTStage
 type DSPOTConfig = backend.DSPOTConfig
 
 // DefaultDSPOTConfig mirrors the paper's POT protocol (level 0.99,
-// q 1e-3) with a 20-frame drift window.
+// q 1e-3) with a 20-frame drift window and the amortized tail-refit
+// schedule (DefaultRefitPolicy).
 func DefaultDSPOTConfig() DSPOTConfig { return backend.DefaultDSPOTConfig() }
+
+// RefitPolicy schedules the DSPOT tail model's Grimshaw refits: refit
+// every Every-th exceedance and on tail-mean drift, over a bounded
+// excess ring. The zero value is the exact policy (refit on every
+// exceedance, as in Siffer et al.'s original SPOT).
+type RefitPolicy = evt.RefitPolicy
+
+// RefitStats are a tail model's cumulative maintenance counters — how
+// many exceedances fed the ring and how many paid for a Grimshaw fit
+// (warm-started vs full grid scan).
+type RefitStats = evt.RefitStats
+
+// DefaultRefitPolicy amortizes the tail maintenance: warm refits every
+// 128 exceedances or on a 20% tail-mean drift, over a 256-excess ring.
+func DefaultRefitPolicy() RefitPolicy { return evt.DefaultRefitPolicy() }
+
+// ExactRefitPolicy refits on every exceedance over a bounded ring —
+// bit-identical to the original SPOT until the ring first overflows.
+func ExactRefitPolicy() RefitPolicy { return evt.ExactRefitPolicy() }
 
 // NewDSPOTStage wraps a backend with DSPOT alarmers calibrated on
 // per-variate score sequences (see StreamBackendScores).

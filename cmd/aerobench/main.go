@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -38,6 +39,7 @@ import (
 
 	"aero"
 	"aero/internal/dataset"
+	"aero/internal/evt"
 	"aero/internal/experiments"
 )
 
@@ -294,6 +296,50 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 	}))
 	if benchErr != nil {
 		return nil, benchErr
+	}
+
+	// SPOT step paths (matching BenchmarkSPOTStep in internal/evt): the
+	// benign O(1) common case, the amortized in-tail update under the
+	// default refit policy, and exact mode's full Grimshaw fit per
+	// exceedance — the per-step price the refit policy amortizes away.
+	spotCalib := make([]float64, 3000)
+	{
+		rng := rand.New(rand.NewSource(81))
+		for i := range spotCalib {
+			spotCalib[i] = math.Abs(rng.NormFloat64())
+		}
+	}
+	spotBench := func(policy aero.RefitPolicy, benign bool) (testing.BenchmarkResult, error) {
+		s := evt.NewSPOT(0.99, 1e-3)
+		s.Policy = policy
+		if err := s.Fit(spotCalib); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if benign {
+					s.Step(0.1)
+				} else {
+					s.Step(s.TailThreshold() + 0.001 + 0.0001*float64(i%7))
+				}
+			}
+		}), nil
+	}
+	for _, sb := range []struct {
+		name   string
+		policy aero.RefitPolicy
+		benign bool
+	}{
+		{"SPOTStep/benign", aero.DefaultRefitPolicy(), true},
+		{"SPOTStep/exceedance", aero.DefaultRefitPolicy(), false},
+		{"SPOTStep/refit", aero.ExactRefitPolicy(), false},
+	} {
+		res, err := spotBench(sb.policy, sb.benign)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", sb.name, err)
+		}
+		record(sb.name, res)
 	}
 
 	// Per-backend streaming throughput: one op is one warm Push through

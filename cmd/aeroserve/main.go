@@ -93,6 +93,8 @@ func main() {
 	kindFlag := flag.String("backend", "aero", fmt.Sprintf("serving backend kind: %v", aero.BackendKinds()))
 	alarmFlag := flag.String("alarm", "auto", "alarming stage: auto, static (fitted POT threshold) or dspot (adaptive drift-corrected EVT)")
 	dspotDepth := flag.Int("dspot-depth", 20, "DSPOT trailing drift-window depth")
+	dspotEvery := flag.Int("dspot-refit-every", 0, "refit the DSPOT tail every K exceedances (0 = amortized default of 128, 1 = exact refit per exceedance)")
+	dspotDrift := flag.Float64("dspot-drift-tol", -1, "relative tail-mean drift that forces an early DSPOT refit (<0 = default 0.2, 0 = drift trigger off)")
 	load := flag.String("load", "", "load a saved model instead of training (aero backend only)")
 	checkpoint := flag.String("checkpoint", "", "artifact registry directory: reuse the newest published artifact, restore warm backend states, checkpoint on shutdown")
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain + hot-swap interval (0 = disabled)")
@@ -226,6 +228,12 @@ func main() {
 	dcfg := aero.DefaultDSPOTConfig()
 	dcfg.Depth = *dspotDepth
 	dcfg.Level, dcfg.Q = opts.Stream.Level, opts.Stream.Q
+	if *dspotEvery > 0 {
+		dcfg.Refit.Every = *dspotEvery
+	}
+	if *dspotDrift >= 0 {
+		dcfg.Refit.DriftTolerance = *dspotDrift
+	}
 	var calibScores [][]float64
 	if alarm == "dspot" {
 		scratch, serr := openBackend(spec, isAERO, model, artifact)
@@ -443,6 +451,20 @@ func main() {
 		}
 	}()
 
+	// refitTotals sums the adaptive tail models' maintenance counters
+	// across tenants (zero and false when the alarm stage is static).
+	refitTotals := func() (aero.RefitStats, bool) {
+		var total aero.RefitStats
+		any := false
+		for _, sub := range subs {
+			if rs, ok := sub.RefitStats(); ok {
+				total = total.Add(rs)
+				any = true
+			}
+		}
+		return total, any
+	}
+
 	// Periodic stats.
 	statsDone := make(chan struct{})
 	go func() {
@@ -454,6 +476,9 @@ func main() {
 				t := eng.Totals()
 				line := fmt.Sprintf("stats: %d frames scored (%.0f/s), %d alarms (%d blocked), %d errors, %d queued",
 					t.Frames, t.FramesPerSec, t.Alarms, t.AlarmsBlocked, t.Errors, t.QueueDepth)
+				if rs, ok := refitTotals(); ok {
+					line += fmt.Sprintf(", dspot %d exceedances / %d refits (%d warm)", rs.Exceedances, rs.Refits, rs.WarmRefits)
+				}
 				if triageStream != nil {
 					ts := triageStream.Pipeline().Stats()
 					line += fmt.Sprintf(", triage %d→%d (%.1f%% reduction)", ts.Alarms, ts.Incidents, 100*ts.Reduction)
@@ -577,6 +602,10 @@ func main() {
 		}
 	}
 
+	if rs, ok := refitTotals(); ok {
+		fmt.Fprintf(os.Stderr, "dspot tails: %d exceedances, %d refits (%d warm-started, %d full grid scans)\n",
+			rs.Exceedances, rs.Refits, rs.WarmRefits, rs.GridRefits)
+	}
 	total := eng.Totals()
 	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
 		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),

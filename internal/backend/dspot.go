@@ -12,16 +12,24 @@ import (
 )
 
 // DSPOTConfig parameterizes the adaptive-alarming stage: the POT level/q
-// of the streaming tail fit (paper §IV-B protocol) and the trailing
-// drift-window depth of Siffer et al.'s DSPOT (§4.4).
+// of the streaming tail fit (paper §IV-B protocol), the trailing
+// drift-window depth of Siffer et al.'s DSPOT (§4.4), and the tail-model
+// refit schedule. A zero-value Refit is the exact policy (a full Grimshaw
+// fit per exceedance, bit-identical to the stage before amortized refits).
 type DSPOTConfig struct {
 	Level, Q float64
 	Depth    int
+	Refit    evt.RefitPolicy
 }
 
 // DefaultDSPOTConfig mirrors the paper's POT protocol with a 20-frame
-// drift window.
-func DefaultDSPOTConfig() DSPOTConfig { return DSPOTConfig{Level: 0.99, Q: 1e-3, Depth: 20} }
+// drift window and the amortized refit schedule (warm refits every 128
+// exceedances or on a 20% tail-mean drift, bounded excess ring) — the
+// serving default that keeps adaptive alarming within a small factor of
+// the bare backend's push.
+func DefaultDSPOTConfig() DSPOTConfig {
+	return DSPOTConfig{Level: 0.99, Q: 1e-3, Depth: 20, Refit: evt.DefaultRefitPolicy()}
+}
 
 // DSPOTStage wraps ANY StreamBackend and replaces its static fitted
 // threshold with per-variate streaming DSPOT: each push scores through
@@ -63,6 +71,7 @@ func NewDSPOTStage(inner core.StreamBackend, cfg DSPOTConfig, calib [][]float64)
 	}
 	for v := 0; v < n; v++ {
 		d.spots[v] = evt.NewDSPOT(cfg.Level, cfg.Q, cfg.Depth)
+		d.spots[v].SetPolicy(cfg.Refit)
 		if err := d.spots[v].Fit(calib[v]); err != nil {
 			return nil, fmt.Errorf("backend: dspot variate %d: %w", v, err)
 		}
@@ -115,6 +124,19 @@ func (d *DSPOTStage) Threshold() float64 {
 		sum += sp.Baseline() + sp.Threshold()
 	}
 	return sum / float64(len(d.spots))
+}
+
+// RefitStats sums the per-variate tail models' maintenance counters —
+// how many exceedances fed the rings and how many paid for a Grimshaw
+// fit (warm vs full grid scan). Call it from the same goroutine that
+// pushes, or behind the engine's subscription lock
+// (engine.Subscription.RefitStats does the latter).
+func (d *DSPOTStage) RefitStats() evt.RefitStats {
+	var total evt.RefitStats
+	for _, sp := range d.spots {
+		total = total.Add(sp.RefitStats())
+	}
+	return total
 }
 
 // PushScores implements core.StreamBackend: the inner backend's raw
@@ -220,6 +242,7 @@ func (d *DSPOTStage) RestoreState(blob []byte) error {
 	fresh := make([]*evt.DSPOT, len(d.spots))
 	for v := range fresh {
 		fresh[v] = evt.NewDSPOT(d.cfg.Level, d.cfg.Q, d.cfg.Depth)
+		fresh[v].SetPolicy(d.cfg.Refit)
 		if err := fresh[v].SetState(st.Spots[v]); err != nil {
 			return fmt.Errorf("backend: dspot state variate %d: %w", v, err)
 		}

@@ -63,6 +63,7 @@ func TestDSPOTStageMatchesDirectStep(t *testing.T) {
 		spots := make([]*evt.DSPOT, d.Test.N())
 		for v := range spots {
 			spots[v] = evt.NewDSPOT(dcfg.Level, dcfg.Q, dcfg.Depth)
+			spots[v].SetPolicy(dcfg.Refit)
 			if err := spots[v].Fit(calib[v]); err != nil {
 				t.Fatal(err)
 			}
@@ -127,6 +128,65 @@ func TestDSPOTStageMatchesDirectStep(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("alarm %d: engine %+v != direct %+v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestDSPOTStageAmortizedAlarmsGolden is the golden alarm-sequence check
+// for the amortized refit policy: on the standard replay fixture, serving
+// under the default (amortized) schedule must raise exactly the alarms the
+// exact per-exceedance schedule raises — the approximation may lag the
+// tail parameters by up to Refit.Every exceedances, but not enough to move
+// any alarm on real replay traffic.
+func TestDSPOTStageAmortizedAlarmsGolden(t *testing.T) {
+	d := dspotTestData()
+	replay := func(kind string, refit evt.RefitPolicy) []alarmKey {
+		spec, ok := backend.Get(kind)
+		if !ok {
+			t.Fatalf("%s not registered", kind)
+		}
+		artifact, err := spec.Train(d.Train, backend.SmallOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcfg := backend.DefaultDSPOTConfig()
+		dcfg.Refit = refit
+		stage, err := backend.OpenAdaptive(spec, artifact, dcfg, d.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []alarmKey
+		frame := core.Frame{Magnitudes: make([]float64, d.Test.N())}
+		for ti := 0; ti < d.Test.Len(); ti++ {
+			frame.Time = d.Test.Time[ti]
+			for v := 0; v < d.Test.N(); v++ {
+				frame.Magnitudes[v] = d.Test.Data[v][ti]
+			}
+			alarms, err := stage.Push(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range alarms {
+				out = append(out, alarmKey{v: a.Variate, t: a.Time, sc: a.Score})
+			}
+		}
+		return out
+	}
+	for _, kind := range []string{baselines.KindSR, baselines.KindTM, baselines.KindFluxEV} {
+		t.Run(kind, func(t *testing.T) {
+			exact := replay(kind, evt.ExactRefitPolicy())
+			if len(exact) == 0 {
+				t.Fatal("exact policy produced no alarms; golden test is vacuous")
+			}
+			amortized := replay(kind, evt.DefaultRefitPolicy())
+			if len(amortized) != len(exact) {
+				t.Fatalf("amortized policy raised %d alarms, exact %d", len(amortized), len(exact))
+			}
+			for i := range amortized {
+				if amortized[i] != exact[i] {
+					t.Fatalf("alarm %d: amortized %+v != exact %+v", i, amortized[i], exact[i])
+				}
+			}
+		})
 	}
 }
 

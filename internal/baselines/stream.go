@@ -809,7 +809,11 @@ func CalibrateStream(b CalibratableStream, train *dataset.Series, level, q float
 	if err != nil {
 		return err
 	}
-	var pool []float64
+	total := 0
+	for _, vs := range scores {
+		total += len(vs)
+	}
+	pool := make([]float64, 0, total)
 	for _, vs := range scores {
 		pool = append(pool, vs...)
 	}
@@ -829,6 +833,9 @@ func CalibrateStream(b CalibratableStream, train *dataset.Series, level, q float
 // material for POT/DSPOT calibration.
 func StreamScores(b core.StreamBackend, s *dataset.Series) ([][]float64, error) {
 	out := make([][]float64, b.Variates())
+	for v := range out {
+		out[v] = make([]float64, 0, s.Len())
+	}
 	frame := core.Frame{Magnitudes: make([]float64, s.N())}
 	for t := 0; t < s.Len(); t++ {
 		frame.Time = s.Time[t]

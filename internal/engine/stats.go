@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aero/internal/core"
+	"aero/internal/evt"
 	"aero/internal/tensor"
 )
 
@@ -215,4 +216,25 @@ func (s *Subscription) Threshold() float64 {
 	s.sub.mu.Lock()
 	defer s.sub.mu.Unlock()
 	return s.sub.det.Threshold()
+}
+
+// tailRefitter is the optional capability adaptive alarming stages expose:
+// cumulative tail-model maintenance counters (backend.DSPOTStage
+// implements it, summed across variates).
+type tailRefitter interface {
+	RefitStats() evt.RefitStats
+}
+
+// RefitStats returns the tenant's adaptive tail-model refit counters and
+// whether the backend exposes them (false for static-threshold tenants).
+// The read takes the subscription mutex, so it is safe against a
+// concurrently draining worker — periodic stats loops can poll it live.
+func (s *Subscription) RefitStats() (evt.RefitStats, bool) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	r, ok := s.sub.det.(tailRefitter)
+	if !ok {
+		return evt.RefitStats{}, false
+	}
+	return r.RefitStats(), true
 }

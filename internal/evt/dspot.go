@@ -16,13 +16,26 @@ type DSPOT struct {
 	full  bool
 }
 
-// NewDSPOT returns a drift-aware SPOT with the given trailing window depth.
+// NewDSPOT returns a drift-aware SPOT with the given trailing window depth,
+// under the exact refit policy; use SetPolicy before Fit to amortize the
+// tail refits.
 func NewDSPOT(level, q float64, depth int) *DSPOT {
 	if depth < 1 {
 		depth = 1
 	}
 	return &DSPOT{spot: NewSPOT(level, q), depth: depth, win: make([]float64, depth)}
 }
+
+// SetPolicy configures the wrapped tail model's refit schedule; call it
+// before Fit (the policy also sizes the excess ring allocated there).
+func (d *DSPOT) SetPolicy(p RefitPolicy) { d.spot.Policy = p }
+
+// Policy returns the wrapped tail model's refit schedule.
+func (d *DSPOT) Policy() RefitPolicy { return d.spot.Policy }
+
+// RefitStats returns the wrapped tail model's cumulative maintenance
+// counters.
+func (d *DSPOT) RefitStats() RefitStats { return d.spot.RefitStats() }
 
 // Fit calibrates on an initial batch; the first depth values seed the
 // trailing window and the rest calibrate the tail model.

@@ -207,7 +207,7 @@ var ErrTooFewPeaks = errors.New("evt: too few peaks over initial threshold")
 // falls back to the (1−q) empirical quantile so callers always get a
 // usable threshold.
 func POT(scores []float64, level, q float64) (Threshold, error) {
-	const minPeaks = 8
+	const minPeaks = minTailPeaks
 	n := len(scores)
 	if n == 0 {
 		return Threshold{}, errors.New("evt: no calibration scores")
@@ -215,9 +215,13 @@ func POT(scores []float64, level, q float64) (Threshold, error) {
 	sorted := append([]float64(nil), scores...)
 	sort.Float64s(sorted)
 
+	// One excess buffer reused across level relaxation: calibration sits
+	// on the retrain path, and each lowered level only grows the excess
+	// set, so the buffer settles after at most a couple of regrowths.
+	excesses := make([]float64, 0, n/20+minPeaks)
 	for lvl := level; lvl >= 0.5; lvl -= 0.05 {
 		t := stats.QuantileSorted(sorted, lvl)
-		excesses := make([]float64, 0, n/20)
+		excesses = excesses[:0]
 		for _, s := range scores {
 			if s > t {
 				excesses = append(excesses, s-t)
@@ -238,104 +242,164 @@ func POT(scores []float64, level, q float64) (Threshold, error) {
 	return Threshold{Init: z, Z: z, Peaks: 0, N: n}, fmt.Errorf("%w: fell back to empirical quantile", ErrTooFewPeaks)
 }
 
-// SPOT is the streaming variant of POT: after calibration, each new score
-// either triggers an alarm (score > z), refines the tail fit (t < score ≤ z)
-// or is counted as normal (Siffer et al., Alg. 2).
-type SPOT struct {
-	Level float64
-	Q     float64
-
-	t        float64
-	z        float64
-	model    GPD
-	excesses []float64
-	n        int
-	ready    bool
-}
-
-// NewSPOT returns a SPOT detector with the given initial quantile level and
-// target tail probability q.
-func NewSPOT(level, q float64) *SPOT {
-	return &SPOT{Level: level, Q: q}
-}
-
-// Fit calibrates the detector on an initial batch.
-func (s *SPOT) Fit(init []float64) error {
-	th, err := POT(init, s.Level, s.Q)
-	if err != nil && th.Peaks == 0 {
-		// Empirical fallback still yields usable t/z.
-		s.t, s.z = th.Init, th.Z
-		s.n = len(init)
-		s.ready = true
-		return nil
+// fitGPDWarm re-fits a GPD to y by Newton iteration on Grimshaw's scalar
+// equation w(x) = u(x)·v(x) − 1 = 0, seeded at the previous fit's root
+// x* = γ/σ. Between consecutive refits of a streaming tail model the root
+// moves little, so a handful of Newton steps replaces the 64-point grid
+// scan plus bisections of FitGPD. The converged root competes against the
+// method-of-moments and exponential candidates (built O(1) from the
+// caller's running sum / sum-of-squares) on log-likelihood, exactly as in
+// FitGPD's candidate set.
+//
+// When the Newton search is unavailable — the seed is the trivial root
+// x = 0 (the previous fit WAS a moment candidate), lands outside the
+// feasibility domain, leaves its branch, or fails to converge — the
+// refreshed moment candidates alone are the fit: they are FitGPD's own
+// non-root candidates, and a tail they misdescribe yields a nontrivial
+// seed that re-arms Newton at the next refit. ok is false only when the
+// data itself is degenerate (fewer than 2 excesses, no positive excess,
+// invalid previous scale); the caller then falls back to the grid scan.
+func fitGPDWarm(y []float64, prev GPD, sum, sumsq float64) (g GPD, ok bool) {
+	n := float64(len(y))
+	if len(y) < 2 || prev.Sigma <= 0 {
+		return GPD{}, false
 	}
-	s.t, s.z, s.model = th.Init, th.Z, th.Model
-	s.n = th.N
-	s.excesses = make([]float64, 0, th.Peaks)
-	for _, v := range init {
-		if v > s.t {
-			s.excesses = append(s.excesses, v-s.t)
+	ymax := y[0]
+	for _, v := range y[1:] {
+		if v > ymax {
+			ymax = v
 		}
 	}
-	s.ready = true
-	return nil
-}
-
-// Threshold returns the current alarm threshold z_q.
-func (s *SPOT) Threshold() float64 { return s.z }
-
-// SPOTState is the serializable runtime state of a SPOT detector, used by
-// streaming-backend snapshots to checkpoint adaptive thresholds. Floats
-// survive a JSON round-trip bit-exactly (encoding/json emits the shortest
-// representation that parses back to the same float64).
-type SPOTState struct {
-	Level    float64   `json:"level"`
-	Q        float64   `json:"q"`
-	T        float64   `json:"t"`
-	Z        float64   `json:"z"`
-	Model    GPD       `json:"model"`
-	Excesses []float64 `json:"excesses"`
-	N        int       `json:"n"`
-	Ready    bool      `json:"ready"`
-}
-
-// State captures the detector's current runtime state.
-func (s *SPOT) State() SPOTState {
-	return SPOTState{
-		Level: s.Level, Q: s.Q, T: s.t, Z: s.z, Model: s.model,
-		Excesses: append([]float64(nil), s.excesses...), N: s.n, Ready: s.ready,
+	if !(ymax > 0) {
+		return GPD{}, false
 	}
-}
-
-// SetState replaces the detector's runtime state with a snapshot taken by
-// State.
-func (s *SPOT) SetState(st SPOTState) {
-	s.Level, s.Q = st.Level, st.Q
-	s.t, s.z, s.model = st.T, st.Z, st.Model
-	s.excesses = append(s.excesses[:0], st.Excesses...)
-	s.n = st.N
-	s.ready = st.Ready
-}
-
-// Step consumes one score and reports whether it is an anomaly. Non-anomalous
-// peaks update the tail model, following the SPOT update rule.
-func (s *SPOT) Step(x float64) bool {
-	if !s.ready {
-		panic("evt: SPOT.Step before Fit")
-	}
-	switch {
-	case x > s.z:
-		return true
-	case x > s.t:
-		s.excesses = append(s.excesses, x-s.t)
-		s.n++
-		if len(s.excesses) >= 8 {
-			s.model = FitGPD(s.excesses)
-			s.z = s.model.Quantile(s.t, s.Q, s.n, len(s.excesses))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	// ll is GPD.LogLikelihood with the exponential limit evaluated O(1)
+	// from the running sum — candidate selection is the only consumer, so
+	// the accumulation-order difference from a fresh Σy is immaterial.
+	ll := func(c GPD) float64 {
+		if math.Abs(c.Gamma) < 1e-12 {
+			return -n*math.Log(c.Sigma) - sum/c.Sigma
 		}
-		return false
-	default:
-		s.n++
-		return false
+		return c.LogLikelihood(y)
 	}
+	moments := func() (GPD, bool) {
+		cands := momentCandidates(mean, variance)
+		best := cands[0]
+		if cands[1] != cands[0] && ll(cands[1]) > ll(best) {
+			best = cands[1]
+		}
+		return best, true
+	}
+	x := prev.Gamma / prev.Sigma
+	lo := -1 / ymax // feasibility: 1 + x·yᵢ > 0 for every excess
+	// A seed at (or numerically indistinguishable from) the trivial root
+	// x = 0 cannot be improved by Newton — w(0) = 0 identically.
+	if math.IsNaN(x) || math.IsInf(x, 0) || x <= lo || math.Abs(x) < 1e-8/math.Max(mean, 1e-300) {
+		return moments()
+	}
+
+	const maxIter = 12
+	root, converged := x, false
+	var rootSlog float64 // Σ log(1+x·yᵢ) at the converged root
+	for i := 0; i < maxIter; i++ {
+		var su, slog, sd, sd2 float64
+		feasible := true
+		for _, v := range y {
+			d := 1 + x*v
+			if d <= 0 {
+				feasible = false
+				break
+			}
+			inv := 1 / d
+			su += inv
+			slog += math.Log(d)
+			sd += v * inv
+			sd2 += v * inv * inv
+		}
+		if !feasible {
+			return moments()
+		}
+		u := su / n
+		v := 1 + slog/n
+		w := u*v - 1
+		if math.Abs(w) < 1e-10 {
+			root, converged, rootSlog = x, true, slog
+			break
+		}
+		// w'(x) = u'(x)·v(x) + u(x)·v'(x), with u' = −(1/n)Σ yᵢ/(1+xyᵢ)²
+		// and v' = (1/n)Σ yᵢ/(1+xyᵢ).
+		wp := (-sd2/n)*v + u*(sd/n)
+		if wp == 0 || math.IsNaN(wp) {
+			return moments()
+		}
+		nx := x - w/wp
+		if math.IsNaN(nx) || math.IsInf(nx, 0) {
+			return moments()
+		}
+		// Stay on the seed's branch: the two root regions are (lo, 0) and
+		// (0, ∞); crossing zero means the iteration is escaping toward the
+		// trivial root or the opposite tail shape — that is a diverged warm
+		// start, not a refinement.
+		if (x > 0) != (nx > 0) {
+			return moments()
+		}
+		if nx <= lo {
+			nx = 0.5 * (x + lo)
+		}
+		// Early accept: a Newton step this small cannot move w back above
+		// tolerance (quadratic convergence), so skip the O(n) verification
+		// pass and keep the current iterate's sums.
+		if d := nx - x; nx == x || (d < 1e-9*math.Abs(x) && -d < 1e-9*math.Abs(x)) {
+			root, converged, rootSlog = x, true, slog
+			break
+		}
+		x = nx
+	}
+	if !converged {
+		return moments()
+	}
+
+	// Recover (γ, σ) from the root — γ = (1/n)Σ log(1+x*·yᵢ), already in
+	// hand from the converged iteration — and pit the fit against the
+	// moment candidates. The root candidate's log-likelihood is closed-form
+	// from the same sum (−n·log σ − (1+1/γ)·Σlog), so the whole tournament
+	// costs one data pass (the MoM candidate's likelihood).
+	gamma := rootSlog / n
+	if math.Abs(gamma) < 1e-12 || math.Abs(root) < 1e-300 {
+		return moments()
+	}
+	sigma := gamma / root
+	if sigma <= 0 {
+		return moments()
+	}
+	best := GPD{Gamma: gamma, Sigma: sigma}
+	bestLL := -n*math.Log(sigma) - (1+1/gamma)*rootSlog
+	cands := momentCandidates(mean, variance)
+	for i, c := range cands {
+		if i > 0 && c == cands[0] {
+			continue
+		}
+		if l := ll(c); l > bestLL {
+			best, bestLL = c, l
+		}
+	}
+	return best, true
+}
+
+// momentCandidates builds the method-of-moments and exponential GPD
+// candidates from the tail's running mean and (biased) variance — the
+// sufficient-statistics form of FitGPDMoments, O(1) given the sums.
+func momentCandidates(mean, variance float64) [2]GPD {
+	exp := GPD{Gamma: 0, Sigma: math.Max(mean, 1e-12)}
+	if mean <= 0 || variance <= 0 {
+		return [2]GPD{exp, exp}
+	}
+	r := mean * mean / variance
+	mom := GPD{Gamma: 0.5 * (1 - r), Sigma: 0.5 * mean * (r + 1)}
+	if mom.Sigma <= 0 {
+		mom = exp
+	}
+	return [2]GPD{mom, exp}
 }

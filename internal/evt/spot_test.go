@@ -1,0 +1,336 @@
+package evt
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// spotCalib is the shared calibration batch for the SPOT policy tests:
+// heavy-ish one-sided noise, the shape of an anomaly-score stream.
+func spotCalib(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Abs(rng.NormFloat64())
+	}
+	return out
+}
+
+// TestSPOTStateBounded pins the fix for the unbounded excess buffer: after
+// a million steps of in-tail traffic the retained state — and therefore
+// every snapshot and every refit — stays capped at the policy's ring
+// capacity, in exact mode too.
+func TestSPOTStateBounded(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy RefitPolicy
+	}{
+		{"exact", ExactRefitPolicy()},
+		{"amortized", DefaultRefitPolicy()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSPOT(0.99, 1e-3)
+			s.Policy = tc.policy
+			if err := s.Fit(spotCalib(11, 3000)); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(12))
+			for i := 0; i < 1_000_000; i++ {
+				// In-tail with probability ~1/4 keeps the ring churning far
+				// past its capacity without tripping alarms every step.
+				x := math.Abs(rng.NormFloat64())
+				if rng.Intn(4) == 0 {
+					x = s.t + 0.1*(s.z-s.t)*rng.Float64()
+				}
+				s.Step(x)
+			}
+			if cap(s.excesses) != tc.policy.capacity() {
+				t.Fatalf("ring capacity drifted: %d, want %d", cap(s.excesses), tc.policy.capacity())
+			}
+			st := s.State()
+			if len(st.Excesses) > tc.policy.capacity() {
+				t.Fatalf("retained %d excesses, cap %d", len(st.Excesses), tc.policy.capacity())
+			}
+			blob, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ~25 bytes/float is a generous ceiling; the pre-fix behavior
+			// would be megabytes here (hundreds of thousands of excesses).
+			if len(blob) > 32*1024 {
+				t.Fatalf("snapshot is %d bytes after 1e6 steps; state is not bounded", len(blob))
+			}
+			if s.peaks < DefaultMaxExcesses {
+				t.Fatalf("test fed only %d exceedances; ring never overflowed", s.peaks)
+			}
+		})
+	}
+}
+
+// TestSPOTSnapshotRoundTripAfterEviction pins resume bit-identity once the
+// ring has wrapped: State/SetState must carry the eviction cursor and the
+// incrementally-maintained sufficient statistics verbatim (recomputing the
+// sums from the slice is NOT bit-identical to the +=/-= history).
+func TestSPOTSnapshotRoundTripAfterEviction(t *testing.T) {
+	mk := func() *SPOT {
+		s := NewSPOT(0.99, 1e-3)
+		s.Policy = RefitPolicy{Every: 16, DriftTolerance: 0.2, MaxExcesses: 64}
+		if err := s.Fit(spotCalib(21, 2000)); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	feed := func(s *SPOT, seed int64, n int) []bool {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]bool, n)
+		for i := range out {
+			x := math.Abs(rng.NormFloat64())
+			if rng.Intn(3) == 0 {
+				x = s.t + 0.2*(s.z-s.t)*rng.Float64()
+			}
+			out[i] = s.Step(x)
+		}
+		return out
+	}
+
+	full := mk()
+	want := feed(full, 31, 4000)
+
+	cut := mk()
+	feed(cut, 31, 2000) // identical prefix (same seed, same stream)
+	blob, err := json.Marshal(cut.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SPOTState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewSPOT(0.99, 1e-3)
+	resumed.Policy = cut.Policy
+	resumed.SetState(st)
+	if resumed.peaks <= 64 {
+		t.Fatalf("ring never wrapped (peaks %d); eviction round-trip untested", resumed.peaks)
+	}
+	if resumed.sum != cut.sum || resumed.sumsq != cut.sumsq || resumed.evict != cut.evict {
+		t.Fatalf("bookkeeping did not round-trip: sum %v/%v sumsq %v/%v evict %d/%d",
+			resumed.sum, cut.sum, resumed.sumsq, cut.sumsq, resumed.evict, cut.evict)
+	}
+
+	// Continue the cut stream on the restored detector: every verdict and
+	// the final threshold must equal the uninterrupted run's exactly. The
+	// loop first burns through the prefix to advance the RNG to the cut
+	// point (each step draws the same number of variates regardless of
+	// detector state, so the suffix stream matches the full run's), then
+	// resets to the snapshot and checks the suffix for identity.
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 4000; i++ {
+		x := math.Abs(rng.NormFloat64())
+		if rng.Intn(3) == 0 {
+			x = resumed.t + 0.2*(resumed.z-resumed.t)*rng.Float64()
+		}
+		if i < 2000 {
+			if i == 1999 {
+				resumed = NewSPOT(0.99, 1e-3)
+				resumed.Policy = cut.Policy
+				resumed.SetState(st)
+			}
+			continue
+		}
+		if fired := resumed.Step(x); fired != want[i] {
+			t.Fatalf("resumed verdict %d: got %v want %v", i, fired, want[i])
+		}
+	}
+	if resumed.z != full.z {
+		t.Fatalf("resumed threshold %v != uninterrupted %v", resumed.z, full.z)
+	}
+}
+
+// TestSPOTLegacySnapshotCompat: snapshots taken before the ring rework lack
+// the bookkeeping fields; SetState must detect them (Peaks < len(Excesses))
+// and derive exact equivalents, so old engine checkpoints keep restoring.
+func TestSPOTLegacySnapshotCompat(t *testing.T) {
+	s := NewSPOT(0.99, 1e-3)
+	if err := s.Fit(spotCalib(41, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	legacy := SPOTState{
+		Level: s.Level, Q: s.Q, T: s.t, Z: s.z, Model: s.model,
+		Excesses: append([]float64(nil), s.excesses...), N: s.n, Ready: true,
+	}
+	r := NewSPOT(0.99, 1e-3)
+	r.SetState(legacy)
+	if r.peaks != len(legacy.Excesses) {
+		t.Fatalf("derived peaks %d, want %d", r.peaks, len(legacy.Excesses))
+	}
+	var sum, sumsq float64
+	for _, e := range legacy.Excesses {
+		sum += e
+		sumsq += e * e
+	}
+	if r.sum != sum || r.sumsq != sumsq {
+		t.Fatalf("derived sums %v/%v, want %v/%v", r.sum, r.sumsq, sum, sumsq)
+	}
+	if !r.fitted {
+		t.Fatal("legacy state with a fitted model restored as unfitted")
+	}
+	if r.Step(r.z+1) != true {
+		t.Fatal("restored legacy detector does not alarm above z")
+	}
+}
+
+// TestSPOTAmortizedTracksExact is the approximation property test: on
+// drifting score streams, the amortized policy's threshold must stay
+// within a pinned relative tolerance of the exact policy's at every step,
+// and converge to it at each refit boundary.
+func TestSPOTAmortizedTracksExact(t *testing.T) {
+	for _, seed := range []int64{51, 52, 53} {
+		exact := NewSPOT(0.99, 1e-3)
+		exact.Policy = ExactRefitPolicy()
+		amort := NewSPOT(0.99, 1e-3)
+		amort.Policy = DefaultRefitPolicy()
+		calib := spotCalib(seed, 3000)
+		if err := exact.Fit(calib); err != nil {
+			t.Fatal(err)
+		}
+		if err := amort.Fit(calib); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 100))
+		scale := 1.0
+		worst := 0.0
+		for i := 0; i < 20000; i++ {
+			// Slow variance drift: the tail the models chase keeps moving.
+			scale *= 1 + 0.0002*rng.NormFloat64()
+			if scale < 0.25 {
+				scale = 0.25
+			}
+			x := scale * math.Abs(rng.NormFloat64())
+			exact.Step(x)
+			amort.Step(x)
+			if d := math.Abs(amort.z-exact.z) / exact.z; d > worst {
+				worst = d
+			}
+		}
+		if worst > 0.35 {
+			t.Fatalf("seed %d: amortized threshold strayed %.1f%% from exact (tolerance 35%%)", seed, 100*worst)
+		}
+		// Exact mode pays one fit per exceedance; the drifting stream keeps
+		// scores near the moving threshold, so the boundary guard fires
+		// often here — amortization must still cut fits several-fold.
+		rs := amort.RefitStats()
+		if rs.Refits*3 > rs.Exceedances {
+			t.Fatalf("amortization vacuous: %d refits for %d exceedances", rs.Refits, rs.Exceedances)
+		}
+	}
+}
+
+// TestSPOTExactPolicyBitIdentical pins the exact-mode contract directly:
+// under Every=1 the new ring-based implementation must walk through
+// byte-for-byte the same fits as the textbook update (a full FitGPD over
+// all retained excesses per exceedance), pre-overflow.
+func TestSPOTExactPolicyBitIdentical(t *testing.T) {
+	s := NewSPOT(0.99, 1e-3)
+	if err := s.Fit(spotCalib(61, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	// Shadow reference: the pre-rework update rule, reconstructed.
+	excesses := append([]float64(nil), s.excesses...)
+	tRef, zRef, n, model := s.t, s.z, s.n, s.model
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 3000; i++ {
+		if len(excesses) >= cap(s.excesses) {
+			break // identity is only promised pre-overflow
+		}
+		x := math.Abs(rng.NormFloat64())
+		if rng.Intn(3) == 0 {
+			x = tRef + 0.3*(zRef-tRef)*rng.Float64()
+		}
+		fired := s.Step(x)
+		var refFired bool
+		switch {
+		case x > zRef:
+			refFired = true
+		case x > tRef:
+			excesses = append(excesses, x-tRef)
+			n++
+			if len(excesses) >= 8 {
+				model = FitGPD(excesses)
+				zRef = model.Quantile(tRef, 1e-3, n, len(excesses))
+			}
+		default:
+			n++
+		}
+		if fired != refFired {
+			t.Fatalf("step %d: verdict %v, textbook %v", i, fired, refFired)
+		}
+		if s.z != zRef {
+			t.Fatalf("step %d: threshold %v, textbook %v (must be bit-identical)", i, s.z, zRef)
+		}
+	}
+	if len(excesses) < 100 {
+		t.Fatalf("only %d exceedances exercised; identity check too weak", len(excesses))
+	}
+}
+
+// TestSPOTStepBenignAllocs pins the serving-path allocation budget: the
+// benign step and the between-refits exceedance step are both zero-alloc
+// (the ring is preallocated at Fit; the quantile update is arithmetic).
+func TestSPOTStepBenignAllocs(t *testing.T) {
+	s := NewSPOT(0.99, 1e-3)
+	// Refits disabled after Fit: isolates the between-refits path.
+	s.Policy = RefitPolicy{Every: 1 << 30}
+	if err := s.Fit(spotCalib(71, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.Step(0) }); allocs != 0 {
+		t.Fatalf("benign Step allocates %.1f objects, want 0", allocs)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		s.Step(s.t + 0.001 + 0.0001*float64(i%7))
+	}); allocs != 0 {
+		t.Fatalf("exceedance Step allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// BenchmarkSPOTStep measures the three Step paths the refit policy
+// separates: the benign O(1) common case, the amortized in-tail update
+// (ring push + O(1) quantile, a refit every Policy.Every-th call), and the
+// exact mode that pays a full Grimshaw grid fit per exceedance — the
+// pre-rework price of every in-tail step.
+func BenchmarkSPOTStep(b *testing.B) {
+	setup := func(b *testing.B, p RefitPolicy) *SPOT {
+		b.Helper()
+		s := NewSPOT(0.99, 1e-3)
+		s.Policy = p
+		if err := s.Fit(spotCalib(81, 3000)); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("benign", func(b *testing.B) {
+		s := setup(b, DefaultRefitPolicy())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Step(0.1)
+		}
+	})
+	b.Run("exceedance", func(b *testing.B) {
+		s := setup(b, DefaultRefitPolicy())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Step(s.t + 0.001 + 0.0001*float64(i%7))
+		}
+	})
+	b.Run("refit", func(b *testing.B) {
+		s := setup(b, ExactRefitPolicy())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Step(s.t + 0.001 + 0.0001*float64(i%7))
+		}
+	})
+}
