@@ -43,6 +43,7 @@ import (
 	"aero/internal/dataset"
 	"aero/internal/engine"
 	"aero/internal/evt"
+	"aero/internal/faultinject"
 	"aero/internal/lifecycle"
 )
 
@@ -238,6 +239,81 @@ type FrameError = engine.FrameError
 // Subscribe, feed frames with Ingest or the Samples channel, and consume
 // Alarms continuously until Close.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// HealthConfig parameterizes per-tenant fault supervision: consecutive
+// faults degrade then quarantine a tenant onto its warm fallback, a
+// frame-counted jittered backoff schedules probation probes, and clean
+// probes recover it. The zero value enables supervision with production
+// defaults; set Disable to turn the state machine off.
+type HealthConfig = engine.HealthConfig
+
+// HealthState is a tenant's fault-containment state.
+type HealthState = engine.HealthState
+
+// Tenant fault-containment states.
+const (
+	HealthHealthy     = engine.HealthHealthy
+	HealthDegraded    = engine.HealthDegraded
+	HealthQuarantined = engine.HealthQuarantined
+	HealthProbation   = engine.HealthProbation
+)
+
+// HygieneConfig parameterizes the frame-validation stage ahead of every
+// backend push; the zero value is off.
+type HygieneConfig = engine.HygieneConfig
+
+// HygienePolicy selects how frames carrying NaN/Inf magnitudes are
+// treated: rejected, or repaired by holding the last finite value.
+type HygienePolicy = engine.HygienePolicy
+
+// Frame-hygiene policies.
+const (
+	HygieneOff      = engine.HygieneOff
+	HygieneDrop     = engine.HygieneDrop
+	HygieneHoldLast = engine.HygieneHoldLast
+	HygieneGapMark  = engine.HygieneGapMark
+)
+
+// ParseHygienePolicy parses the flag spellings "off", "drop", "hold",
+// "gap".
+func ParseHygienePolicy(s string) (HygienePolicy, error) { return engine.ParseHygienePolicy(s) }
+
+// PanicError is the error a contained backend panic is converted into:
+// the panic value plus the goroutine stack at recovery.
+type PanicError = engine.PanicError
+
+// ErrQuarantined marks frames rejected because their tenant is
+// quarantined and has no fallback backend to serve them.
+var ErrQuarantined = engine.ErrQuarantined
+
+// ErrNotReady is the typed error SPOT/DSPOT tail models return from Step
+// before Fit has calibrated them.
+var ErrNotReady = evt.ErrNotReady
+
+// GuardPush pushes one frame into a backend with panic containment: a
+// panicking backend yields a *PanicError instead of killing the calling
+// goroutine. The benign path adds zero allocations. The engine applies
+// this guard to every tenant push; GuardPush is the same protection for
+// callers driving a StreamBackend directly.
+func GuardPush(det StreamBackend, f Frame) ([]Alarm, error) { return engine.GuardPush(det, f) }
+
+// ChaosPlan is a deterministic fault schedule for the fault-injection
+// harness: panics, errors, NaN-scored alarms, and latency spikes keyed
+// purely by (seed, frame index). See internal/faultinject.
+type ChaosPlan = faultinject.Plan
+
+// ChaosBackend wraps a StreamBackend with a ChaosPlan's fault schedule —
+// the deterministic chaos harness behind aeroserve -chaos and the
+// containment golden tests.
+type ChaosBackend = faultinject.Backend
+
+// ErrInjected is the error injected by ChaosBackend on error frames.
+var ErrInjected = faultinject.ErrInjected
+
+// NewChaosBackend wraps inner under the plan's fault schedule.
+func NewChaosBackend(inner StreamBackend, plan ChaosPlan) *ChaosBackend {
+	return faultinject.New(inner, plan)
+}
 
 // TriagePipeline is the streaming alert-triage subsystem: the engine's
 // raw cross-tenant alarm flood reduced to a short, ranked incident feed

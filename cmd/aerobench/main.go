@@ -168,7 +168,7 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 			return nil, err
 		}
 	}
-	record("StreamPush", testing.Benchmark(func(b *testing.B) {
+	bare := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := push(); err != nil {
@@ -176,6 +176,32 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 				b.Skip(err)
 			}
 		}
+	})
+	record("StreamPush", bare)
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	// The same push under the engine's panic-containment guard; the extra
+	// metric carries the unguarded cost so the containment tax is readable
+	// straight off the row (it should be ~0: the guard's defer/recover is
+	// open-coded and allocation-free on the benign path).
+	bareNs := float64(bare.T.Nanoseconds()) / float64(bare.N)
+	record("GuardedPush", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx := t % d.Test.Len()
+			frame.Time = float64(t)
+			for v := 0; v < d.Test.N(); v++ {
+				frame.Magnitudes[v] = d.Test.Data[v][idx]
+			}
+			if _, err := aero.GuardPush(s, frame); err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+			t++
+		}
+		b.ReportMetric(bareNs, "bare_ns_per_op")
 	}))
 	if benchErr != nil {
 		return nil, benchErr
@@ -319,9 +345,9 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if benign {
-					s.Step(0.1)
+					_, _ = s.Step(0.1)
 				} else {
-					s.Step(s.TailThreshold() + 0.001 + 0.0001*float64(i%7))
+					_, _ = s.Step(s.TailThreshold() + 0.001 + 0.0001*float64(i%7))
 				}
 			}
 		}), nil

@@ -50,6 +50,19 @@
 // that interval (AERO rounds with a fresh logged seed), published to the
 // registry, and hot-swapped into every serving tenant with zero dropped
 // frames.
+//
+// Fault containment (see internal/engine and DESIGN.md): every tenant
+// push runs under a panic guard and a per-tenant health state machine —
+// consecutive faults degrade then quarantine a tenant, quarantined
+// tenants fail over to a warm fallback backend (-fallback KIND) and
+// recover through probation probes on a jittered frame-count backoff.
+// -hygiene turns on the frame-validation stage (drop or repair NaN/Inf
+// and stale-time frames) ahead of every backend. -chaos N wraps the
+// first N tenants in the deterministic fault-injection harness
+// (internal/faultinject) — seeded panics, errors, NaN scores, latency
+// spikes — to soak-test the containment layer live; the stderr stats
+// line then reports tenant health states, fallback service, and
+// injection counters.
 package main
 
 import (
@@ -110,6 +123,15 @@ func main() {
 	triageWindow := flag.Float64("triage-window", 0, "cross-tenant onset correlation window in feed time units (0 = 2 buckets)")
 	trainLen := flag.Int("trainlen", 0, "truncate the training split to this many frames (0 = all)")
 	testLen := flag.Int("testlen", 0, "truncate the replayed feed to this many frames (0 = all)")
+	hygieneFlag := flag.String("hygiene", "off", "frame hygiene ahead of every backend: off, drop (reject NaN/Inf frames), hold (repair by holding last finite value), gap (hold + suppress alarms on repaired variates)")
+	fallbackKind := flag.String("fallback", "", "warm fallback backend kind installed per tenant; serves while the primary is quarantined (empty = none)")
+	noHealth := flag.Bool("no-health", false, "disable per-tenant fault supervision (panics are still contained)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "consecutive faults before a tenant is quarantined (0 = default)")
+	backoffFrames := flag.Int("backoff-frames", 0, "base quarantine length in frames before a probation probe (0 = default)")
+	probationFrames := flag.Int("probation-frames", 0, "clean probation probes required to recover (0 = default)")
+	latencyThresh := flag.Duration("latency-threshold", 0, "per-push latency budget; breaches count as faults (0 = off)")
+	chaosN := flag.Int("chaos", 0, "wrap the first N tenants in the deterministic fault-injection harness (panics, errors, NaN scores, latency spikes)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos harness schedule seed (per-tenant seed = seed + tenant index)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -120,6 +142,16 @@ func main() {
 	spec, ok := aero.LookupBackend(*kindFlag)
 	if !ok {
 		fail("unknown backend %q (have %v)", *kindFlag, aero.BackendKinds())
+	}
+	hygienePolicy, err := aero.ParseHygienePolicy(*hygieneFlag)
+	if err != nil {
+		fail("%v (want off, drop, hold or gap)", err)
+	}
+	var fbSpec aero.BackendSpec
+	if *fallbackKind != "" {
+		if fbSpec, ok = aero.LookupBackend(*fallbackKind); !ok {
+			fail("unknown fallback backend %q (have %v)", *fallbackKind, aero.BackendKinds())
+		}
 	}
 	isAERO := *kindFlag == "aero"
 	alarm := *alarmFlag
@@ -260,17 +292,67 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s backend ready: alarm mode %s, threshold %.4f\n", probe.Kind(), alarm, probe.Threshold())
 
-	eng := aero.NewEngine(aero.EngineConfig{Shards: *shards, Workers: *workers, QueueDepth: *queue})
+	// Warm fallback: one cheap artifact of the fallback kind, opened per
+	// tenant. It is kept current from the same frames while the primary is
+	// healthy and serves the alarm stream while the primary is quarantined.
+	var fbArtifact []byte
+	if fbSpec.Kind != "" {
+		if *fallbackKind == *kindFlag {
+			fbArtifact = artifact
+		} else {
+			fmt.Fprintf(os.Stderr, "training %s fallback backend...\n", *fallbackKind)
+			if fbArtifact, err = fbSpec.Train(d.Train, opts); err != nil {
+				fail("train fallback: %v", err)
+			}
+		}
+	}
+
+	eng := aero.NewEngine(aero.EngineConfig{
+		Shards: *shards, Workers: *workers, QueueDepth: *queue,
+		Hygiene: aero.HygieneConfig{Policy: hygienePolicy},
+		Health: aero.HealthConfig{
+			Disable:          *noHealth,
+			QuarantineAfter:  *quarantineAfter,
+			BackoffFrames:    *backoffFrames,
+			ProbationFrames:  *probationFrames,
+			LatencyThreshold: *latencyThresh,
+		},
+	})
 	subs := make([]*aero.Subscription, *tenants)
+	var chaosBackends []*aero.ChaosBackend
 	for i := range subs {
 		id := fmt.Sprintf("field-%03d", i)
 		b, berr := mkBackend()
 		if berr != nil {
 			fail("backend %s: %v", id, berr)
 		}
+		if i < *chaosN {
+			// Deterministic chaos soak: seeded per tenant, spread over the
+			// whole replay at low rates so quarantine/recovery cycles are
+			// visible in the stats without drowning the feed.
+			cb := aero.NewChaosBackend(b, aero.ChaosPlan{
+				Seed:       *chaosSeed + uint64(i),
+				PanicEvery: 97, ErrEvery: 61, NaNEvery: 79,
+				DelayEvery: 53, Delay: 2 * time.Millisecond,
+			})
+			chaosBackends = append(chaosBackends, cb)
+			b = cb
+		}
 		if subs[i], err = eng.SubscribeBackend(id, b); err != nil {
 			fail("subscribe %s: %v", id, err)
 		}
+		if fbArtifact != nil {
+			fb, ferr := fbSpec.Open(fbArtifact)
+			if ferr != nil {
+				fail("fallback %s: %v", id, ferr)
+			}
+			if err := subs[i].SetFallback(fb); err != nil {
+				fail("fallback %s: %v", id, err)
+			}
+		}
+	}
+	if *chaosN > 0 {
+		fmt.Fprintf(os.Stderr, "chaos harness armed on %d tenants (seed %d)\n", *chaosN, *chaosSeed)
 	}
 	// Warm restarts: restore checkpointed backend states so tenants
 	// resume with a full window instead of re-warming from a cold ring.
@@ -465,6 +547,59 @@ func main() {
 		return total, any
 	}
 
+	// healthSummary folds the tenants' supervision counters into one
+	// stats-line fragment: tenants per non-healthy state, cumulative
+	// faults/quarantines/recoveries, and fallback service. Empty while
+	// everything is healthy and nothing has ever faulted.
+	healthSummary := func() string {
+		var degraded, quarantined, probation int
+		var faults, panics, quarantines, recoveries, fbFrames, dropped, repaired uint64
+		for _, sub := range subs {
+			st := sub.Stats()
+			switch st.Health {
+			case aero.HealthDegraded:
+				degraded++
+			case aero.HealthQuarantined:
+				quarantined++
+			case aero.HealthProbation:
+				probation++
+			}
+			faults += st.Faults
+			panics += st.Panics
+			quarantines += st.Quarantines
+			recoveries += st.Recoveries
+			fbFrames += st.FallbackFrames
+			dropped += st.HygieneDropped
+			repaired += st.HygieneRepaired
+		}
+		if faults == 0 && dropped == 0 && repaired == 0 {
+			return ""
+		}
+		line := fmt.Sprintf(", health %d degraded/%d quarantined/%d probation (%d faults, %d panics, %d quarantines, %d recoveries)",
+			degraded, quarantined, probation, faults, panics, quarantines, recoveries)
+		if fbFrames > 0 {
+			line += fmt.Sprintf(", fallback served %d frames", fbFrames)
+		}
+		if dropped+repaired > 0 {
+			line += fmt.Sprintf(", hygiene %d dropped/%d repaired", dropped, repaired)
+		}
+		return line
+	}
+	chaosSummary := func() string {
+		if len(chaosBackends) == 0 {
+			return ""
+		}
+		var panics, errs, nans, delays uint64
+		for _, cb := range chaosBackends {
+			st := cb.Stats()
+			panics += st.Panics
+			errs += st.Errors
+			nans += st.NaNs
+			delays += st.Delays
+		}
+		return fmt.Sprintf(", chaos injected %d panics/%d errors/%d nans/%d delays", panics, errs, nans, delays)
+	}
+
 	// Periodic stats.
 	statsDone := make(chan struct{})
 	go func() {
@@ -474,8 +609,9 @@ func main() {
 			select {
 			case <-tick.C:
 				t := eng.Totals()
-				line := fmt.Sprintf("stats: %d frames scored (%.0f/s), %d alarms (%d blocked), %d errors, %d queued",
-					t.Frames, t.FramesPerSec, t.Alarms, t.AlarmsBlocked, t.Errors, t.QueueDepth)
+				line := fmt.Sprintf("stats: %d frames scored (%.0f/s), %d alarms (%d blocked), %d errors (%d reports dropped), %d queued",
+					t.Frames, t.FramesPerSec, t.Alarms, t.AlarmsBlocked, t.Errors, t.ErrorsDropped, t.QueueDepth)
+				line += healthSummary() + chaosSummary()
 				if rs, ok := refitTotals(); ok {
 					line += fmt.Sprintf(", dspot %d exceedances / %d refits (%d warm)", rs.Exceedances, rs.Refits, rs.WarmRefits)
 				}
@@ -535,8 +671,8 @@ func main() {
 		if s.Subscriptions == 0 && s.Frames == 0 {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "shard %d: %d tenants, %d frames, %d alarms (%d blocked), %d errors\n",
-			s.Shard, s.Subscriptions, s.Frames, s.Alarms, s.AlarmsBlocked, s.Errors)
+		fmt.Fprintf(os.Stderr, "shard %d: %d tenants, %d frames, %d alarms (%d blocked), %d errors (%d reports dropped)\n",
+			s.Shard, s.Subscriptions, s.Frames, s.Alarms, s.AlarmsBlocked, s.Errors, s.ErrorsDropped)
 	}
 	close(statsDone)
 	eng.Close()
@@ -607,6 +743,9 @@ func main() {
 			rs.Exceedances, rs.Refits, rs.WarmRefits, rs.GridRefits)
 	}
 	total := eng.Totals()
+	if h := healthSummary() + chaosSummary(); h != "" {
+		fmt.Fprintf(os.Stderr, "containment:%s\n", h[1:])
+	}
 	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
 		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),
 		total.Alarms, retrains.Load(), hotSwaps.Load())

@@ -148,7 +148,11 @@ func (d *DSPOTStage) PushScores(f core.Frame) ([]float64, error) {
 		return nil, err
 	}
 	for v, sc := range scores {
-		d.fired[v] = d.spots[v].Step(sc)
+		fired, serr := d.spots[v].Step(sc)
+		if serr != nil {
+			return nil, fmt.Errorf("backend: dspot variate %d: %w", v, serr)
+		}
+		d.fired[v] = fired
 	}
 	return scores, nil
 }

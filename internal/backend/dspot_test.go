@@ -79,7 +79,9 @@ func TestDSPOTStageMatchesDirectStep(t *testing.T) {
 				t.Fatal(err)
 			}
 			for v, sc := range scores {
-				if spots[v].Step(sc) {
+				if fired, serr := spots[v].Step(sc); serr != nil {
+					t.Fatal(serr)
+				} else if fired {
 					want = append(want, alarmKey{v: v, t: frame.Time, sc: sc})
 				}
 			}

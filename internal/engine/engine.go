@@ -57,9 +57,18 @@ type Config struct {
 	IngestBuffer int
 	// ErrorBuffer is the capacity of the Errors channel. Frame errors
 	// beyond it are dropped from the channel but always counted: scoring
-	// errors in their shard's stats, routing errors in Totals. Defaults
-	// to 64.
+	// errors in their shard's stats, routing errors in Totals, and the
+	// drops themselves in ErrorsDropped. Defaults to 64.
 	ErrorBuffer int
+	// Hygiene configures the frame-validation stage ahead of every
+	// backend push. The zero value is off (frames reach backends
+	// verbatim).
+	Hygiene HygieneConfig
+	// Health configures per-subscription fault supervision (panic
+	// counting, quarantine, fallback, probation). The zero value enables
+	// supervision with defaults; set Health.Disable to turn the state
+	// machine off.
+	Health HealthConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +96,7 @@ func (c Config) withDefaults() Config {
 	if c.ErrorBuffer <= 0 {
 		c.ErrorBuffer = 64
 	}
+	c.Health = c.Health.withDefaults()
 	return c
 }
 
@@ -127,19 +137,51 @@ type item struct {
 }
 
 // subscription is the engine-internal state of one tenant. mu serializes
-// backend access between the draining worker and snapshot readers.
+// backend access between the draining worker and snapshot readers; the
+// fault-containment fields (health position, backoff ladder, hygiene
+// cursors, fallback) are written only under mu by the draining worker —
+// at most one worker drains a shard at a time, so there is exactly one
+// writer.
 type subscription struct {
 	id    string
 	shard *shard
 	n     int
 
-	mu  sync.Mutex
-	det core.StreamBackend
+	mu       sync.Mutex
+	det      core.StreamBackend
+	fallback core.StreamBackend // warm standby; serves while det is quarantined
+
+	hygiene HygieneConfig
+	health  HealthConfig
+
+	healthState  int32 // atomic HealthState: written under mu, read lock-free by stats
+	faultsConsec int
+	backoff      int     // frames left in the current quarantine
+	backoffBase  int     // doubling backoff ladder position, in frames
+	probeClean   int     // consecutive clean probes this probation
+	jitter       float64 // deterministic per-tenant fraction in [0,1)
+
+	lastTime float64 // hygiene time cursor (newest scored frame time)
+	seenTime bool
+	lastGood []float64 // per-variate last finite magnitude (NaN = never)
+	repaired []bool    // per-frame scratch: variates rewritten by hygiene
 
 	frames  uint64 // atomic
 	alarms  uint64 // atomic
 	blocked uint64 // atomic: alarm emissions that found the fan-in channel full
 	swaps   uint64 // atomic
+
+	faultsTotal     uint64 // atomic: all faults (panics, errors, bad scores, latency)
+	panics          uint64 // atomic: faults that were recovered panics
+	degradations    uint64 // atomic: healthy → degraded transitions
+	quarantines     uint64 // atomic: → quarantined transitions
+	probations      uint64 // atomic: quarantined → probation transitions
+	recoveries      uint64 // atomic: probation → healthy transitions
+	hygieneDropped  uint64 // atomic: frames rejected by the hygiene stage
+	hygieneRepaired uint64 // atomic: frames with variates repaired in place
+	fallbackFrames  uint64 // atomic: frames served by the fallback backend
+	fallbackAlarms  uint64 // atomic: alarms emitted by the fallback backend
+	fallbackErrs    uint64 // atomic: fallback pushes that errored or panicked
 }
 
 // shard is one bounded FIFO of pending frames plus the tenants pinned to
@@ -163,6 +205,7 @@ type shard struct {
 	alarmsN   uint64
 	blockedN  uint64 // alarm emissions that found the fan-in channel full
 	errsN     uint64
+	droppedN  uint64  // frame errors that found the Errors channel full
 	rate      float64 // EWMA of frames/s, updated per drain
 	lastDrain time.Time
 }
@@ -203,7 +246,8 @@ type Engine struct {
 	pendCond *sync.Cond
 	pending  int
 
-	routerErrs atomic.Uint64 // frames that failed routing (no shard saw them)
+	routerErrs    atomic.Uint64 // frames that failed routing (no shard saw them)
+	routerDropped atomic.Uint64 // routing errors dropped from the Errors channel
 
 	tapped   atomic.Bool // an alarm tap owns the Alarms channel
 	tapWG    sync.WaitGroup
@@ -291,7 +335,18 @@ func (e *Engine) SubscribeBackend(id string, det core.StreamBackend) (*Subscript
 			sh = cand
 		}
 	}
-	sub := &subscription{id: id, shard: sh, n: det.Variates(), det: det}
+	sub := &subscription{
+		id: id, shard: sh, n: det.Variates(), det: det,
+		hygiene:     e.cfg.Hygiene,
+		health:      e.cfg.Health,
+		backoffBase: e.cfg.Health.BackoffFrames,
+		jitter:      jitterFrac(id),
+		lastGood:    make([]float64, det.Variates()),
+		repaired:    make([]bool, det.Variates()),
+	}
+	for v := range sub.lastGood {
+		sub.lastGood[v] = nan
+	}
 	e.subs[id] = sub
 	sh.mu.Lock()
 	sh.subsN++
@@ -419,7 +474,9 @@ func (e *Engine) router() {
 			}
 			if err := e.Ingest(s.Sub, s.Frame); err != nil {
 				e.routerErrs.Add(1)
-				e.reportError(FrameError{Sub: s.Sub, Time: s.Frame.Time, Err: err})
+				if !e.reportError(FrameError{Sub: s.Sub, Time: s.Frame.Time, Err: err}) {
+					e.routerDropped.Add(1)
+				}
 			}
 		case <-e.done:
 			// Shutdown: samples still buffered in the channel can no
@@ -433,7 +490,9 @@ func (e *Engine) router() {
 						return
 					}
 					e.routerErrs.Add(1)
-					e.reportError(FrameError{Sub: s.Sub, Time: s.Frame.Time, Err: ErrClosed})
+					if !e.reportError(FrameError{Sub: s.Sub, Time: s.Frame.Time, Err: ErrClosed}) {
+						e.routerDropped.Add(1)
+					}
 				default:
 					return
 				}
@@ -442,10 +501,17 @@ func (e *Engine) router() {
 	}
 }
 
-func (e *Engine) reportError(fe FrameError) {
+// reportError offers fe to the Errors channel without blocking and
+// reports whether it was delivered: scoring must never stall on a slow
+// error consumer, but a dropped report is still counted (shard
+// ErrorsDropped for scoring errors, the router's counter for routing
+// errors) so saturation is visible instead of silent.
+func (e *Engine) reportError(fe FrameError) bool {
 	select {
 	case e.errs <- fe:
+		return true
 	default: // never let a slow error consumer stall scoring
+		return false
 	}
 }
 
@@ -481,20 +547,22 @@ func (e *Engine) drain(sh *shard) {
 	sh.cond.Broadcast()
 	sh.mu.Unlock()
 
-	var alarmsN, blockedN, errsN uint64
+	var alarmsN, blockedN, errsN, droppedN uint64
 	for i := range batch {
 		it := &batch[i]
 		sub := it.sub
 		sub.mu.Lock()
-		alarms, err := sub.det.Push(core.Frame{Time: it.time, Magnitudes: it.mags})
+		res := sub.score(it.time, it.mags)
 		sub.mu.Unlock()
-		if err != nil {
+		if res.err != nil {
 			errsN++
-			e.reportError(FrameError{Sub: sub.id, Time: it.time, Err: err})
+			if !e.reportError(FrameError{Sub: sub.id, Time: it.time, Err: res.err}) {
+				droppedN++
+			}
 			continue
 		}
 		atomic.AddUint64(&sub.frames, 1)
-		for _, a := range alarms {
+		for _, a := range res.alarms {
 			atomic.AddUint64(&sub.alarms, 1)
 			alarmsN++
 			out := Alarm{Sub: sub.id, Alarm: a}
@@ -520,6 +588,7 @@ func (e *Engine) drain(sh *shard) {
 	sh.alarmsN += alarmsN
 	sh.blockedN += blockedN
 	sh.errsN += errsN
+	sh.droppedN += droppedN
 	if !sh.lastDrain.IsZero() {
 		if dt := now.Sub(sh.lastDrain).Seconds(); dt > 0 {
 			inst := float64(len(batch)) / dt

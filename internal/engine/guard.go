@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"aero/internal/core"
+)
+
+// PanicError is a backend panic converted into an ordinary error by the
+// engine's push guard: the shard worker that hit it keeps draining, the
+// panicking tenant takes the fault. Value is the recovered panic value
+// and Stack the goroutine stack at recovery time — everything an operator
+// needs to file the bug without the process having died.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: backend panic: %v", p.Value)
+}
+
+// GuardPush scores one frame through det with panic isolation: a panic
+// inside the backend is recovered and returned as a *PanicError instead
+// of unwinding into the caller. The benign path costs nothing beyond the
+// call — the deferred recover is open-coded by the compiler, so the guard
+// adds 0 allocs/op when the backend behaves (pinned by
+// TestGuardedPushBenignAllocs and BenchmarkGuardedPush).
+//
+// After a panic the backend's internal state must be presumed corrupt
+// mid-mutation; callers are expected to stop trusting it (the engine's
+// health supervisor quarantines the subscription and fails over).
+func GuardPush(det core.StreamBackend, f core.Frame) (alarms []core.Alarm, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			alarms, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return det.Push(f)
+}
+
+// GuardPushScores is GuardPush for the score path — used to keep a warm
+// fallback backend current from the live frames without trusting it not
+// to panic either.
+func GuardPushScores(det core.StreamBackend, f core.Frame) (scores []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			scores, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return det.PushScores(f)
+}

@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"aero/internal/core"
+)
+
+// scriptBackend is a scripted StreamBackend for white-box supervision
+// tests: each push consults fail[pushIndex] — 0 = clean, 'p' = panic,
+// 'e' = error, 'n' = NaN-scored alarm. Indices past the script are clean.
+type scriptBackend struct {
+	n      int
+	fail   []byte
+	pushes int
+	last   float64
+	seen   bool
+	alarms [1]core.Alarm
+}
+
+var errScripted = errors.New("scripted backend error")
+
+func (s *scriptBackend) Kind() string                   { return "script" }
+func (s *scriptBackend) Variates() int                  { return s.n }
+func (s *scriptBackend) Ready() bool                    { return true }
+func (s *scriptBackend) Threshold() float64             { return 1 }
+func (s *scriptBackend) LastTime() (float64, bool)      { return s.last, s.seen }
+func (s *scriptBackend) SwapArtifact([]byte) error      { return nil }
+func (s *scriptBackend) SnapshotState() ([]byte, error) { return []byte("script"), nil }
+func (s *scriptBackend) RestoreState([]byte) error      { return nil }
+
+func (s *scriptBackend) step(t float64) byte {
+	i := s.pushes
+	s.pushes++
+	var op byte
+	if i < len(s.fail) {
+		op = s.fail[i]
+	}
+	switch op {
+	case 'p':
+		panic("scripted panic")
+	case 'e':
+		return 'e'
+	}
+	s.last, s.seen = t, true
+	return op
+}
+
+func (s *scriptBackend) PushScores(f core.Frame) ([]float64, error) {
+	if s.step(f.Time) == 'e' {
+		return nil, errScripted
+	}
+	return nil, nil
+}
+
+func (s *scriptBackend) Push(f core.Frame) ([]core.Alarm, error) {
+	switch s.step(f.Time) {
+	case 'e':
+		return nil, errScripted
+	case 'n':
+		s.alarms[0] = core.Alarm{Variate: 0, Time: f.Time, Score: math.NaN()}
+		return s.alarms[:], nil
+	}
+	return nil, nil
+}
+
+// mkSub builds a standalone subscription around det (no engine), the way
+// SubscribeBackend does, for direct score-path tests.
+func mkSub(id string, det core.StreamBackend, hygiene HygieneConfig, health HealthConfig) *subscription {
+	health = health.withDefaults()
+	sub := &subscription{
+		id: id, n: det.Variates(), det: det,
+		hygiene:     hygiene,
+		health:      health,
+		backoffBase: health.BackoffFrames,
+		jitter:      jitterFrac(id),
+		lastGood:    make([]float64, det.Variates()),
+		repaired:    make([]bool, det.Variates()),
+	}
+	for v := range sub.lastGood {
+		sub.lastGood[v] = nan
+	}
+	return sub
+}
+
+// TestHealthStateMachine walks the full lifecycle on a scripted backend:
+// consecutive faults degrade then quarantine, the frame-count backoff
+// expires into probation, a probe fault re-quarantines with a doubled
+// backoff, and a clean probation recovers — with every transition
+// visible in the counters.
+func TestHealthStateMachine(t *testing.T) {
+	// Script (primary push indices): 1 clean, then p e p e (4 faults),
+	// then clean forever — except push 5, which faults once in probation.
+	det := &scriptBackend{n: 1, fail: []byte{0, 'p', 'e', 'p', 'e', 'e'}}
+	cfg := HealthConfig{DegradeAfter: 2, QuarantineAfter: 4, BackoffFrames: 6, BackoffMax: 4, BackoffJitter: -1, ProbationFrames: 3}
+	fb := &scriptBackend{n: 1}
+	sub := mkSub("sm", det, HygieneConfig{}, cfg)
+	sub.fallback = fb
+
+	push := func(i int) scoreResult {
+		return sub.score(float64(i), []float64{0.5})
+	}
+
+	next := 0
+	step := func() scoreResult { r := push(next); next++; return r }
+
+	if r := step(); r.err != nil || sub.state() != HealthHealthy {
+		t.Fatalf("clean push: err %v state %v", r.err, sub.state())
+	}
+	// Fault 1 (panic): healthy, one fault.
+	if r := step(); r.err == nil {
+		t.Fatal("panic push returned no error")
+	} else if _, ok := r.err.(*PanicError); !ok {
+		t.Fatalf("panic push error %T, want *PanicError", r.err)
+	}
+	if sub.state() != HealthHealthy {
+		t.Fatalf("after 1 fault: %v", sub.state())
+	}
+	// Fault 2 (error): degraded.
+	if r := step(); !errors.Is(r.err, errScripted) {
+		t.Fatalf("error push: %v", r.err)
+	}
+	if sub.state() != HealthDegraded {
+		t.Fatalf("after 2 faults: %v, want degraded", sub.state())
+	}
+	// Faults 3-4: quarantined.
+	step()
+	step()
+	if sub.state() != HealthQuarantined {
+		t.Fatalf("after 4 faults: %v, want quarantined", sub.state())
+	}
+	if sub.backoff != 6 {
+		t.Fatalf("backoff %d, want 6 (jitter disabled)", sub.backoff)
+	}
+
+	// Quarantine: 6 frames served by the fallback, primary untouched.
+	primaryPushes := det.pushes
+	for i := 0; i < 6; i++ {
+		if r := step(); r.err != nil || !r.scored {
+			t.Fatalf("quarantined frame %d: %+v", i, r)
+		}
+	}
+	if det.pushes != primaryPushes {
+		t.Fatal("primary was pushed during quarantine")
+	}
+	if sub.state() != HealthProbation {
+		t.Fatalf("after backoff: %v, want probation", sub.state())
+	}
+
+	// Probation probe 1 (script index 5: 'e'): re-quarantine, doubled.
+	if r := step(); r.err != nil || !r.scored {
+		t.Fatalf("probation frame with fallback must still be served: %+v", r)
+	}
+	if sub.state() != HealthQuarantined {
+		t.Fatalf("after probe fault: %v, want quarantined", sub.state())
+	}
+	if sub.backoff != 12 {
+		t.Fatalf("re-quarantine backoff %d, want 12 (doubled)", sub.backoff)
+	}
+
+	// Sit out the doubled backoff, then three clean probes recover.
+	for i := 0; i < 12; i++ {
+		step()
+	}
+	if sub.state() != HealthProbation {
+		t.Fatalf("after doubled backoff: %v", sub.state())
+	}
+	for i := 0; i < 3; i++ {
+		if r := step(); r.err != nil || !r.scored {
+			t.Fatalf("clean probe %d: %+v", i, r)
+		}
+	}
+	if sub.state() != HealthHealthy {
+		t.Fatalf("after clean probation: %v, want healthy", sub.state())
+	}
+	if sub.backoffBase != cfg.BackoffFrames {
+		t.Fatalf("recovery did not reset the backoff ladder: %d", sub.backoffBase)
+	}
+
+	if q, p, r := sub.quarantines, sub.probations, sub.recoveries; q != 2 || p != 2 || r != 1 {
+		t.Fatalf("transition counters q=%d p=%d r=%d, want 2/2/1", q, p, r)
+	}
+	if sub.panics != 2 {
+		t.Fatalf("panics %d, want 2", sub.panics)
+	}
+	if sub.faultsTotal != 5 {
+		t.Fatalf("faults %d, want 5", sub.faultsTotal)
+	}
+}
+
+// TestHealthBackoffCap pins the exponential backoff ceiling: repeated
+// probe faults double the base only up to BackoffFrames×BackoffMax.
+func TestHealthBackoffCap(t *testing.T) {
+	det := &scriptBackend{n: 1, fail: []byte("eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee")}
+	cfg := HealthConfig{QuarantineAfter: 1, BackoffFrames: 2, BackoffMax: 4, BackoffJitter: -1, ProbationFrames: 2}
+	fb := &scriptBackend{n: 1}
+	sub := mkSub("cap", det, HygieneConfig{}, cfg)
+	sub.fallback = fb
+	for i := 0; i < 200; i++ {
+		sub.score(float64(i), []float64{0})
+		if sub.backoffBase > 8 {
+			t.Fatalf("backoffBase %d exceeded cap 8 at frame %d", sub.backoffBase, i)
+		}
+	}
+	if sub.backoffBase != 8 {
+		t.Fatalf("backoffBase %d, want pinned at cap 8", sub.backoffBase)
+	}
+}
+
+// TestQuarantineWithoutFallback: no fallback installed → quarantined
+// frames are rejected with ErrQuarantined, and probation serves the
+// primary's own alarms.
+func TestQuarantineWithoutFallback(t *testing.T) {
+	det := &scriptBackend{n: 1, fail: []byte("ee")}
+	cfg := HealthConfig{QuarantineAfter: 2, BackoffFrames: 3, BackoffJitter: -1, ProbationFrames: 2}
+	sub := mkSub("nofb", det, HygieneConfig{}, cfg)
+	sub.score(0, []float64{0})
+	sub.score(1, []float64{0})
+	if sub.state() != HealthQuarantined {
+		t.Fatalf("state %v", sub.state())
+	}
+	for i := 2; i < 5; i++ {
+		if r := sub.score(float64(i), []float64{0}); !errors.Is(r.err, ErrQuarantined) {
+			t.Fatalf("frame %d: err %v, want ErrQuarantined", i, r.err)
+		}
+	}
+	if sub.state() != HealthProbation {
+		t.Fatalf("state %v, want probation", sub.state())
+	}
+	if r := sub.score(5, []float64{0}); r.err != nil || !r.scored {
+		t.Fatalf("probation without fallback must serve the primary: %+v", r)
+	}
+}
+
+// TestNaNScoreIsFaulted: a backend leaking NaN-scored alarms has them
+// scrubbed before the fan-in channel and takes a fault per occurrence.
+func TestNaNScoreIsFaulted(t *testing.T) {
+	det := &scriptBackend{n: 1, fail: []byte{'n'}}
+	sub := mkSub("nan", det, HygieneConfig{}, HealthConfig{})
+	r := sub.score(0, []float64{0})
+	if r.err != nil || !r.scored {
+		t.Fatalf("NaN-alarm frame: %+v", r)
+	}
+	if len(r.alarms) != 0 {
+		t.Fatalf("NaN-scored alarm leaked: %+v", r.alarms)
+	}
+	if sub.faultsTotal != 1 {
+		t.Fatalf("faults %d, want 1", sub.faultsTotal)
+	}
+}
+
+// TestHealthDisable: with supervision off, panics are still contained
+// (reported as *PanicError) but nothing is ever quarantined.
+func TestHealthDisable(t *testing.T) {
+	det := &scriptBackend{n: 1, fail: []byte("ppppppppppppppppp")}
+	sub := mkSub("off", det, HygieneConfig{}, HealthConfig{Disable: true})
+	for i := 0; i < len(det.fail); i++ {
+		r := sub.score(float64(i), []float64{0})
+		if _, ok := r.err.(*PanicError); !ok {
+			t.Fatalf("frame %d: err %T %v, want *PanicError", i, r.err, r.err)
+		}
+	}
+	if sub.state() != HealthHealthy {
+		t.Fatalf("disabled supervision changed state to %v", sub.state())
+	}
+	if sub.panics != uint64(len(det.fail)) {
+		t.Fatalf("panics %d, want %d", sub.panics, len(det.fail))
+	}
+}
+
+// TestGuardedScoreBenignAllocs pins the acceptance criterion directly:
+// the full supervised score path — hygiene check, panic guard, health
+// bookkeeping — adds zero allocations per frame for a healthy tenant on
+// clean frames.
+func TestGuardedScoreBenignAllocs(t *testing.T) {
+	det := &scriptBackend{n: 2}
+	sub := mkSub("alloc", det, HygieneConfig{Policy: HygieneHoldLast}, HealthConfig{})
+	mags := []float64{0.1, 0.2}
+	ti := 0.0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		ti++
+		sub.score(ti, mags)
+	}); allocs != 0 {
+		t.Fatalf("supervised benign score allocates %.1f objects/frame, want 0", allocs)
+	}
+	// The guard alone, too.
+	f := core.Frame{Time: 1e9, Magnitudes: mags}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		f.Time++
+		GuardPush(det, f)
+	}); allocs != 0 {
+		t.Fatalf("GuardPush allocates %.1f objects/frame on the benign path, want 0", allocs)
+	}
+}
+
+// TestGuardPushContainsPanic: the guard converts a panic into a
+// *PanicError carrying the panic value and a stack.
+func TestGuardPushContainsPanic(t *testing.T) {
+	det := &scriptBackend{n: 1, fail: []byte{'p'}}
+	alarms, err := GuardPush(det, core.Frame{Time: 1, Magnitudes: []float64{0}})
+	if alarms != nil {
+		t.Fatalf("alarms %+v after panic", alarms)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T, want *PanicError", err)
+	}
+	if pe.Value != "scripted panic" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error %q stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	// The backend keeps working afterwards (the guard, not the backend,
+	// is what the test pins — a real corrupted backend is quarantined by
+	// the supervisor).
+	if _, err := GuardPush(det, core.Frame{Time: 2, Magnitudes: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGuardedPush quantifies the containment tax on the hot path:
+// a bare backend push, the same push under the panic guard, and the full
+// supervised score path (hygiene + guard + health machine). CI runs it
+// at -benchtime=1x; the alloc budget is pinned by
+// TestGuardedScoreBenignAllocs.
+func BenchmarkGuardedPush(b *testing.B) {
+	mags := []float64{0.1, 0.2}
+	b.Run("bare", func(b *testing.B) {
+		det := &scriptBackend{n: 2}
+		f := core.Frame{Magnitudes: mags}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Time = float64(i)
+			det.Push(f)
+		}
+	})
+	b.Run("guarded", func(b *testing.B) {
+		det := &scriptBackend{n: 2}
+		f := core.Frame{Magnitudes: mags}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Time = float64(i)
+			GuardPush(det, f)
+		}
+	})
+	b.Run("supervised", func(b *testing.B) {
+		det := &scriptBackend{n: 2}
+		sub := mkSub("bench", det, HygieneConfig{Policy: HygieneHoldLast}, HealthConfig{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sub.score(float64(i+1), mags)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"errors"
+	"math"
+)
+
+// HygienePolicy selects how the engine's frame-hygiene stage treats a
+// frame carrying NaN/Inf magnitudes. Duplicate or stale timestamps are
+// always dropped when hygiene is on, whatever the policy — there is no
+// repair for a frame that claims to precede one already scored.
+type HygienePolicy int
+
+const (
+	// HygieneOff disables the stage: frames reach the backend verbatim,
+	// as they did before the stage existed. Backends still reject
+	// non-monotonic time themselves, but NaN samples flow into detector
+	// rings and EVT sufficient statistics unchecked.
+	HygieneOff HygienePolicy = iota
+	// HygieneDrop rejects any frame carrying a non-finite magnitude; the
+	// drop is counted and reported as a FrameError.
+	HygieneDrop
+	// HygieneHoldLast repairs non-finite samples by holding each broken
+	// variate at its last finite value, so the detector window keeps
+	// advancing through masked epochs. A variate that has never been seen
+	// finite cannot be held; such frames are dropped.
+	HygieneHoldLast
+	// HygieneGapMark repairs like HygieneHoldLast but additionally
+	// suppresses alarms raised on repaired variates for that frame — the
+	// filled value is a placeholder, not evidence.
+	HygieneGapMark
+)
+
+// String returns the policy's flag-value spelling.
+func (p HygienePolicy) String() string {
+	switch p {
+	case HygieneOff:
+		return "off"
+	case HygieneDrop:
+		return "drop"
+	case HygieneHoldLast:
+		return "hold"
+	case HygieneGapMark:
+		return "gap"
+	}
+	return "unknown"
+}
+
+// ParseHygienePolicy parses the -hygiene flag values: off, drop, hold,
+// gap.
+func ParseHygienePolicy(s string) (HygienePolicy, error) {
+	switch s {
+	case "off", "":
+		return HygieneOff, nil
+	case "drop":
+		return HygieneDrop, nil
+	case "hold":
+		return HygieneHoldLast, nil
+	case "gap":
+		return HygieneGapMark, nil
+	}
+	return HygieneOff, errors.New("engine: unknown hygiene policy " + s)
+}
+
+// HygieneConfig parameterizes the frame-hygiene stage that runs ahead of
+// every backend push. The zero value is HygieneOff.
+type HygieneConfig struct {
+	// Policy is the non-finite-sample handling; see HygienePolicy.
+	Policy HygienePolicy
+}
+
+// nan seeds the lastGood buffer: a variate is repairable only once it
+// has been seen finite.
+var nan = math.NaN()
+
+// Typed hygiene errors carried by the FrameErrors the stage reports.
+var (
+	// ErrStaleFrame marks a frame whose timestamp does not advance past
+	// the tenant's newest scored time (duplicate or out-of-order).
+	ErrStaleFrame = errors.New("engine: stale or duplicate frame time")
+	// ErrDirtyFrame marks a frame dropped for carrying non-finite
+	// magnitudes (under HygieneDrop, or under a repair policy with no
+	// finite history to repair from).
+	ErrDirtyFrame = errors.New("engine: non-finite magnitudes in frame")
+)
+
+// scrub applies the hygiene policy to one frame in place, under the
+// subscription lock. It returns repair bookkeeping for the alarm stage:
+// repairedAny reports whether any variate was rewritten this frame (the
+// sub.repaired mask is only valid then). A non-nil error means the frame
+// must not reach the backend. Zero allocations: the last-good and
+// repaired-mask buffers are allocated once at subscribe time.
+func (sub *subscription) scrub(t float64, mags []float64) (repairedAny bool, err error) {
+	if sub.hygiene.Policy == HygieneOff {
+		return false, nil
+	}
+	if sub.seenTime && t <= sub.lastTime {
+		return false, ErrStaleFrame
+	}
+	dirty := false
+	for _, x := range mags {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			dirty = true
+			break
+		}
+	}
+	if dirty {
+		if sub.hygiene.Policy == HygieneDrop {
+			return false, ErrDirtyFrame
+		}
+		// Repair: hold each broken variate at its last finite value. A
+		// variate with no finite history yet leaves nothing to hold — the
+		// frame drops rather than feeding an invented constant.
+		for v, x := range mags {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				if math.IsNaN(sub.lastGood[v]) {
+					return false, ErrDirtyFrame
+				}
+				mags[v] = sub.lastGood[v]
+				sub.repaired[v] = true
+				repairedAny = true
+			} else {
+				sub.repaired[v] = false
+			}
+		}
+	}
+	for v, x := range mags {
+		sub.lastGood[v] = x
+	}
+	return repairedAny, nil
+}
+
+// noteScored records a successfully scored frame's timestamp for the
+// stale-frame check.
+func (sub *subscription) noteScored(t float64) {
+	sub.lastTime, sub.seenTime = t, true
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Subscription snapshots follow the repo's versioned binary convention
+// (see core/snapshot.go): magic, version, little-endian fields, CRC-32
+// trailer, full validation before any state is touched. The envelope
+// wraps the primary backend's own opaque snapshot and adds the
+// fault-containment state that must survive a restart — a tenant
+// checkpointed mid-quarantine has to come back mid-quarantine, not
+// healthy and pointed at a corrupt primary.
+//
+//	magic        [8]byte  "AEROHLTH"
+//	version      uint32   currently 1
+//	state        uint8    HealthState
+//	faults       uint32   consecutive-fault counter
+//	backoff      uint32   frames left in the current quarantine
+//	backoffBase  uint32   current backoff ladder position
+//	probeClean   uint32   clean probes so far in probation
+//	lastTime     float64  hygiene time cursor
+//	seenTime     uint8    1 iff lastTime is valid
+//	nLastGood    uint32   │ hygiene hold-last values, NaN = never seen
+//	lastGood     [n]float64 ┘
+//	primaryLen   uint32   │ the primary backend's own snapshot
+//	primary      [...]byte ┘
+//	hasFallback  uint8    1 iff a fallback snapshot follows
+//	  fbLen      uint32   │ only when hasFallback == 1
+//	  fb         [...]byte ┘
+//	crc          uint32   IEEE CRC-32 of every preceding byte
+//
+// The cumulative transition counters (quarantines, recoveries, ...) are
+// observability, not state, and are deliberately not snapshotted — the
+// same convention evt.RefitStats follows.
+const (
+	subSnapMagic   = "AEROHLTH"
+	subSnapVersion = 1
+)
+
+// SnapshotState serializes the tenant's warm detector state (rings,
+// cursors, warm-up counters) together with its fault-containment state —
+// health position, backoff ladder, hygiene cursors, and the warm fallback
+// backend when one is installed — serialized against scoring. Pair with
+// RestoreState for zero-warmup restarts; weights are persisted separately
+// through the model registry.
+func (s *Subscription) SnapshotState() ([]byte, error) {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	primary, err := s.sub.det.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	var fb []byte
+	if s.sub.fallback != nil {
+		if fb, err = s.sub.fallback.SnapshotState(); err != nil {
+			return nil, fmt.Errorf("engine: fallback snapshot: %w", err)
+		}
+	}
+	buf := make([]byte, 0, len(subSnapMagic)+4+1+4*4+8+1+4+8*len(s.sub.lastGood)+4+len(primary)+1+4+len(fb)+4)
+	buf = append(buf, subSnapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, subSnapVersion)
+	buf = append(buf, uint8(s.sub.state()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.sub.faultsConsec))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.sub.backoff))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.sub.backoffBase))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.sub.probeClean))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.sub.lastTime))
+	if s.sub.seenTime {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.sub.lastGood)))
+	for _, x := range s.sub.lastGood {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(primary)))
+	buf = append(buf, primary...)
+	if fb != nil {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fb)))
+		buf = append(buf, fb...)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// RestoreState installs a previously snapshotted state into the tenant,
+// so it resumes scoring — and, when checkpointed mid-quarantine, resumes
+// its quarantine — instead of re-warming from a cold ring. Blobs from
+// before the fault-containment envelope (bare backend snapshots) are
+// detected by magic and restored directly into the primary backend.
+//
+// The blob is fully validated (magic, version, geometry, CRC) and both
+// backend restores must succeed before any health state is committed: a
+// corrupt snapshot leaves the tenant exactly as it was.
+func (s *Subscription) RestoreState(blob []byte) error {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	if len(blob) < len(subSnapMagic) || string(blob[:len(subSnapMagic)]) != subSnapMagic {
+		// Legacy blob: the primary backend's own snapshot, no envelope.
+		if err := s.sub.det.RestoreState(blob); err != nil {
+			return err
+		}
+		if t, ok := s.sub.det.LastTime(); ok {
+			s.sub.lastTime, s.sub.seenTime = t, true
+		}
+		return nil
+	}
+	if len(blob) < len(subSnapMagic)+8 {
+		return fmt.Errorf("engine: subscription state truncated (%d bytes)", len(blob))
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("engine: subscription state checksum mismatch (%08x != %08x)", got, want)
+	}
+	r := subSnapReader{buf: body, off: len(subSnapMagic)}
+	if ver := r.u32(); r.err == nil && ver != subSnapVersion {
+		return fmt.Errorf("engine: unsupported subscription state version %d", ver)
+	}
+	state := HealthState(r.u8())
+	faults := int(r.u32())
+	backoff := int(r.u32())
+	backoffBase := int(r.u32())
+	probeClean := int(r.u32())
+	lastTime := math.Float64frombits(r.u64())
+	seenTime := r.u8() == 1
+	nGood := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	if state < HealthHealthy || state > HealthProbation {
+		return fmt.Errorf("engine: subscription state has unknown health state %d", state)
+	}
+	if nGood != len(s.sub.lastGood) {
+		return fmt.Errorf("engine: snapshot has %d variates, subscription %d", nGood, len(s.sub.lastGood))
+	}
+	lastGood := r.f64s(nGood)
+	primary := r.bytes(int(r.u32()))
+	hasFB := r.u8() == 1
+	var fb []byte
+	if hasFB {
+		fb = r.bytes(int(r.u32()))
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("engine: subscription state has %d trailing bytes", len(body)-r.off)
+	}
+	if hasFB && s.sub.fallback == nil {
+		return fmt.Errorf("engine: snapshot carries a fallback state but the subscription has no fallback backend")
+	}
+
+	// Fallback first: if its restore fails the primary is still untouched,
+	// and a primary-restore failure after a fallback restore leaves only
+	// the (redundant, rewarmable) fallback changed.
+	if hasFB {
+		if err := s.sub.fallback.RestoreState(fb); err != nil {
+			return fmt.Errorf("engine: fallback restore: %w", err)
+		}
+	}
+	if err := s.sub.det.RestoreState(primary); err != nil {
+		return err
+	}
+	s.sub.setState(state)
+	s.sub.faultsConsec = faults
+	s.sub.backoff = backoff
+	s.sub.backoffBase = backoffBase
+	if s.sub.backoffBase <= 0 {
+		s.sub.backoffBase = s.sub.health.BackoffFrames
+	}
+	s.sub.probeClean = probeClean
+	s.sub.lastTime, s.sub.seenTime = lastTime, seenTime
+	copy(s.sub.lastGood, lastGood)
+	return nil
+}
+
+// subSnapReader is a bounds-checked cursor over a snapshot body, after
+// the pattern of core's stateReader: the first out-of-range read latches
+// err and every later read returns zero values.
+type subSnapReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *subSnapReader) take(k int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if k < 0 || r.off+k > len(r.buf) {
+		r.err = fmt.Errorf("engine: subscription state truncated at byte %d", len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+k]
+	r.off += k
+	return b
+}
+
+func (r *subSnapReader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *subSnapReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *subSnapReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *subSnapReader) bytes(k int) []byte { return r.take(k) }
+
+func (r *subSnapReader) f64s(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = math.Float64frombits(r.u64())
+	}
+	return out
+}

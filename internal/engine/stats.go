@@ -26,8 +26,14 @@ type ShardStats struct {
 	// growing value means the alarm consumer — not scoring — is the
 	// pipeline's bottleneck.
 	AlarmsBlocked uint64
-	// Errors counts frames rejected at scoring time.
+	// Errors counts frames rejected at scoring time (backend errors,
+	// contained panics, hygiene drops, quarantine rejections).
 	Errors uint64
+	// ErrorsDropped counts frame-error reports that found the Errors
+	// channel full and were dropped from it — the errors themselves are
+	// still counted in Errors, but no FrameError was delivered. A growing
+	// value means the error consumer is not keeping up.
+	ErrorsDropped uint64
 	// QueueDepth is the number of frames currently waiting.
 	QueueDepth int
 	// FramesPerSec is an exponentially-weighted estimate of the shard's
@@ -47,6 +53,7 @@ func (e *Engine) Stats() []ShardStats {
 			Alarms:        sh.alarmsN,
 			AlarmsBlocked: sh.blockedN,
 			Errors:        sh.errsN,
+			ErrorsDropped: sh.droppedN,
 			QueueDepth:    sh.count,
 			FramesPerSec:  sh.rate,
 		}
@@ -57,15 +64,17 @@ func (e *Engine) Stats() []ShardStats {
 
 // Totals aggregates all shards into one ShardStats (Shard is -1 and
 // FramesPerSec is total frames over the engine's lifetime). Errors also
-// includes frames that failed routing and so never reached a shard.
+// includes frames that failed routing and so never reached a shard, and
+// ErrorsDropped the routing-error reports dropped from the channel.
 func (e *Engine) Totals() ShardStats {
-	t := ShardStats{Shard: -1, Errors: e.routerErrs.Load()}
+	t := ShardStats{Shard: -1, Errors: e.routerErrs.Load(), ErrorsDropped: e.routerDropped.Load()}
 	for _, s := range e.Stats() {
 		t.Subscriptions += s.Subscriptions
 		t.Frames += s.Frames
 		t.Alarms += s.Alarms
 		t.AlarmsBlocked += s.AlarmsBlocked
 		t.Errors += s.Errors
+		t.ErrorsDropped += s.ErrorsDropped
 		t.QueueDepth += s.QueueDepth
 	}
 	if el := time.Since(e.start).Seconds(); el > 0 {
@@ -90,6 +99,34 @@ type SubscriptionStats struct {
 	Ready bool
 	// Shard is the index of the shard the tenant is pinned to.
 	Shard int
+
+	// Health is the tenant's current fault-containment state.
+	Health HealthState
+	// Faults counts every fault the supervisor charged to the tenant:
+	// contained panics, backend errors, non-finite alarm scores, and
+	// latency breaches.
+	Faults uint64
+	// Panics counts the subset of Faults that were recovered panics.
+	Panics uint64
+	// Degradations, Quarantines, Probations, Recoveries count health
+	// state transitions: healthy→degraded, →quarantined, quarantined→
+	// probation, and probation→healthy respectively.
+	Degradations uint64
+	Quarantines  uint64
+	Probations   uint64
+	Recoveries   uint64
+	// HygieneDropped counts frames the hygiene stage rejected
+	// (stale/duplicate time, unrepairable non-finite magnitudes);
+	// HygieneRepaired counts frames scored after in-place repair.
+	HygieneDropped  uint64
+	HygieneRepaired uint64
+	// FallbackFrames and FallbackAlarms count service delivered by the
+	// warm fallback backend while the primary was distrusted;
+	// FallbackErrors counts fallback pushes that errored or panicked
+	// (including warm-feed pushes while the primary was serving).
+	FallbackFrames uint64
+	FallbackAlarms uint64
+	FallbackErrors uint64
 }
 
 // Subscription is the caller's handle on one registered tenant.
@@ -105,13 +142,62 @@ func (s *Subscription) Stats() SubscriptionStats {
 	ready := s.sub.det.Ready()
 	s.sub.mu.Unlock()
 	return SubscriptionStats{
-		Frames:        atomic.LoadUint64(&s.sub.frames),
-		Alarms:        atomic.LoadUint64(&s.sub.alarms),
-		AlarmsBlocked: atomic.LoadUint64(&s.sub.blocked),
-		Swaps:         atomic.LoadUint64(&s.sub.swaps),
-		Ready:         ready,
-		Shard:         s.sub.shard.id,
+		Frames:          atomic.LoadUint64(&s.sub.frames),
+		Alarms:          atomic.LoadUint64(&s.sub.alarms),
+		AlarmsBlocked:   atomic.LoadUint64(&s.sub.blocked),
+		Swaps:           atomic.LoadUint64(&s.sub.swaps),
+		Ready:           ready,
+		Shard:           s.sub.shard.id,
+		Health:          s.sub.state(),
+		Faults:          atomic.LoadUint64(&s.sub.faultsTotal),
+		Panics:          atomic.LoadUint64(&s.sub.panics),
+		Degradations:    atomic.LoadUint64(&s.sub.degradations),
+		Quarantines:     atomic.LoadUint64(&s.sub.quarantines),
+		Probations:      atomic.LoadUint64(&s.sub.probations),
+		Recoveries:      atomic.LoadUint64(&s.sub.recoveries),
+		HygieneDropped:  atomic.LoadUint64(&s.sub.hygieneDropped),
+		HygieneRepaired: atomic.LoadUint64(&s.sub.hygieneRepaired),
+		FallbackFrames:  atomic.LoadUint64(&s.sub.fallbackFrames),
+		FallbackAlarms:  atomic.LoadUint64(&s.sub.fallbackAlarms),
+		FallbackErrors:  atomic.LoadUint64(&s.sub.fallbackErrs),
 	}
+}
+
+// Health returns the tenant's current fault-containment state, readable
+// lock-free at any time.
+func (s *Subscription) Health() HealthState { return s.sub.state() }
+
+// SetFallback installs a warm standby backend for the tenant: while the
+// primary is healthy the fallback is kept current from the same frames
+// (scores discarded), and while the primary is quarantined or on
+// probation the fallback serves the alarm stream. The intended shape is
+// an expensive primary (aero, ~2.9 ms/frame) backed by a cheap streaming
+// baseline (fluxev/tm, sub-µs) whose warm-feed cost is negligible next
+// to the primary's push.
+//
+// The fallback's variate count must match the tenant's. Install it
+// before frames flow (or accept that it warms from mid-stream); passing
+// nil removes the fallback.
+func (s *Subscription) SetFallback(det core.StreamBackend) error {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	if det != nil && det.Variates() != s.sub.n {
+		return fmt.Errorf("engine: fallback has %d variates, subscription %q expects %d",
+			det.Variates(), s.ID, s.sub.n)
+	}
+	s.sub.fallback = det
+	return nil
+}
+
+// FallbackKind returns the installed fallback backend's kind tag, or ""
+// when the tenant has none.
+func (s *Subscription) FallbackKind() string {
+	s.sub.mu.Lock()
+	defer s.sub.mu.Unlock()
+	if s.sub.fallback == nil {
+		return ""
+	}
+	return s.sub.fallback.Kind()
 }
 
 // modelSwapper is the AERO-specific capability behind Subscription.Swap:
@@ -167,26 +253,6 @@ func (s *Subscription) Kind() string {
 	s.sub.mu.Lock()
 	defer s.sub.mu.Unlock()
 	return s.sub.det.Kind()
-}
-
-// SnapshotState serializes the tenant's warm detector state (rings,
-// cursors, warm-up counters), serialized against scoring. Pair with
-// RestoreState for zero-warmup restarts; weights are persisted separately
-// through the model registry.
-func (s *Subscription) SnapshotState() ([]byte, error) {
-	s.sub.mu.Lock()
-	defer s.sub.mu.Unlock()
-	return s.sub.det.SnapshotState()
-}
-
-// RestoreState installs a previously snapshotted detector state into the
-// tenant, so it resumes scoring with a full window instead of re-warming
-// from a cold ring. Restore before feeding frames: a restored state's
-// time cursor rejects frames older than the snapshot's newest.
-func (s *Subscription) RestoreState(blob []byte) error {
-	s.sub.mu.Lock()
-	defer s.sub.mu.Unlock()
-	return s.sub.det.RestoreState(blob)
 }
 
 // GraphSnapshot returns the tenant's current window-wise learned adjacency

@@ -120,12 +120,16 @@ func (d *DSPOT) SetState(st DSPOTState) error {
 // Step consumes one observation and reports whether it is anomalous
 // relative to the drift-corrected baseline. Non-anomalous observations
 // update the trailing window; anomalies do not (so an alarm does not
-// poison the baseline).
-func (d *DSPOT) Step(x float64) bool {
+// poison the baseline). Stepping before Fit returns ErrNotReady.
+func (d *DSPOT) Step(x float64) (bool, error) {
 	resid := x - d.mean()
-	if d.spot.Step(resid) {
-		return true
+	fired, err := d.spot.Step(resid)
+	if err != nil {
+		return false, err
+	}
+	if fired {
+		return true, nil
 	}
 	d.push(x)
-	return false
+	return false, nil
 }

@@ -23,7 +23,7 @@ func TestDSPOTHandlesDrift(t *testing.T) {
 	level := 0.0
 	for i := 0; i < 3000; i++ {
 		level += 0.005 // total drift = 15, far above the initial tail
-		if d.Step(level + rng.NormFloat64()*0.3) {
+		if fired, _ := d.Step(level + rng.NormFloat64()*0.3); fired {
 			alarms++
 		}
 	}
@@ -31,7 +31,7 @@ func TestDSPOTHandlesDrift(t *testing.T) {
 		t.Fatalf("DSPOT alarmed %d times on pure drift", alarms)
 	}
 	// A genuine spike on top of the drifted level must still fire.
-	if !d.Step(level + 10) {
+	if fired, _ := d.Step(level + 10); !fired {
 		t.Fatal("DSPOT missed a spike above the drifted baseline")
 	}
 }
@@ -58,7 +58,7 @@ func TestDSPOTVsSPOTOnDrift(t *testing.T) {
 		if x > s.Threshold() {
 			spotAlarms++
 		}
-		if d.Step(x) {
+		if fired, _ := d.Step(x); fired {
 			dspotAlarms++
 		}
 	}

@@ -1,6 +1,7 @@
 package evt
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -160,7 +161,7 @@ func TestSPOTFlagsInjectedExtremes(t *testing.T) {
 	// Normal stream: should rarely alarm.
 	alarms := 0
 	for i := 0; i < 2000; i++ {
-		if s.Step(math.Abs(rng.NormFloat64())) {
+		if fired, _ := s.Step(math.Abs(rng.NormFloat64())); fired {
 			alarms++
 		}
 	}
@@ -168,18 +169,38 @@ func TestSPOTFlagsInjectedExtremes(t *testing.T) {
 		t.Fatalf("too many false alarms on normal data: %d", alarms)
 	}
 	// Extreme values: must alarm.
-	if !s.Step(100) {
+	if fired, _ := s.Step(100); !fired {
 		t.Fatal("missed an extreme value")
 	}
 }
 
-func TestSPOTStepBeforeFitPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewSPOT(0.99, 1e-3).Step(1)
+// TestSPOTStepBeforeFitTypedError is the regression test for the old
+// behavior, where an unwarmed Step panicked and could take an engine
+// shard worker down with it: Step before Fit must instead report
+// ErrNotReady, for both SPOT and the DSPOT wrapper, and leave the
+// detector usable once Fit eventually runs.
+func TestSPOTStepBeforeFitTypedError(t *testing.T) {
+	s := NewSPOT(0.99, 1e-3)
+	if fired, err := s.Step(1); !errors.Is(err, ErrNotReady) || fired {
+		t.Fatalf("SPOT.Step before Fit: got (%v, %v), want (false, ErrNotReady)", fired, err)
+	}
+	d := NewDSPOT(0.99, 1e-3, 5)
+	if fired, err := d.Step(1); !errors.Is(err, ErrNotReady) || fired {
+		t.Fatalf("DSPOT.Step before Fit: got (%v, %v), want (false, ErrNotReady)", fired, err)
+	}
+	// The failed step must not have corrupted anything: Fit afterwards
+	// yields a working detector.
+	rng := rand.New(rand.NewSource(8))
+	init := make([]float64, 2000)
+	for i := range init {
+		init[i] = math.Abs(rng.NormFloat64())
+	}
+	if err := s.Fit(init); err != nil {
+		t.Fatalf("fit after failed step: %v", err)
+	}
+	if fired, err := s.Step(100); err != nil || !fired {
+		t.Fatalf("step after fit: got (%v, %v), want (true, nil)", fired, err)
+	}
 }
 
 func TestSPOTUpdatesTailModel(t *testing.T) {

@@ -1,5 +1,13 @@
 package evt
 
+import "errors"
+
+// ErrNotReady is returned by SPOT.Step and DSPOT.Step when the detector
+// has not been calibrated yet (Fit has not run, or a restore left it
+// unready). Callers that drive a detector per-score must treat it as a
+// per-sample failure, not a process-fatal condition.
+var ErrNotReady = errors.New("evt: Step before Fit")
+
 // minTailPeaks is the minimum number of excesses needed before a tail
 // distribution is fitted — both by the batch POT calibration and by the
 // streaming SPOT update rule.
@@ -261,9 +269,10 @@ func (s *SPOT) refit() {
 // rule under the refit policy: the benign path is a counter increment,
 // an exceedance is an O(1) ring push plus quantile update, and only every
 // Policy.Every-th exceedance (or a drift trigger) pays for a fit.
-func (s *SPOT) Step(x float64) bool {
+// Stepping before Fit returns ErrNotReady.
+func (s *SPOT) Step(x float64) (bool, error) {
 	if !s.ready {
-		panic("evt: SPOT.Step before Fit")
+		return false, ErrNotReady
 	}
 	// Alarm-boundary guard: a near-threshold score under a stale model is
 	// the one decision amortization could flip, so it pays for a fresh fit
@@ -279,7 +288,7 @@ func (s *SPOT) Step(x float64) bool {
 	}
 	switch {
 	case x > s.z:
-		return true
+		return true, nil
 	case x > s.t:
 		s.pushExcess(x - s.t)
 		s.n++
@@ -292,10 +301,10 @@ func (s *SPOT) Step(x float64) bool {
 				s.z = s.model.Quantile(s.t, s.Q, s.n, s.peaks)
 			}
 		}
-		return false
+		return false, nil
 	default:
 		s.n++
-		return false
+		return false, nil
 	}
 }
 

@@ -90,7 +90,7 @@ func TestSPOTSnapshotRoundTripAfterEviction(t *testing.T) {
 			if rng.Intn(3) == 0 {
 				x = s.t + 0.2*(s.z-s.t)*rng.Float64()
 			}
-			out[i] = s.Step(x)
+			out[i], _ = s.Step(x)
 		}
 		return out
 	}
@@ -139,7 +139,7 @@ func TestSPOTSnapshotRoundTripAfterEviction(t *testing.T) {
 			}
 			continue
 		}
-		if fired := resumed.Step(x); fired != want[i] {
+		if fired, _ := resumed.Step(x); fired != want[i] {
 			t.Fatalf("resumed verdict %d: got %v want %v", i, fired, want[i])
 		}
 	}
@@ -176,8 +176,8 @@ func TestSPOTLegacySnapshotCompat(t *testing.T) {
 	if !r.fitted {
 		t.Fatal("legacy state with a fitted model restored as unfitted")
 	}
-	if r.Step(r.z+1) != true {
-		t.Fatal("restored legacy detector does not alarm above z")
+	if fired, err := r.Step(r.z + 1); err != nil || !fired {
+		t.Fatalf("restored legacy detector does not alarm above z (fired %v, err %v)", fired, err)
 	}
 }
 
@@ -248,7 +248,7 @@ func TestSPOTExactPolicyBitIdentical(t *testing.T) {
 		if rng.Intn(3) == 0 {
 			x = tRef + 0.3*(zRef-tRef)*rng.Float64()
 		}
-		fired := s.Step(x)
+		fired, _ := s.Step(x)
 		var refFired bool
 		switch {
 		case x > zRef:

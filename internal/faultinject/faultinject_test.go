@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"aero/internal/core"
+)
+
+// stub is a minimal inner backend: scores every frame 0, never alarms,
+// counts pushes.
+type stub struct {
+	pushes int
+	last   float64
+	seen   bool
+}
+
+func (s *stub) Kind() string              { return "stub" }
+func (s *stub) Variates() int             { return 2 }
+func (s *stub) Ready() bool               { return true }
+func (s *stub) Threshold() float64        { return 1 }
+func (s *stub) LastTime() (float64, bool) { return s.last, s.seen }
+func (s *stub) SwapArtifact([]byte) error { return nil }
+func (s *stub) SnapshotState() ([]byte, error) {
+	return []byte{byte(s.pushes)}, nil
+}
+func (s *stub) RestoreState(b []byte) error {
+	s.pushes = int(b[0])
+	return nil
+}
+func (s *stub) PushScores(f core.Frame) ([]float64, error) {
+	s.pushes++
+	s.last, s.seen = f.Time, true
+	return []float64{0, 0}, nil
+}
+func (s *stub) Push(f core.Frame) ([]core.Alarm, error) {
+	if _, err := s.PushScores(f); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// TestPlanDeterministic pins the harness's core property: the fault
+// schedule is a pure function of (seed, frame index).
+func TestPlanDeterministic(t *testing.T) {
+	p := Plan{Seed: 42, From: 10, Until: 200, PanicEvery: 5, ErrEvery: 7, NaNEvery: 6, DelayEvery: 9}
+	var first []int
+	for i := uint64(0); i < 300; i++ {
+		first = append(first, p.decide(i))
+	}
+	for i := uint64(0); i < 300; i++ {
+		if got := p.decide(i); got != first[i] {
+			t.Fatalf("frame %d: decide not deterministic (%d then %d)", i, first[i], got)
+		}
+	}
+	counts := map[int]int{}
+	for i := uint64(0); i < 300; i++ {
+		counts[first[i]]++
+		if first[i] != faultNone && (i < 10 || i >= 200) {
+			t.Fatalf("fault %d injected at frame %d, outside [10,200)", first[i], i)
+		}
+	}
+	for _, class := range []int{faultPanic, faultErr, faultNaN, faultDelay} {
+		if counts[class] == 0 {
+			t.Fatalf("class %d never selected in 300 frames; plan too sparse for its rates", class)
+		}
+	}
+	// A different seed must produce a different schedule.
+	q := p
+	q.Seed = 43
+	same := true
+	for i := uint64(0); i < 300; i++ {
+		if q.decide(i) != first[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestBackendInjections drives every fault class through Push and checks
+// the contract: panics fire at the call boundary (inner never sees the
+// frame), errors are ErrInjected, NaN frames append a poisoned alarm,
+// and the counters account for every injection.
+func TestBackendInjections(t *testing.T) {
+	inner := &stub{}
+	// One class at a time, on known frames: every frame in [0,N) faults.
+	b := New(inner, Plan{Seed: 1, PanicEvery: 1, Until: 2})
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("frame %d: expected injected panic", i)
+				}
+				pv, ok := r.(PanicValue)
+				if !ok || pv.Frame != uint64(i) {
+					t.Fatalf("frame %d: panic value %v", i, r)
+				}
+			}()
+			b.Push(core.Frame{Time: float64(i), Magnitudes: []float64{0, 0}})
+		}()
+	}
+	if inner.pushes != 0 {
+		t.Fatalf("inner saw %d pushes through injected panics", inner.pushes)
+	}
+	// After the chaotic window the frame flows through untouched.
+	if _, err := b.Push(core.Frame{Time: 99, Magnitudes: []float64{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.pushes != 1 || inner.last != 99 {
+		t.Fatalf("clean frame did not reach inner (pushes %d, last %v)", inner.pushes, inner.last)
+	}
+	st := b.Stats()
+	if st.Frames != 3 || st.Panics != 2 {
+		t.Fatalf("stats %+v, want 3 frames / 2 panics", st)
+	}
+
+	inner = &stub{}
+	b = New(inner, Plan{Seed: 1, ErrEvery: 1, Until: 1})
+	if _, err := b.Push(core.Frame{Time: 0, Magnitudes: []float64{0, 0}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if inner.pushes != 0 {
+		t.Fatal("inner saw an error-injected frame")
+	}
+	if st := b.Stats(); st.Errors != 1 {
+		t.Fatalf("stats %+v, want 1 error", st)
+	}
+
+	inner = &stub{}
+	b = New(inner, Plan{Seed: 1, NaNEvery: 1, Until: 1})
+	alarms, err := b.Push(core.Frame{Time: 0, Magnitudes: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 1 || !math.IsNaN(alarms[0].Score) {
+		t.Fatalf("NaN injection produced alarms %+v, want one NaN-scored alarm", alarms)
+	}
+	if inner.pushes != 1 {
+		t.Fatal("NaN frame must still reach the inner backend")
+	}
+	scores, err := b.PushScores(core.Frame{Time: 1, Magnitudes: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(scores[0]) {
+		t.Fatal("frame 1 is outside the window; score must be clean")
+	}
+	if st := b.Stats(); st.NaNs != 1 {
+		t.Fatalf("stats %+v, want 1 NaN", st)
+	}
+
+	if b.Kind() != "stub+chaos" {
+		t.Fatalf("kind %q", b.Kind())
+	}
+}
+
+// TestBackendSnapshotDelegates pins that chaos wrappers stay transparent
+// to the snapshot convention: blobs are the inner backend's own.
+func TestBackendSnapshotDelegates(t *testing.T) {
+	inner := &stub{pushes: 7}
+	b := New(inner, Plan{Seed: 1})
+	blob, err := b.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner2 := &stub{}
+	b2 := New(inner2, Plan{Seed: 1})
+	if err := b2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if inner2.pushes != 7 {
+		t.Fatalf("restore did not delegate (pushes %d)", inner2.pushes)
+	}
+}

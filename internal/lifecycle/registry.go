@@ -230,7 +230,7 @@ func (r *Registry) PublishArtifact(tenant, kind string, artifact []byte) (Versio
 	next := r.maxSeen[tenant] + 1
 	r.maxSeen[tenant] = next
 	r.mu.Unlock()
-	if err := core.WriteFileAtomic(r.modelPath(tenant, next), blob, 0o644); err != nil {
+	if err := retryWrite(r.modelPath(tenant, next), blob, 0o644); err != nil {
 		return 0, fmt.Errorf("lifecycle: publish %q %s: %w", tenant, next, err)
 	}
 	r.mu.Lock()
@@ -346,13 +346,13 @@ var errEntryCorrupt = errors.New("lifecycle: corrupt registry entry")
 
 // loadVersion reads and decodes one entry's envelope. The read and the
 // parse fail differently on purpose: a read error (fd exhaustion,
-// permissions, an NFS blip) is returned as-is — quarantining on it would
-// permanently discard a healthy entry over a transient condition — while
-// a decode error means the bytes themselves are bad, so the entry is
-// quarantined.
+// permissions, an NFS blip) is retried with backoff and then returned
+// as-is — quarantining on it would permanently discard a healthy entry
+// over a transient condition — while a decode error means the bytes
+// themselves are bad, so the entry is quarantined.
 func (r *Registry) loadVersion(tenant string, v Version) (kind string, artifact []byte, err error) {
 	p := r.modelPath(tenant, v)
-	blob, err := os.ReadFile(p)
+	blob, err := retryRead(p)
 	if errors.Is(err, fs.ErrNotExist) {
 		// Deleted behind the registry's back: gone is gone — drop the
 		// entry so Latest falls back instead of failing forever.
@@ -420,7 +420,7 @@ func (r *Registry) SaveState(tenant string, blob []byte) error {
 	if err := os.MkdirAll(tdir, 0o755); err != nil {
 		return fmt.Errorf("lifecycle: save state %q: %w", tenant, err)
 	}
-	if err := core.WriteFileAtomic(filepath.Join(tdir, stateFile), blob, 0o644); err != nil {
+	if err := retryWrite(filepath.Join(tdir, stateFile), blob, 0o644); err != nil {
 		return fmt.Errorf("lifecycle: save state %q: %w", tenant, err)
 	}
 	return nil
@@ -432,7 +432,7 @@ func (r *Registry) LoadState(tenant string) ([]byte, error) {
 	if err := validTenant(tenant); err != nil {
 		return nil, err
 	}
-	blob, err := os.ReadFile(filepath.Join(r.dir, tenant, stateFile))
+	blob, err := retryRead(filepath.Join(r.dir, tenant, stateFile))
 	if err != nil {
 		return nil, fmt.Errorf("lifecycle: load state %q: %w", tenant, err)
 	}

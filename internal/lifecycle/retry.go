@@ -1,0 +1,63 @@
+package lifecycle
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"time"
+
+	"aero/internal/core"
+)
+
+// Registry IO runs under a bounded retry with linear backoff: a catalog
+// deployment keeps its registry on shared storage, where a publish or a
+// restore hitting one EIO/ENFILE blip should not burn a version id or
+// abort a tenant restart. Only plausibly-transient failures are retried —
+// a missing file is a fact, and a decode error is handled by the
+// quarantine path, not here.
+const ioAttempts = 3
+
+// ioBackoff is the wait after the first failed attempt; attempt k waits
+// k×ioBackoff. A variable so tests can shrink it.
+var ioBackoff = 5 * time.Millisecond
+
+// readFile and writeFileAtomic are the underlying IO, injectable so
+// tests can script transient failures.
+var (
+	readFile        = os.ReadFile
+	writeFileAtomic = core.WriteFileAtomic
+)
+
+// retriable reports whether an IO error is worth another attempt.
+// fs.ErrNotExist is permanent: retrying cannot make a file appear, and
+// callers fold "missing" into their own semantics (quarantine, first-run).
+func retriable(err error) bool {
+	return err != nil && !errors.Is(err, fs.ErrNotExist)
+}
+
+// retryRead reads path, retrying transient failures up to ioAttempts.
+func retryRead(path string) ([]byte, error) {
+	var blob []byte
+	var err error
+	for attempt := 1; ; attempt++ {
+		blob, err = readFile(path)
+		if err == nil || !retriable(err) || attempt == ioAttempts {
+			return blob, err
+		}
+		time.Sleep(time.Duration(attempt) * ioBackoff)
+	}
+}
+
+// retryWrite writes path atomically, retrying transient failures up to
+// ioAttempts. WriteFileAtomic cleans up its temp file on failure, so a
+// retry never observes a partial write.
+func retryWrite(path string, blob []byte, perm os.FileMode) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = writeFileAtomic(path, blob, perm)
+		if err == nil || !retriable(err) || attempt == ioAttempts {
+			return err
+		}
+		time.Sleep(time.Duration(attempt) * ioBackoff)
+	}
+}

@@ -1,0 +1,144 @@
+package lifecycle
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// withIOHooks swaps the injectable IO for the test and restores it.
+func withIOHooks(t *testing.T, read func(string) ([]byte, error), write func(string, []byte, os.FileMode) error) {
+	t.Helper()
+	prevR, prevW, prevB := readFile, writeFileAtomic, ioBackoff
+	if read != nil {
+		readFile = read
+	}
+	if write != nil {
+		writeFileAtomic = write
+	}
+	ioBackoff = time.Microsecond
+	t.Cleanup(func() { readFile, writeFileAtomic, ioBackoff = prevR, prevW, prevB })
+}
+
+var errBlip = errors.New("transient blip")
+
+// TestRetryReadTransient: a read that fails transiently recovers within
+// the attempt budget, and the registry call above it never notices.
+func TestRetryReadTransient(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveState("tenant", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	withIOHooks(t, func(path string) ([]byte, error) {
+		calls++
+		if calls < ioAttempts {
+			return nil, errBlip
+		}
+		return os.ReadFile(path)
+	}, nil)
+
+	blob, err := r.LoadState("tenant")
+	if err != nil {
+		t.Fatalf("transient failures were not retried: %v", err)
+	}
+	if string(blob) != "warm" || calls != ioAttempts {
+		t.Fatalf("blob %q after %d calls, want \"warm\" after %d", blob, calls, ioAttempts)
+	}
+}
+
+// TestRetryReadExhausted: a persistent failure surfaces after exactly
+// ioAttempts tries — bounded, not forever.
+func TestRetryReadExhausted(t *testing.T) {
+	calls := 0
+	withIOHooks(t, func(string) ([]byte, error) {
+		calls++
+		return nil, errBlip
+	}, nil)
+	if _, err := retryRead("whatever"); !errors.Is(err, errBlip) {
+		t.Fatalf("err %v, want the underlying blip", err)
+	}
+	if calls != ioAttempts {
+		t.Fatalf("%d attempts, want %d", calls, ioAttempts)
+	}
+}
+
+// TestRetryReadNotExist: a missing file is permanent — no retries, the
+// caller's fs.ErrNotExist semantics (quarantine, first-run) intact.
+func TestRetryReadNotExist(t *testing.T) {
+	calls := 0
+	withIOHooks(t, func(string) ([]byte, error) {
+		calls++
+		return nil, fs.ErrNotExist
+	}, nil)
+	if _, err := retryRead("gone"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("%d attempts on ErrNotExist, want 1", calls)
+	}
+}
+
+// TestRetryWriteTransient: a publish whose atomic write blips transiently
+// still lands — same bytes, same path, one version id.
+func TestRetryWriteTransient(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	realWrite := writeFileAtomic
+	withIOHooks(t, nil, func(path string, blob []byte, perm os.FileMode) error {
+		calls++
+		if calls < ioAttempts {
+			return errBlip
+		}
+		return realWrite(path, blob, perm)
+	})
+
+	v, err := r.PublishArtifact("tenant", "fluxev", []byte(`{"cal":1}`))
+	if err != nil {
+		t.Fatalf("transient write failures were not retried: %v", err)
+	}
+	if calls != ioAttempts {
+		t.Fatalf("%d write attempts, want %d", calls, ioAttempts)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tenant", v.String()+modelSuffix)); err != nil {
+		t.Fatalf("published entry missing: %v", err)
+	}
+	if kind, artifact, _, err := r.LatestArtifact("tenant"); err != nil || kind != "fluxev" || string(artifact) != `{"cal":1}` {
+		t.Fatalf("reload after retried publish: kind %q artifact %q err %v", kind, artifact, err)
+	}
+}
+
+// TestRetryWriteExhausted: a persistently failing publish reports the
+// failure after the attempt budget and burns its version id (gaps are
+// fine, reuse is not).
+func TestRetryWriteExhausted(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	withIOHooks(t, nil, func(string, []byte, os.FileMode) error {
+		calls++
+		return errBlip
+	})
+	if _, err := r.PublishArtifact("tenant", "fluxev", []byte(`{}`)); !errors.Is(err, errBlip) {
+		t.Fatalf("err %v, want the underlying blip", err)
+	}
+	if calls != ioAttempts {
+		t.Fatalf("%d write attempts, want %d", calls, ioAttempts)
+	}
+}
