@@ -35,6 +35,9 @@
 package aero
 
 import (
+	"net"
+	"os"
+
 	"aero/internal/alerts"
 	"aero/internal/anomaly"
 	"aero/internal/backend"
@@ -44,6 +47,7 @@ import (
 	"aero/internal/engine"
 	"aero/internal/evt"
 	"aero/internal/faultinject"
+	"aero/internal/ingest"
 	"aero/internal/lifecycle"
 )
 
@@ -361,6 +365,79 @@ func NewTriagePipeline(cfg TriageConfig) *TriagePipeline { return alerts.NewPipe
 func AttachTriage(e *Engine, cfg TriageConfig, buffer int) (*TriageStream, error) {
 	return alerts.Attach(e, cfg, buffer)
 }
+
+// IngestServer is the network front door: it terminates the compact
+// length-prefixed binary frame protocol over TCP (versioned magic,
+// per-tenant handshake, CRC-guarded frames, credit-based flow control
+// sized to engine queue headroom) plus a JSON-lines HTTP interop
+// endpoint, and drains losslessly for zero-downtime restarts (every
+// accepted frame scored and checkpointed before clients are told which
+// prefix to release). See internal/ingest.
+type IngestServer = ingest.Server
+
+// IngestServerConfig wires an IngestServer to its engine, tenant lookup
+// and drain-time checkpoint hook.
+type IngestServerConfig = ingest.ServerConfig
+
+// IngestServerStats snapshots the ingest front end's counters.
+type IngestServerStats = ingest.ServerStats
+
+// IngestClient is the protocol client: sequenced frames, a bounded
+// resend buffer, credit-window flow control (Send blocks when the
+// server's shard is saturated — the engine's lossless backpressure,
+// felt end-to-end), and automatic reconnect-with-resend across a
+// server's drain/restart handoff.
+type IngestClient = ingest.Client
+
+// IngestClientConfig parameterizes DialIngest.
+type IngestClientConfig = ingest.ClientConfig
+
+// IngestClientStats snapshots a client's delivery counters.
+type IngestClientStats = ingest.ClientStats
+
+// FrameSource replays a variate-major series as a paced frame stream —
+// the one feeder shared by aeroserve's file replay and the aeroload
+// network client.
+type FrameSource = ingest.FrameSource
+
+// ErrFeedStopped is returned by FrameSource.Feed when its Stop channel
+// closes before the series is exhausted.
+var ErrFeedStopped = ingest.ErrStopped
+
+// ResumeOffset computes the timestamp shift for a tenant restored from
+// a checkpoint, so a resumed replay continues strictly after the
+// checkpointed cursor instead of rewinding.
+func ResumeOffset(last float64, haveLast bool, seriesStart, step float64) float64 {
+	return ingest.ResumeOffset(last, haveLast, seriesStart, step)
+}
+
+// NewIngestServer validates cfg and returns an idle ingest server; call
+// Serve with a listener (see ListenInherited) to start accepting.
+func NewIngestServer(cfg IngestServerConfig) (*IngestServer, error) { return ingest.NewServer(cfg) }
+
+// DialIngest connects a protocol client to an ingest server and
+// performs the tenant handshake.
+func DialIngest(cfg IngestClientConfig) (*IngestClient, error) { return ingest.Dial(cfg) }
+
+// IngestDataWireSize reports the encoded on-the-wire size in bytes of
+// one n-variate data frame (framing, header and CRC included).
+func IngestDataWireSize(n int) int { return ingest.DataWireSize(n) }
+
+// ListenInherited returns a TCP listener for addr, preferring one
+// inherited from a parent process mid zero-downtime restart; the bool
+// reports whether the socket was inherited.
+func ListenInherited(addr string) (ln net.Listener, inherited bool, err error) {
+	return ingest.Listen(addr)
+}
+
+// IngestListenerFile duplicates a TCP listener's descriptor so it can
+// be handed to a successor process across a zero-downtime restart.
+func IngestListenerFile(l net.Listener) (*os.File, error) { return ingest.ListenerFile(l) }
+
+// IngestRelaunch re-execs the current binary with the duplicated
+// listener descriptor; the child resumes accepting on the same socket
+// (see ListenInherited). Returns the child's pid.
+func IngestRelaunch(f *os.File) (int, error) { return ingest.Relaunch(f) }
 
 // ModelRegistry is a versioned on-disk model store: atomic publishes,
 // monotonically increasing per-tenant versions, quarantine of corrupt

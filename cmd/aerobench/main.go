@@ -17,7 +17,10 @@
 // snapshot-bytes metric.
 // It also measures per-backend streaming throughput — one warm Push per
 // registered backend kind, static and DSPOT-wrapped (matching
-// BenchmarkBackendStreamPush) — as BackendPush/<kind> entries.
+// BenchmarkBackendStreamPush) — as BackendPush/<kind> entries, and the
+// network ingest path — one frame per op over a loopback socket through
+// the wire protocol, credit flow control and batched acks (matching
+// BenchmarkIngestRoundTrip in internal/ingest) — as IngestRoundTrip.
 //
 // With -json FILE, a machine-readable summary — per-experiment wall times
 // and per-benchmark ns/op, B/op and allocs/op — is written to FILE, so CI
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -324,6 +328,17 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 		return nil, benchErr
 	}
 
+	// Network ingest: one op is one frame through the full wire path —
+	// client encode, TCP loopback, CRC check, engine ingest, batched ack,
+	// credit top-up — against a no-op backend so the row isolates
+	// transport + engine cost (matching BenchmarkIngestRoundTrip in
+	// internal/ingest). wire-bytes is the frame's on-the-wire size.
+	ingestRes, err := benchIngestRoundTrip()
+	if err != nil {
+		return nil, fmt.Errorf("bench IngestRoundTrip: %w", err)
+	}
+	record("IngestRoundTrip", ingestRes)
+
 	// SPOT step paths (matching BenchmarkSPOTStep in internal/evt): the
 	// benign O(1) common case, the amortized in-tail update under the
 	// default refit policy, and exact mode's full Grimshaw fit per
@@ -398,6 +413,79 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// sinkBackend is the no-op detector behind the IngestRoundTrip row: it
+// accepts every frame instantly so the measurement is pure transport +
+// engine overhead.
+type sinkBackend struct{ n int }
+
+func (s *sinkBackend) Kind() string                             { return "sink" }
+func (s *sinkBackend) Variates() int                            { return s.n }
+func (s *sinkBackend) Ready() bool                              { return true }
+func (s *sinkBackend) Threshold() float64                       { return math.Inf(1) }
+func (s *sinkBackend) LastTime() (float64, bool)                { return 0, false }
+func (s *sinkBackend) PushScores(aero.Frame) ([]float64, error) { return nil, nil }
+func (s *sinkBackend) Push(aero.Frame) ([]aero.Alarm, error)    { return nil, nil }
+func (s *sinkBackend) SwapArtifact([]byte) error                { return nil }
+func (s *sinkBackend) SnapshotState() ([]byte, error)           { return []byte{1}, nil }
+func (s *sinkBackend) RestoreState([]byte) error                { return nil }
+
+// benchIngestRoundTrip builds a loopback server + client pair around a
+// sink backend and measures one frame per op through the wire protocol.
+func benchIngestRoundTrip() (testing.BenchmarkResult, error) {
+	const variates = 5
+	e := aero.NewEngine(aero.EngineConfig{Shards: 1, Workers: 1, QueueDepth: 64, BatchSize: 8})
+	defer e.Close()
+	go func() {
+		for range e.Alarms() {
+		}
+	}()
+	sub, err := e.SubscribeBackend("bench", &sinkBackend{n: variates})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	srv, err := aero.NewIngestServer(aero.IngestServerConfig{
+		Engine: e,
+		Lookup: func(tenant string) (*aero.Subscription, error) { return sub, nil },
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer l.Close()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() { srv.Close(); <-serveDone }()
+
+	c, err := aero.DialIngest(aero.IngestClientConfig{
+		Addr: l.Addr().String(), Tenant: "bench", Variates: variates, Window: 256,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer c.Close()
+	frame := aero.Frame{Magnitudes: make([]float64, variates)}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frame.Time = float64(i)
+			if err := c.Send(frame); err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			benchErr = err
+			b.Skip(err)
+		}
+		b.ReportMetric(float64(aero.IngestDataWireSize(variates)), "wire-bytes")
+	})
+	return res, benchErr
 }
 
 // openBenchBackend opens one serving backend, optionally wrapped in a

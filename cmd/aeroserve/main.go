@@ -9,6 +9,8 @@
 //	aeroserve -dir data -dataset SyntheticMiddle -backend sr -tenants 64
 //	aeroserve -dir data -dataset SyntheticMiddle -checkpoint ckpt \
 //	    -retrain-every 30s -rate 4
+//	aeroserve -dir data -dataset SyntheticMiddle -backend fluxev \
+//	    -listen :7071 -http :7072 -checkpoint ckpt
 //
 // Each tenant simulates one telescope field observing the test split; the
 // engine shards the tenants, scores frames on a worker pool, and streams
@@ -63,6 +65,21 @@
 // spikes — to soak-test the containment layer live; the stderr stats
 // line then reports tenant health states, fallback service, and
 // injection counters.
+//
+// With -listen and/or -http the process becomes a network ingest server
+// instead of a replayer: -listen serves the compact binary frame
+// protocol (credit-based flow control sized to engine queue headroom —
+// see internal/ingest and cmd/aeroload for the matching client), -http
+// serves the JSON-lines /ingest interop endpoint plus /stats and
+// /healthz. SIGINT/SIGTERM drain losslessly (every accepted frame
+// scored and checkpointed before clients are told what to release);
+// SIGUSR2 additionally hands the listening socket to a re-exec'd
+// successor for a zero-downtime restart — drained clients reconnect and
+// resend their unacknowledged suffix, resuming mid-episode.
+//
+// In replay mode SIGINT/SIGTERM stop the feed at the next frame and run
+// the normal shutdown path, so an interrupted replay still checkpoints
+// every warm detector and the mid-flight triage state.
 package main
 
 import (
@@ -71,8 +88,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"aero"
@@ -132,6 +151,8 @@ func main() {
 	latencyThresh := flag.Duration("latency-threshold", 0, "per-push latency budget; breaches count as faults (0 = off)")
 	chaosN := flag.Int("chaos", 0, "wrap the first N tenants in the deterministic fault-injection harness (panics, errors, NaN scores, latency spikes)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos harness schedule seed (per-tenant seed = seed + tenant index)")
+	listenAddr := flag.String("listen", "", "serve the binary frame protocol on this TCP address instead of replaying (clients: aeroload); SIGUSR2 restarts with zero downtime")
+	httpAddr := flag.String("http", "", "serve HTTP endpoints on this address: POST /ingest (JSON lines), GET /stats, GET /healthz")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -533,6 +554,56 @@ func main() {
 		}
 	}()
 
+	// checkpointAll persists every tenant's warm backend state and the
+	// mid-flight triage state to the registry. The run-to-completion
+	// epilogue, the signal-interrupted replay, and the network server's
+	// drain hook all funnel through it, so every exit path leaves the
+	// same resumable state behind.
+	checkpointAll := func() error {
+		if reg == nil {
+			return nil
+		}
+		var firstErr error
+		saved := 0
+		for _, sub := range subs {
+			blob, serr := sub.SnapshotState()
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", sub.ID, serr)
+				if firstErr == nil {
+					firstErr = serr
+				}
+				continue
+			}
+			if serr = reg.SaveState(sub.ID, blob); serr != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint %s: %v\n", sub.ID, serr)
+				if firstErr == nil {
+					firstErr = serr
+				}
+				continue
+			}
+			saved++
+		}
+		fmt.Fprintf(os.Stderr, "checkpointed %d warm backend states to %s\n", saved, reg.Dir())
+		if triageStream != nil {
+			p := triageStream.Pipeline()
+			if blob, terr := p.SnapshotState(); terr != nil {
+				fmt.Fprintf(os.Stderr, "snapshot triage: %v\n", terr)
+				if firstErr == nil {
+					firstErr = terr
+				}
+			} else if terr = reg.SaveState("triage", blob); terr != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint triage: %v\n", terr)
+				if firstErr == nil {
+					firstErr = terr
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "checkpointed triage state (%d open episodes resume next run)\n",
+					p.Stats().OpenEpisodes)
+			}
+		}
+		return firstErr
+	}
+
 	// refitTotals sums the adaptive tail models' maintenance counters
 	// across tenants (zero and false when the alarm stage is static).
 	refitTotals := func() (aero.RefitStats, bool) {
@@ -626,42 +697,66 @@ func main() {
 		}
 	}()
 
-	// Feeders: one goroutine per tenant replaying the test split.
 	start := time.Now()
-	var feeders sync.WaitGroup
-	for i := range subs {
-		feeders.Add(1)
-		go func(i int) {
-			defer feeders.Done()
-			id := subs[i].ID
-			frame := aero.Frame{Magnitudes: make([]float64, d.Test.N())}
-			// A restored tenant already has a time cursor; shift the replay
-			// so it continues strictly after the checkpointed feed.
-			offset := 0.0
-			if last, ok := subs[i].LastTime(); ok && last >= d.Test.Time[0] {
-				offset = last - d.Test.Time[0] + step
-			}
-			var tick *time.Ticker
-			if *rate > 0 {
-				tick = time.NewTicker(time.Duration(float64(time.Second) / *rate))
-				defer tick.Stop()
-			}
-			for t := 0; t < d.Test.Len(); t++ {
-				if tick != nil {
-					<-tick.C
+	relaunched := false
+	serveMode := *listenAddr != "" || *httpAddr != ""
+	if serveMode {
+		// Network mode: the engine is fed over the wire instead of from
+		// the test split; runServe blocks until a shutdown signal drains
+		// the server (checkpointing through the hook above).
+		relaunched = runServe(serveEnv{
+			eng: eng, subs: subs,
+			listenAddr: *listenAddr, httpAddr: *httpAddr,
+			checkpoint: checkpointAll,
+			extraStats: func() map[string]any {
+				out := make(map[string]any)
+				if rs, ok := refitTotals(); ok {
+					out["dspot"] = rs
 				}
-				frame.Time = d.Test.Time[t] + offset
-				for v := 0; v < d.Test.N(); v++ {
-					frame.Magnitudes[v] = d.Test.Data[v][t]
+				if triageStream != nil {
+					out["triage"] = triageStream.Pipeline().Stats()
 				}
-				if err := eng.Ingest(id, frame); err != nil {
-					fmt.Fprintf(os.Stderr, "ingest %s: %v\n", id, err)
-					return
-				}
+				return out
+			},
+		})
+	} else {
+		// Replay mode: one feeder per tenant replays the test split
+		// through the shared FrameSource. SIGINT/SIGTERM stop the feed at
+		// the next frame; the normal epilogue below then checkpoints, so
+		// an interrupted replay loses no warm state.
+		stop := make(chan struct{})
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			if sig, ok := <-sigc; ok {
+				fmt.Fprintf(os.Stderr, "%s: stopping replay, checkpointing...\n", sig)
+				close(stop)
 			}
-		}(i)
+		}()
+		var feeders sync.WaitGroup
+		for i := range subs {
+			feeders.Add(1)
+			go func(i int) {
+				defer feeders.Done()
+				id := subs[i].ID
+				// A restored tenant already has a time cursor; shift the
+				// replay so it continues strictly after the checkpointed feed.
+				last, ok := subs[i].LastTime()
+				src := aero.FrameSource{
+					Time: d.Test.Time, Data: d.Test.Data,
+					Rate: *rate, Stop: stop,
+					Offset: aero.ResumeOffset(last, ok, d.Test.Time[0], step),
+				}
+				_, ferr := src.Feed(func(f aero.Frame) error { return eng.Ingest(id, f) })
+				if ferr != nil && !errors.Is(ferr, aero.ErrFeedStopped) {
+					fmt.Fprintf(os.Stderr, "ingest %s: %v\n", id, ferr)
+				}
+			}(i)
+		}
+		feeders.Wait()
+		signal.Stop(sigc)
+		close(sigc)
 	}
-	feeders.Wait()
 	if retrainer != nil {
 		retrainer.Close() // finish any in-flight retrain (its swap still lands)
 	}
@@ -678,40 +773,22 @@ func main() {
 	eng.Close()
 	consumers.Wait()
 
-	// Checkpoint warm backend states so the next run resumes mid-window.
-	if reg != nil {
-		saved := 0
-		for _, sub := range subs {
-			blob, serr := sub.SnapshotState()
-			if serr != nil {
-				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", sub.ID, serr)
-				continue
-			}
-			if serr := reg.SaveState(sub.ID, blob); serr != nil {
-				fmt.Fprintf(os.Stderr, "checkpoint %s: %v\n", sub.ID, serr)
-				continue
-			}
-			saved++
-		}
-		fmt.Fprintf(os.Stderr, "checkpointed %d warm backend states to %s\n", saved, reg.Dir())
+	// Checkpoint warm backend + triage states so the next run resumes
+	// mid-window. Network mode already checkpointed through the drain
+	// hook (before clients were told what to release), so only replay
+	// mode checkpoints here.
+	if !serveMode {
+		checkpointAll()
 	}
 
-	// Triage epilogue: checkpoint the mid-flight triage state when a
-	// registry is kept (episodes resume on restart), otherwise flush the
-	// remaining episodes into final incidents; then report the reduction,
-	// the top-ranked incidents and the strongest lead-lag orderings.
+	// Triage epilogue: with a registry the mid-flight state was
+	// checkpointed above (episodes resume on restart); without one flush
+	// the remaining episodes into final incidents. Then report the
+	// reduction, the top-ranked incidents and the strongest lead-lag
+	// orderings.
 	if triageStream != nil {
 		p := triageStream.Pipeline()
-		if reg != nil {
-			if blob, terr := p.SnapshotState(); terr != nil {
-				fmt.Fprintf(os.Stderr, "snapshot triage: %v\n", terr)
-			} else if terr := reg.SaveState("triage", blob); terr != nil {
-				fmt.Fprintf(os.Stderr, "checkpoint triage: %v\n", terr)
-			} else {
-				fmt.Fprintf(os.Stderr, "checkpointed triage state (%d open episodes resume next run)\n",
-					p.Stats().OpenEpisodes)
-			}
-		} else {
+		if reg == nil {
 			for _, inc := range p.Finalize() {
 				noteIncident(inc)
 				printIncident(inc)
@@ -749,6 +826,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
 		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),
 		total.Alarms, retrains.Load(), hotSwaps.Load())
+	if relaunched {
+		fmt.Fprintln(os.Stderr, "successor process is serving; this process exits")
+	}
 }
 
 // openBackend constructs one cold backend instance. AERO tenants share

@@ -167,6 +167,18 @@ func (s *Subscription) Stats() SubscriptionStats {
 // lock-free at any time.
 func (s *Subscription) Health() HealthState { return s.sub.state() }
 
+// QueueHeadroom reports how many more frames the tenant's shard queue
+// can accept before Ingest would block — the signal a network front end
+// sizes its flow-control credit grants from, so a saturated shard slows
+// remote producers at the protocol layer instead of parking their
+// connection goroutines.
+func (s *Subscription) QueueHeadroom() int {
+	sh := s.sub.shard
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.queue) - sh.count
+}
+
 // SetFallback installs a warm standby backend for the tenant: while the
 // primary is healthy the fallback is kept current from the same frames
 // (scores discarded), and while the primary is quarantined or on

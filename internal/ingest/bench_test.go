@@ -1,0 +1,73 @@
+package ingest_test
+
+import (
+	"net"
+	"testing"
+
+	"aero/internal/core"
+	"aero/internal/engine"
+	"aero/internal/ingest"
+)
+
+// BenchmarkIngestRoundTrip measures the full network path per frame:
+// client encode → TCP loopback → CRC check → decode → engine ingest →
+// worker push → batched ack → credit top-up back to the client. The
+// backend is a no-op gate so the row isolates transport + engine cost;
+// b.SetBytes reports wire throughput.
+func BenchmarkIngestRoundTrip(b *testing.B) {
+	const variates = 5
+	gb := &gateBackend{n: variates}
+	e := engine.New(engine.Config{Shards: 1, Workers: 1, QueueDepth: 64, BatchSize: 8})
+	sub, err := e.SubscribeBackend("bench", gb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range e.Alarms() {
+		}
+	}()
+	subs := map[string]*engine.Subscription{"bench": sub}
+	srv, err := ingest.NewServer(ingest.ServerConfig{
+		Engine: e,
+		Lookup: func(tenant string) (*engine.Subscription, error) { return subs[tenant], nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	c, err := ingest.Dial(ingest.ClientConfig{
+		Addr: l.Addr().String(), Tenant: "bench", Variates: variates, Window: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := core.Frame{Magnitudes: make([]float64, variates)}
+
+	b.SetBytes(int64(ingest.DataWireSize(variates)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame.Time = float64(i)
+		if err := c.Send(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+
+	if err := c.Close(); err != nil {
+		b.Fatal(err)
+	}
+	srv.Close()
+	e.Close()
+	l.Close()
+	<-serveDone
+}

@@ -1,0 +1,490 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aero/internal/core"
+)
+
+// ClientConfig parameterizes Dial.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Tenant is the subscription id declared in the handshake.
+	Tenant string
+	// Variates is the frame width declared in the handshake; every Send
+	// must match it.
+	Variates int
+	// Window caps the client-side resend buffer (frames sent but not yet
+	// acknowledged). Send blocks at the cap even when the server has
+	// granted more credit. Defaults to 256.
+	Window int
+	// RedialAttempts bounds reconnection tries after a drain notice or a
+	// connection failure; 0 disables reconnection (the next Send fails).
+	// Defaults to 30.
+	RedialAttempts int
+	// RedialDelay is the initial backoff between redials (doubled up to
+	// 32×). Defaults to 50 ms.
+	RedialDelay time.Duration
+	// Logf receives reconnect diagnostics. Optional.
+	Logf func(format string, args ...any)
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.RedialAttempts == 0 {
+		c.RedialAttempts = 30
+	}
+	if c.RedialDelay <= 0 {
+		c.RedialDelay = 50 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ClientStats snapshots a client's delivery counters.
+type ClientStats struct {
+	// Sent counts distinct frames handed to Send.
+	Sent uint64
+	// Acked counts frames the server has acknowledged (scored or
+	// checkpointed — safe to forget).
+	Acked uint64
+	// Resent counts frame retransmissions after drains or reconnects.
+	Resent uint64
+	// Reconnects counts successful re-handshakes.
+	Reconnects uint64
+	// BlockedWaits counts Send calls that had to park on credit or
+	// window exhaustion — the client-visible face of engine backpressure.
+	BlockedWaits uint64
+	// Drains counts drain notices received.
+	Drains uint64
+}
+
+// ErrClientClosed is returned by Send after Close.
+var ErrClientClosed = errors.New("ingest: client closed")
+
+// pendFrame is one sent-but-unacknowledged frame, owned by the client
+// for retransmission.
+type pendFrame struct {
+	seq  uint64
+	time float64
+	mags []float64
+}
+
+// Client is one tenant's connection to the ingest server: an ordered,
+// credit-controlled, exactly-once frame stream. Send blocks while the
+// server is out of credit (protocol-level backpressure) and transparently
+// rides out drains and restarts by reconnecting and resending the
+// unacknowledged suffix. Clients are safe for use by one sender
+// goroutine; the reader goroutine is internal.
+type Client struct {
+	cfg ClientConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	conn      net.Conn
+	bw        *bufio.Writer
+	credits   int
+	nextSeq   uint64
+	pending   []pendFrame // in seq order; released by cumulative acks
+	free      [][]float64 // recycled magnitude buffers
+	ackedUp   uint64
+	byeUp     uint64 // ByeAck watermark (0 until received)
+	closed    bool
+	dead      bool  // no live conn; a redial loop may be running
+	resending bool  // redial retransmission in flight; Send must stay parked
+	err       error // terminal failure, reported by Send/Close
+
+	stats ClientStats
+}
+
+// Dial connects, performs the tenant handshake, and starts the ack
+// reader.
+func Dial(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{cfg: cfg}
+	c.cond = sync.NewCond(&c.mu)
+	conn, credits, err := c.handshake()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.install(conn, credits)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// handshake dials and exchanges Hello/HelloAck, returning the connection
+// and the initial credit grant.
+func (c *Client) handshake() (net.Conn, int, error) {
+	conn, err := net.Dial("tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	buf, err := AppendMsg(nil, &Msg{Type: MsgHello, Tenant: c.cfg.Tenant, Variates: c.cfg.Variates})
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	var m Msg
+	var scratch []byte
+	br := bufio.NewReader(conn)
+	if err := ReadMsg(br, &m, &scratch); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	switch m.Type {
+	case MsgHelloAck:
+	case MsgError:
+		conn.Close()
+		return nil, 0, fmt.Errorf("ingest: server rejected handshake (code %d): %s", m.Code, m.Text)
+	default:
+		conn.Close()
+		return nil, 0, fmt.Errorf("%w: handshake reply 0x%02x", ErrBadMessage, m.Type)
+	}
+	conn.SetDeadline(time.Time{})
+	return &readerConn{Conn: conn, br: br}, int(m.Credits), nil
+}
+
+// readerConn keeps the handshake's buffered reader attached to the
+// connection so bytes the handshake read ahead are not lost.
+type readerConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+// install adopts a fresh connection under c.mu and starts its reader.
+func (c *Client) install(conn net.Conn, credits int) {
+	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 32<<10)
+	c.credits = credits
+	c.dead = false
+	go c.readLoop(conn)
+	c.cond.Broadcast()
+}
+
+// Send delivers one frame in order, blocking while the server's credit
+// grant or the local window is exhausted — the protocol-level face of
+// the engine's backpressure. The magnitudes are copied; the caller may
+// reuse the slice. Send never drops: a frame accepted by Send is
+// retransmitted across drains and reconnects until acknowledged.
+func (c *Client) Send(f core.Frame) error {
+	if len(f.Magnitudes) != c.cfg.Variates {
+		return fmt.Errorf("ingest: frame has %d variates, client declared %d", len(f.Magnitudes), c.cfg.Variates)
+	}
+	c.mu.Lock()
+	waited := false
+	for !c.closed && c.err == nil && (c.dead || c.resending || c.credits <= 0 || len(c.pending) >= c.cfg.Window) {
+		if !c.dead && !waited {
+			waited = true
+			c.stats.BlockedWaits++
+		}
+		c.cond.Wait()
+	}
+	if c.closed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return err
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	mags := c.getBuf(len(f.Magnitudes))
+	copy(mags, f.Magnitudes)
+	c.pending = append(c.pending, pendFrame{seq: seq, time: f.Time, mags: mags})
+	c.credits--
+	c.stats.Sent++
+	bw, conn := c.bw, c.conn
+	c.mu.Unlock()
+
+	// The write happens outside c.mu so a TCP stall cannot lock the ack
+	// reader out; write failures surface through the reader's reconnect
+	// path, which retransmits this frame from pending.
+	if err := writeFrame(bw, conn, seq, f.Time, mags); err != nil {
+		c.onConnError(conn, err)
+	}
+	return nil
+}
+
+// writeFrame encodes and flushes one Data message.
+func writeFrame(bw *bufio.Writer, conn net.Conn, seq uint64, t float64, mags []float64) error {
+	buf, err := AppendMsg(nil, &Msg{Type: MsgData, Seq: seq, Time: t, Mags: mags})
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (c *Client) getBuf(n int) []float64 {
+	if k := len(c.free); k > 0 {
+		b := c.free[k-1]
+		c.free = c.free[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// readLoop consumes server messages for one connection's lifetime.
+func (c *Client) readLoop(conn net.Conn) {
+	br := conn.(*readerConn).br
+	var m Msg
+	var scratch []byte
+	for {
+		if err := ReadMsg(br, &m, &scratch); err != nil {
+			c.onConnError(conn, err)
+			return
+		}
+		switch m.Type {
+		case MsgAck:
+			c.mu.Lock()
+			if conn == c.conn {
+				c.release(m.UpTo)
+				c.credits += int(m.Credits)
+				c.cond.Broadcast()
+			}
+			c.mu.Unlock()
+		case MsgDrain:
+			// Everything ≤ UpTo is checkpointed server-side; the rest of
+			// pending is ours to resend after the successor comes up.
+			c.mu.Lock()
+			if conn == c.conn {
+				c.stats.Drains++
+				c.release(m.UpTo)
+				c.markDead(conn)
+			}
+			c.mu.Unlock()
+			conn.Close()
+			return
+		case MsgByeAck:
+			c.mu.Lock()
+			if conn == c.conn {
+				c.release(m.UpTo)
+				c.byeUp = m.UpTo
+				c.cond.Broadcast()
+			}
+			c.mu.Unlock()
+			return
+		case MsgError:
+			c.failTerminal(fmt.Errorf("ingest: server error (code %d): %s", m.Code, m.Text))
+			conn.Close()
+			return
+		}
+	}
+}
+
+// release drops acknowledged frames from the resend buffer. Caller holds
+// c.mu.
+func (c *Client) release(upTo uint64) {
+	if upTo <= c.ackedUp {
+		return
+	}
+	n := 0
+	for n < len(c.pending) && c.pending[n].seq <= upTo {
+		c.free = append(c.free, c.pending[n].mags)
+		n++
+	}
+	if n > 0 {
+		c.stats.Acked += uint64(n)
+		c.pending = c.pending[:copy(c.pending, c.pending[n:])]
+	}
+	c.ackedUp = upTo
+	c.cond.Broadcast()
+}
+
+// onConnError retires a failed connection and starts the redial loop.
+func (c *Client) onConnError(conn net.Conn, err error) {
+	c.mu.Lock()
+	if conn != c.conn || c.closed || c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.cfg.Logf("ingest: connection lost: %v", err)
+	c.markDead(conn)
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// markDead flags the current connection unusable and spawns the redial
+// loop (at most one). Caller holds c.mu.
+func (c *Client) markDead(conn net.Conn) {
+	if c.dead || c.closed {
+		return
+	}
+	c.dead = true
+	c.cond.Broadcast()
+	if c.cfg.RedialAttempts > 0 {
+		go c.redial()
+	} else {
+		c.err = errors.New("ingest: connection lost and reconnection disabled")
+		c.cond.Broadcast()
+	}
+}
+
+// redial reconnects with exponential backoff and retransmits the
+// unacknowledged suffix in order.
+func (c *Client) redial() {
+	delay := c.cfg.RedialDelay
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		conn, credits, err := c.handshake()
+		if err == nil {
+			c.mu.Lock()
+			resend := make([]pendFrame, len(c.pending))
+			copy(resend, c.pending)
+			c.stats.Reconnects++
+			c.stats.Resent += uint64(len(resend))
+			// The resending flag keeps Send parked until the whole
+			// unacknowledged suffix is back on the wire, so new frames can
+			// never overtake a retransmission.
+			c.resending = len(resend) > 0
+			c.install(conn, credits)
+			bw := c.bw
+			c.mu.Unlock()
+			for i := range resend {
+				c.mu.Lock()
+				for c.credits <= 0 && !c.closed && c.err == nil && conn == c.conn {
+					c.cond.Wait()
+				}
+				stale := conn != c.conn || c.closed || c.err != nil
+				if !stale {
+					c.credits--
+				}
+				c.mu.Unlock()
+				if stale {
+					return
+				}
+				if err := writeFrame(bw, conn, resend[i].seq, resend[i].time, resend[i].mags); err != nil {
+					c.onConnError(conn, err)
+					return
+				}
+			}
+			c.mu.Lock()
+			if conn == c.conn {
+				c.resending = false
+				c.cond.Broadcast()
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.cfg.Logf("ingest: redial %d/%d failed: %v", attempt, c.cfg.RedialAttempts, err)
+		if attempt >= c.cfg.RedialAttempts {
+			c.failTerminal(fmt.Errorf("ingest: reconnect failed after %d attempts: %w", attempt, err))
+			return
+		}
+		time.Sleep(delay)
+		if delay < 32*c.cfg.RedialDelay {
+			delay *= 2
+		}
+	}
+}
+
+// failTerminal records a fatal error and wakes every waiter.
+func (c *Client) failTerminal(err error) {
+	c.mu.Lock()
+	if c.err == nil && !c.closed {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Flush blocks until every frame accepted by Send has been acknowledged
+// (riding out reconnects), or the client fails terminally.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.pending) > 0 && c.err == nil && !c.closed {
+		c.cond.Wait()
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.pending) > 0 {
+		return ErrClientClosed
+	}
+	return nil
+}
+
+// Close performs a clean goodbye: waits for every sent frame to be
+// acknowledged, exchanges Bye/ByeAck, and closes the connection. The
+// returned error reports frames that could not be confirmed.
+func (c *Client) Close() error {
+	flushErr := c.Flush()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	conn, bw := c.conn, c.bw
+	last := c.nextSeq
+	clean := flushErr == nil && !c.dead && conn != nil
+	c.mu.Unlock()
+
+	if clean {
+		if buf, err := AppendMsg(nil, &Msg{Type: MsgBye, UpTo: last}); err == nil {
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, werr := bw.Write(buf); werr == nil {
+				bw.Flush()
+			}
+		}
+		// Give the reader a moment to surface ByeAck; delivery is already
+		// guaranteed by the ack watermark, so this is only a courtesy to
+		// the server's connection teardown.
+		deadline := time.Now().Add(2 * time.Second)
+		c.mu.Lock()
+		for c.byeUp < last && time.Now().Before(deadline) {
+			c.mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			c.mu.Lock()
+		}
+		c.mu.Unlock()
+	}
+	if conn != nil {
+		conn.Close()
+	}
+	return flushErr
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Pending returns the number of sent-but-unacknowledged frames.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

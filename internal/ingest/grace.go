@@ -1,0 +1,77 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+)
+
+// ListenFDEnv marks a child process that inherits its listening socket:
+// when set to "1", fd 3 (the first ExtraFile) is the listener.
+const ListenFDEnv = "AERO_LISTEN_FD"
+
+// inheritedFD is where Relaunch places the duplicated listener in the
+// child: fds 0-2 are stdio, ExtraFiles start at 3.
+const inheritedFD = 3
+
+// Listen returns a TCP listener for addr, preferring one inherited from
+// a parent process mid zero-downtime restart (Relaunch). The second
+// return reports whether the listener was inherited — an inherited
+// socket kept its accept backlog through the handoff, so connections
+// that arrived during the restart window are waiting on it.
+func Listen(addr string) (net.Listener, bool, error) {
+	if os.Getenv(ListenFDEnv) == "1" {
+		f := os.NewFile(uintptr(inheritedFD), "aero-listener")
+		if f == nil {
+			return nil, false, fmt.Errorf("ingest: %s set but fd %d is not open", ListenFDEnv, inheritedFD)
+		}
+		l, err := net.FileListener(f)
+		// FileListener dups the descriptor; the original is no longer needed.
+		f.Close()
+		if err != nil {
+			return nil, false, fmt.Errorf("ingest: inherit listener: %w", err)
+		}
+		return l, true, nil
+	}
+	l, err := net.Listen("tcp", addr)
+	return l, false, err
+}
+
+// ListenerFile duplicates the listener's descriptor so it can outlive
+// the accept loop and be passed to a successor process. Only TCP
+// listeners support the handoff.
+func ListenerFile(l net.Listener) (*os.File, error) {
+	tl, ok := l.(*net.TCPListener)
+	if !ok {
+		return nil, fmt.Errorf("ingest: cannot hand off %T (need *net.TCPListener)", l)
+	}
+	return tl.File()
+}
+
+// Relaunch re-execs the current binary with the same arguments, handing
+// it the duplicated listener descriptor. The child finds the socket via
+// Listen and resumes accepting on it; the kernel's accept backlog
+// bridges the gap, so no connection attempt during the handoff is
+// refused. Returns the child's pid.
+//
+// Call order for a zero-downtime restart: Drain (stops accepting,
+// checkpoints, notifies clients) → ListenerFile → Relaunch → exit.
+func Relaunch(f *os.File) (int, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	cmd := exec.Command(exe, os.Args[1:]...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.ExtraFiles = []*os.File{f}
+	cmd.Env = append(os.Environ(), ListenFDEnv+"=1")
+	if err := cmd.Start(); err != nil {
+		return 0, fmt.Errorf("ingest: relaunch: %w", err)
+	}
+	// The parent's duplicate is no longer needed once the child holds its
+	// own; the listening socket stays open because the child's copy does.
+	f.Close()
+	return cmd.Process.Pid, nil
+}

@@ -1,0 +1,142 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"aero/internal/core"
+	"aero/internal/engine"
+)
+
+// httpFrame is one JSON-lines ingest record.
+type httpFrame struct {
+	Sub  string    `json:"sub"`
+	Time float64   `json:"time"`
+	Mags []float64 `json:"mags"`
+}
+
+// statsPayload is the /stats response document.
+type statsPayload struct {
+	Server        ServerStats                 `json:"server"`
+	Totals        engine.ShardStats           `json:"totals"`
+	Shards        []engine.ShardStats         `json:"shards"`
+	Subscriptions map[string]subscriptionInfo `json:"subscriptions,omitempty"`
+	Extra         map[string]any              `json:"extra,omitempty"`
+}
+
+// subscriptionInfo augments the raw counters with the tenant's kind and
+// a human-readable health state. The counters nest under "stats" so the
+// readable health string does not collide with the numeric Health field
+// inside SubscriptionStats.
+type subscriptionInfo struct {
+	Kind   string                   `json:"kind"`
+	Health string                   `json:"health"`
+	Stats  engine.SubscriptionStats `json:"stats"`
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /ingest   JSON lines {"sub":"field-000","time":12.5,"mags":[...]}
+//	GET  /stats    engine + server + per-tenant counters as JSON
+//	GET  /healthz  200 "ok" while serving, 503 "draining" during drain
+//
+// The /ingest endpoint shares the engine's backpressure: each line's
+// Ingest blocks while the tenant's shard is saturated, so a slow shard
+// slows the HTTP client's request body read instead of buffering.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() || s.closed.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	p := statsPayload{
+		Server: s.Stats(),
+		Totals: s.cfg.Engine.Totals(),
+		Shards: s.cfg.Engine.Stats(),
+	}
+	if s.cfg.Subscriptions != nil {
+		subs := s.cfg.Subscriptions()
+		p.Subscriptions = make(map[string]subscriptionInfo, len(subs))
+		for _, sub := range subs {
+			p.Subscriptions[sub.ID] = subscriptionInfo{
+				Kind:   sub.Kind(),
+				Health: sub.Health().String(),
+				Stats:  sub.Stats(),
+			}
+		}
+	}
+	if s.cfg.ExtraStats != nil {
+		p.Extra = s.cfg.ExtraStats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST JSON lines to /ingest", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() || s.closed.Load() {
+		http.Error(w, ErrDraining.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	accepted := 0
+	respond := func(status int, errText string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		out := map[string]any{"accepted": accepted}
+		if errText != "" {
+			out["error"] = errText
+		}
+		json.NewEncoder(w).Encode(out)
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), MaxPayload)
+	var f httpFrame
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		f = httpFrame{Mags: f.Mags[:0]}
+		if err := json.Unmarshal(raw, &f); err != nil {
+			respond(http.StatusBadRequest, fmt.Sprintf("line %d: %v", line, err))
+			return
+		}
+		sub, err := s.cfg.Lookup(f.Sub)
+		if err != nil || sub == nil {
+			respond(http.StatusNotFound, fmt.Sprintf("line %d: unknown tenant %q", line, f.Sub))
+			return
+		}
+		if err := s.cfg.Engine.Ingest(f.Sub, core.Frame{Time: f.Time, Magnitudes: f.Mags}); err != nil {
+			respond(http.StatusBadRequest, fmt.Sprintf("line %d: %v", line, err))
+			return
+		}
+		accepted++
+		s.httpFrames.Add(1)
+	}
+	if err := sc.Err(); err != nil {
+		respond(http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	respond(http.StatusOK, "")
+}

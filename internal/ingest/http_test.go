@@ -1,0 +1,134 @@
+package ingest_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aero/internal/ingest"
+)
+
+// TestHTTPEndpoints covers the interop surface: JSON-lines ingest with
+// per-line validation, the /stats document, and /healthz flipping to 503
+// once a drain begins.
+func TestHTTPEndpoints(t *testing.T) {
+	d, _ := fixture(t)
+	e, subs := newTestEngine(t, "field-000")
+	_, wg := collectAlarms(e)
+	srv := newTestServer(t, e, subs, ingest.ServerConfig{
+		ExtraStats: func() map[string]any { return map[string]any{"custom": 42} },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [1 << 16]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp, buf[:n]
+	}
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [1 << 16]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp, buf[:n]
+	}
+
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Three valid JSON lines for the registered tenant.
+	lines := `{"sub":"field-000","time":1,"mags":[1,2,3,4,5]}
+{"sub":"field-000","time":2,"mags":[1,2,3,4,5]}
+{"sub":"field-000","time":3,"mags":[1,2,3,4,5]}
+`
+	resp, body := post("/ingest", lines)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %q", resp.StatusCode, body)
+	}
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Accepted != 3 {
+		t.Fatalf("ingest reply %q (err %v), want accepted=3", body, err)
+	}
+	e.Flush()
+	if got := subs["field-000"].Stats().Frames; got != 3 {
+		t.Fatalf("engine scored %d frames, want 3", got)
+	}
+
+	// Unknown tenant and malformed JSON are rejected with the line number.
+	if resp, body := post("/ingest", `{"sub":"nobody","time":4,"mags":[1,2,3,4,5]}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant: %d %q", resp.StatusCode, body)
+	}
+	if resp, body := post("/ingest", "{not json}\n"); resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "line 1") {
+		t.Fatalf("malformed line: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := get("/ingest"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest: %d", resp.StatusCode)
+	}
+
+	// /stats exposes server, engine, per-tenant and extra sections.
+	resp, body = get("/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var stats struct {
+		Server struct {
+			HTTPFrames uint64 `json:"http_frames"`
+		} `json:"server"`
+		Totals struct {
+			Frames uint64
+		} `json:"totals"`
+		Subscriptions map[string]struct {
+			Kind   string `json:"kind"`
+			Health string `json:"health"`
+			Stats  struct {
+				Frames uint64
+			} `json:"stats"`
+		} `json:"subscriptions"`
+		Extra map[string]any `json:"extra"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats JSON: %v in %q", err, body)
+	}
+	if stats.Server.HTTPFrames != 3 || stats.Totals.Frames != 3 {
+		t.Fatalf("stats counters %+v, want 3 http frames and 3 scored", stats)
+	}
+	sub, ok := stats.Subscriptions["field-000"]
+	if !ok || sub.Kind == "" || sub.Health == "" || sub.Stats.Frames != 3 {
+		t.Fatalf("subscription section %+v, want kind/health and 3 frames", stats.Subscriptions)
+	}
+	if v, ok := stats.Extra["custom"]; !ok || v != float64(42) {
+		t.Fatalf("extra section %+v, want custom=42", stats.Extra)
+	}
+
+	// Draining: health flips to 503 and new ingest is refused, in both
+	// cases without dropping anything already accepted.
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/ingest", lines); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest during drain: %d", resp.StatusCode)
+	}
+
+	e.Close()
+	wg.Wait()
+	_ = d
+}

@@ -1,0 +1,282 @@
+package ingest_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"aero/internal/ingest"
+)
+
+// randMsg generates one random message of a random type, including
+// awkward payloads: empty tenant ids, zero-variate frames, NaN/Inf
+// magnitudes, maximal counters.
+func randMsg(rng *rand.Rand) ingest.Msg {
+	types := []byte{
+		ingest.MsgHello, ingest.MsgHelloAck, ingest.MsgData, ingest.MsgAck,
+		ingest.MsgDrain, ingest.MsgBye, ingest.MsgByeAck, ingest.MsgError,
+	}
+	m := ingest.Msg{Type: types[rng.Intn(len(types))]}
+	switch m.Type {
+	case ingest.MsgHello:
+		tenant := make([]byte, rng.Intn(ingest.MaxTenantLen+1))
+		rng.Read(tenant)
+		m.Tenant = string(tenant)
+		m.Variates = rng.Intn(ingest.MaxVariates + 1)
+	case ingest.MsgHelloAck:
+		m.Credits = rng.Uint32()
+	case ingest.MsgData:
+		m.Seq = rng.Uint64()
+		m.Time = rng.NormFloat64() * 1e6
+		m.Mags = make([]float64, rng.Intn(40))
+		for i := range m.Mags {
+			switch rng.Intn(10) {
+			case 0:
+				m.Mags[i] = math.NaN()
+			case 1:
+				m.Mags[i] = math.Inf(1 - 2*rng.Intn(2))
+			default:
+				m.Mags[i] = rng.NormFloat64()
+			}
+		}
+	case ingest.MsgAck:
+		m.UpTo = rng.Uint64()
+		m.Credits = rng.Uint32()
+	case ingest.MsgDrain, ingest.MsgBye, ingest.MsgByeAck:
+		m.UpTo = rng.Uint64()
+	case ingest.MsgError:
+		m.Code = uint16(rng.Uint32())
+		text := make([]byte, rng.Intn(300))
+		rng.Read(text)
+		m.Text = string(text)
+	}
+	return m
+}
+
+// msgEqual compares the fields meaningful for the message's type, with
+// bit-level float comparison so NaN payloads round-trip.
+func msgEqual(a, b *ingest.Msg) bool {
+	if a.Type != b.Type {
+		return false
+	}
+	switch a.Type {
+	case ingest.MsgHello:
+		return a.Tenant == b.Tenant && a.Variates == b.Variates
+	case ingest.MsgHelloAck:
+		return a.Credits == b.Credits
+	case ingest.MsgData:
+		if a.Seq != b.Seq || math.Float64bits(a.Time) != math.Float64bits(b.Time) || len(a.Mags) != len(b.Mags) {
+			return false
+		}
+		for i := range a.Mags {
+			if math.Float64bits(a.Mags[i]) != math.Float64bits(b.Mags[i]) {
+				return false
+			}
+		}
+		return true
+	case ingest.MsgAck:
+		return a.UpTo == b.UpTo && a.Credits == b.Credits
+	case ingest.MsgDrain, ingest.MsgBye, ingest.MsgByeAck:
+		return a.UpTo == b.UpTo
+	case ingest.MsgError:
+		return a.Code == b.Code && a.Text == b.Text
+	}
+	return false
+}
+
+// TestMsgRoundTripProperty is the encode/decode property test: random
+// messages of every type, batched into one buffer, must round-trip
+// bit-identically through both the slice decoder (DecodeMsg) and the
+// stream decoder (ReadMsg), with each decode consuming exactly its
+// message's bytes.
+func TestMsgRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 400; iter++ {
+		batch := make([]ingest.Msg, 1+rng.Intn(5))
+		var buf []byte
+		var err error
+		for i := range batch {
+			batch[i] = randMsg(rng)
+			if buf, err = ingest.AppendMsg(buf, &batch[i]); err != nil {
+				t.Fatalf("iter %d: encode %+v: %v", iter, batch[i], err)
+			}
+		}
+
+		// Slice path: decode the batch message by message.
+		rest := buf
+		var dec ingest.Msg
+		for i := range batch {
+			n, derr := ingest.DecodeMsg(rest, &dec)
+			if derr != nil {
+				t.Fatalf("iter %d msg %d: decode: %v", iter, i, derr)
+			}
+			if !msgEqual(&batch[i], &dec) {
+				t.Fatalf("iter %d msg %d: round trip %+v -> %+v", iter, i, batch[i], dec)
+			}
+			rest = rest[n:]
+		}
+		if len(rest) != 0 {
+			t.Fatalf("iter %d: %d undecoded bytes", iter, len(rest))
+		}
+
+		// Stream path: same batch through a bufio.Reader.
+		br := bufio.NewReader(bytes.NewReader(buf))
+		var scratch []byte
+		for i := range batch {
+			if err := ingest.ReadMsg(br, &dec, &scratch); err != nil {
+				t.Fatalf("iter %d msg %d: read: %v", iter, i, err)
+			}
+			if !msgEqual(&batch[i], &dec) {
+				t.Fatalf("iter %d msg %d: stream round trip %+v -> %+v", iter, i, batch[i], dec)
+			}
+		}
+	}
+}
+
+// encodeOne is a test helper building a single valid wire message.
+func encodeOne(t *testing.T, m *ingest.Msg) []byte {
+	t.Helper()
+	buf, err := ingest.AppendMsg(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// rawFrame assembles a wire frame around an arbitrary payload with a
+// correct CRC — for malformations AppendMsg refuses to produce.
+func rawFrame(payload []byte) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+// TestDecodeMalformed pins the protocol's failure contract: truncated
+// prefixes, corrupted bytes, oversized lengths, bad magic/version and
+// unknown types must all return typed errors — never panic, never
+// succeed.
+func TestDecodeMalformed(t *testing.T) {
+	valid := encodeOne(t, &ingest.Msg{Type: ingest.MsgData, Seq: 7, Time: 12.5, Mags: []float64{1, 2, 3}})
+	var m ingest.Msg
+
+	// Every strict prefix is truncated.
+	for n := 0; n < len(valid); n++ {
+		if _, err := ingest.DecodeMsg(valid[:n], &m); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded", n, len(valid))
+		} else if n < 4 && !errors.Is(err, ingest.ErrTruncated) {
+			t.Fatalf("prefix %d: got %v, want ErrTruncated", n, err)
+		}
+	}
+
+	// Every single corrupted byte must fail (the CRC guards the payload;
+	// a corrupted length prefix shifts the CRC window).
+	for i := range valid {
+		bad := append([]byte(nil), valid...)
+		bad[i] ^= 0x40
+		if _, err := ingest.DecodeMsg(bad, &m); err == nil {
+			t.Fatalf("corruption at byte %d decoded", i)
+		}
+	}
+
+	// Oversized length prefix is rejected before allocation.
+	huge := binary.LittleEndian.AppendUint32(nil, ingest.MaxPayload+1)
+	huge = append(huge, make([]byte, 64)...)
+	if _, err := ingest.DecodeMsg(huge, &m); !errors.Is(err, ingest.ErrTooLarge) {
+		t.Fatalf("oversized length: got %v, want ErrTooLarge", err)
+	}
+
+	// Unknown message type (valid CRC).
+	if _, err := ingest.DecodeMsg(rawFrame([]byte{0x7f, 1, 2}), &m); !errors.Is(err, ingest.ErrBadMessage) {
+		t.Fatalf("unknown type: got %v, want ErrBadMessage", err)
+	}
+
+	// Hello with bad magic / bad version (valid CRC).
+	hello := encodeOne(t, &ingest.Msg{Type: ingest.MsgHello, Tenant: "x", Variates: 2})
+	payload := append([]byte(nil), hello[4:len(hello)-4]...)
+	binary.LittleEndian.PutUint32(payload[1:], 0xdeadbeef)
+	if _, err := ingest.DecodeMsg(rawFrame(payload), &m); !errors.Is(err, ingest.ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	payload = append(payload[:0], hello[4:len(hello)-4]...)
+	binary.LittleEndian.PutUint16(payload[5:], ingest.WireVersion+9)
+	if _, err := ingest.DecodeMsg(rawFrame(payload), &m); !errors.Is(err, ingest.ErrBadVersion) {
+		t.Fatalf("bad version: got %v, want ErrBadVersion", err)
+	}
+
+	// Data frame whose declared variate count disagrees with its body.
+	data := encodeOne(t, &ingest.Msg{Type: ingest.MsgData, Seq: 1, Time: 0, Mags: []float64{1, 2}})
+	payload = append([]byte(nil), data[4:len(data)-4]...)
+	binary.LittleEndian.PutUint32(payload[17:], 60000)
+	if _, err := ingest.DecodeMsg(rawFrame(payload), &m); !errors.Is(err, ingest.ErrBadMessage) {
+		t.Fatalf("variate mismatch: got %v, want ErrBadMessage", err)
+	}
+
+	// The stream reader fails cleanly on a mid-message EOF.
+	var scratch []byte
+	if err := ingest.ReadMsg(bufio.NewReader(bytes.NewReader(valid[:len(valid)-2])), &m, &scratch); err == nil {
+		t.Fatal("stream decode of truncated message succeeded")
+	}
+}
+
+// FuzzDecodeFrame holds the decoder to the PR 7 guard story: arbitrary
+// bytes must either decode into a message that re-encodes and re-decodes
+// consistently, or return an error — never panic, never over-consume.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	seedMsgs := []ingest.Msg{
+		{Type: ingest.MsgHello, Tenant: "field-001", Variates: 5},
+		{Type: ingest.MsgHelloAck, Credits: 64},
+		{Type: ingest.MsgData, Seq: 42, Time: 1234.5, Mags: []float64{1, math.NaN(), -3}},
+		{Type: ingest.MsgAck, UpTo: 42, Credits: 8},
+		{Type: ingest.MsgDrain, UpTo: 41},
+		{Type: ingest.MsgBye, UpTo: 40},
+		{Type: ingest.MsgError, Code: 3, Text: "width mismatch"},
+	}
+	for i := range seedMsgs {
+		buf, err := ingest.AppendMsg(nil, &seedMsgs[i])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1])
+		corrupted := append([]byte(nil), buf...)
+		corrupted[len(corrupted)/2] ^= 0x10
+		f.Add(corrupted)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ingest.Msg
+		n, err := ingest.DecodeMsg(data, &m)
+		if err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+			}
+			// A successfully decoded message must survive a re-encode:
+			// the wire format has one canonical encoding per message.
+			re, rerr := ingest.AppendMsg(nil, &m)
+			if rerr != nil {
+				t.Fatalf("re-encode of decoded message failed: %v", rerr)
+			}
+			var m2 ingest.Msg
+			if _, rerr := ingest.DecodeMsg(re, &m2); rerr != nil {
+				t.Fatalf("re-decode failed: %v", rerr)
+			}
+			if !msgEqual(&m, &m2) {
+				t.Fatalf("re-encode changed message: %+v -> %+v", m, m2)
+			}
+		}
+		// The stream reader must agree with the slice decoder on whether
+		// the prefix is a well-formed message (modulo needing more bytes).
+		var scratch []byte
+		serr := ingest.ReadMsg(bufio.NewReader(bytes.NewReader(data)), &m, &scratch)
+		if err == nil && serr != nil {
+			t.Fatalf("slice decode succeeded but stream decode failed: %v", serr)
+		}
+	})
+}

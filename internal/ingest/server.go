@@ -1,0 +1,528 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aero/internal/core"
+	"aero/internal/engine"
+)
+
+// Protocol error codes carried by MsgError.
+const (
+	CodeUnknownTenant  uint16 = 1
+	CodeBadHandshake   uint16 = 2
+	CodeWidthMismatch  uint16 = 3
+	CodeOutOfOrder     uint16 = 4
+	CodeCreditExceeded uint16 = 5
+	CodeDraining       uint16 = 6
+	CodeIngest         uint16 = 7
+)
+
+// ErrDraining is returned to work arriving while the server drains.
+var ErrDraining = errors.New("ingest: server draining")
+
+// ServerConfig wires a Server to its engine and drain hooks.
+type ServerConfig struct {
+	// Engine scores every accepted frame; its Flush is the drain barrier.
+	Engine *engine.Engine
+	// Lookup resolves a handshake tenant id to its subscription. Required.
+	Lookup func(tenant string) (*engine.Subscription, error)
+	// Subscriptions enumerates the served tenants for the /stats
+	// endpoint; optional.
+	Subscriptions func() []*engine.Subscription
+	// CreditWindow caps one connection's outstanding (granted but
+	// unacknowledged) frames; it also bounds the client's resend buffer.
+	// Defaults to 64.
+	CreditWindow int
+	// AckEvery batches cumulative acks: one is sent at the latest every
+	// AckEvery accepted frames (credit top-ups can send them sooner).
+	// Defaults to CreditWindow/4.
+	AckEvery int
+	// Checkpoint runs during Drain after every in-flight frame has been
+	// scored and before clients are told which prefix is safe to drop —
+	// the hook that persists warm detector + triage state. Optional.
+	Checkpoint func() error
+	// ExtraStats contributes additional sections (e.g. triage counters)
+	// to the /stats payload. Optional.
+	ExtraStats func() map[string]any
+	// Logf receives serve-loop diagnostics. Optional.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.CreditWindow <= 0 {
+		c.CreditWindow = 64
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = c.CreditWindow / 4
+	}
+	if c.AckEvery < 1 {
+		c.AckEvery = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ServerStats is a point-in-time snapshot of the ingest front end.
+type ServerStats struct {
+	// Conns is the number of live protocol connections.
+	Conns int `json:"conns"`
+	// Accepted counts connections accepted over the server's lifetime.
+	Accepted uint64 `json:"accepted"`
+	// Frames counts data frames ingested into the engine.
+	Frames uint64 `json:"frames"`
+	// HTTPFrames counts frames accepted through the JSON-lines endpoint.
+	HTTPFrames uint64 `json:"http_frames"`
+	// Acks counts cumulative-ack messages sent.
+	Acks uint64 `json:"acks"`
+	// Discarded counts in-flight frames set aside during a drain; the
+	// drain notice makes their clients resend them after reconnecting.
+	Discarded uint64 `json:"discarded"`
+	// ProtoErrors counts connections terminated for protocol violations.
+	ProtoErrors uint64 `json:"proto_errors"`
+	// Draining reports whether a drain is in progress or complete.
+	Draining bool `json:"draining"`
+}
+
+// Server terminates the binary frame protocol in front of an engine.
+// Run it with Serve, stop it losslessly with Drain (checkpoint + client
+// handoff) or abruptly with Close.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	conns    map[*serverConn]struct{}
+	listener net.Listener
+	serving  bool
+
+	draining atomic.Bool
+	closed   atomic.Bool
+	connWG   sync.WaitGroup
+
+	accepted    atomic.Uint64
+	frames      atomic.Uint64
+	httpFrames  atomic.Uint64
+	acks        atomic.Uint64
+	discarded   atomic.Uint64
+	protoErrors atomic.Uint64
+}
+
+// NewServer validates cfg and returns an idle server; call Serve with a
+// listener to start accepting.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("ingest: ServerConfig.Engine is required")
+	}
+	if cfg.Lookup == nil {
+		return nil, errors.New("ingest: ServerConfig.Lookup is required")
+	}
+	return &Server{cfg: cfg.withDefaults(), conns: make(map[*serverConn]struct{})}, nil
+}
+
+// Serve accepts protocol connections on l until Drain or Close. It
+// returns nil after a drain stops the accept loop; the listener itself
+// is left open so it can be handed to a successor process (close it —
+// or pass it to Relaunch — when no successor will take over).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.serving = true
+	s.mu.Unlock()
+	// A predecessor's Drain wakes its accept loop by moving the listener
+	// deadline into the past; clear it so a successor adopting the same
+	// listener doesn't spin on instant timeouts.
+	if dl, ok := l.(interface{ SetDeadline(time.Time) error }); ok {
+		dl.SetDeadline(time.Time{})
+	}
+	defer func() {
+		s.mu.Lock()
+		s.serving = false
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() || s.closed.Load() {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		// Registration re-checks the drain flag under s.mu — the same lock
+		// Drain holds while collecting the connection set — so a conn
+		// either lands in the set (and is cut and drained) or is refused;
+		// none can slip past the drain barrier.
+		sc := &serverConn{s: s, c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 32<<10)}
+		s.mu.Lock()
+		if s.draining.Load() || s.closed.Load() {
+			s.mu.Unlock()
+			// Late arrival during shutdown: refuse politely so the peer
+			// redials the successor instead of waiting on a dead server.
+			go refuse(c, CodeDraining, "server draining")
+			continue
+		}
+		s.conns[sc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		go sc.run()
+	}
+}
+
+// refuse greets a connection arriving mid-drain with a terminal error.
+func refuse(c net.Conn, code uint16, text string) {
+	defer c.Close()
+	buf, err := AppendMsg(nil, &Msg{Type: MsgError, Code: code, Text: text})
+	if err == nil {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		c.Write(buf)
+	}
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return ServerStats{
+		Conns:       conns,
+		Accepted:    s.accepted.Load(),
+		Frames:      s.frames.Load(),
+		HTTPFrames:  s.httpFrames.Load(),
+		Acks:        s.acks.Load(),
+		Discarded:   s.discarded.Load(),
+		ProtoErrors: s.protoErrors.Load(),
+		Draining:    s.draining.Load(),
+	}
+}
+
+// Draining reports whether the server has begun (or finished) a drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops the server losslessly: stop accepting, quiesce every
+// connection (frames already read keep flowing into the engine; frames
+// read after the cut are set aside for the client to resend), flush the
+// engine so every accepted frame is scored, run the Checkpoint hook, and
+// only then tell each client the exact sequence number up to which state
+// is durable — everything later is the client's to resend after it
+// reconnects to the successor. Drain is idempotent; concurrent calls
+// wait for the first to finish.
+func (s *Server) Drain() error {
+	if !s.draining.CompareAndSwap(false, true) {
+		s.connWG.Wait()
+		return nil
+	}
+	// Wake the accept loop without closing the listening socket: the
+	// descriptor must survive to be inherited by the successor process.
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	if dl, ok := l.(interface{ SetDeadline(time.Time) error }); ok && l != nil {
+		dl.SetDeadline(time.Now())
+	}
+
+	// Cut every connection over to discard mode and collect the cutoffs.
+	// The set is collected under s.mu after the drain flag is up, so a
+	// racing accept either registered before this (and is cut below) or
+	// observes the flag and refuses the connection.
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.cut()
+	}
+
+	// Barrier: every frame accepted before the cut is scored...
+	s.cfg.Engine.Flush()
+	// ...and checkpointed, before any client is told to release it.
+	if s.cfg.Checkpoint != nil {
+		if err := s.cfg.Checkpoint(); err != nil {
+			s.cfg.Logf("ingest: drain checkpoint: %v", err)
+			// The cut connections still need their drain notice; a failed
+			// checkpoint must not strand them. Acks already sent remain
+			// valid (those frames were scored), so the safe cutoff to
+			// advertise is the acked watermark, not the ingest watermark.
+			for _, sc := range conns {
+				sc.finishDrain(sc.ackedCut())
+			}
+			s.connWG.Wait()
+			return fmt.Errorf("ingest: drain checkpoint: %w", err)
+		}
+	}
+	for _, sc := range conns {
+		sc.finishDrain(sc.cutoff)
+	}
+	s.connWG.Wait()
+	return nil
+}
+
+// Close shuts the server down abruptly: the listener wakes, every
+// connection is closed, nothing is drained or checkpointed. Prefer
+// Drain for lossless shutdown.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	l := s.listener
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	if dl, ok := l.(interface{ SetDeadline(time.Time) error }); ok && l != nil {
+		dl.SetDeadline(time.Now())
+	}
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+	s.connWG.Wait()
+}
+
+// serverConn is one protocol connection's state machine. The reader
+// goroutine (run) owns all fields except where noted; Drain coordinates
+// with it through pmu, which the reader holds while processing one
+// message — locking pmu therefore means "the reader is between
+// messages".
+type serverConn struct {
+	s  *Server
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes writes (reader acks vs drain notice)
+
+	sub   *engine.Subscription
+	subID string
+	width int
+
+	pmu      sync.Mutex
+	expected uint64 // next in-order sequence number (0 until the first frame)
+	ingested uint64 // highest sequence number accepted into the engine
+	acked    uint64 // highest sequence number acknowledged to the client
+	granted  int    // credits outstanding (granted − consumed)
+
+	discard atomic.Bool // drain cut: stop ingesting, set frames aside
+	cutoff  uint64      // ingest watermark at the cut (stable once discard is set)
+}
+
+func (sc *serverConn) run() {
+	defer sc.s.connWG.Done()
+	defer func() {
+		sc.s.mu.Lock()
+		delete(sc.s.conns, sc)
+		sc.s.mu.Unlock()
+		sc.c.Close()
+	}()
+
+	var m Msg
+	var scratch []byte
+
+	// Handshake first: exactly one Hello opens a connection.
+	if err := ReadMsg(sc.br, &m, &scratch); err != nil {
+		sc.s.protoErrors.Add(1)
+		return
+	}
+	if m.Type != MsgHello {
+		sc.fail(CodeBadHandshake, "expected Hello")
+		return
+	}
+	sub, err := sc.s.cfg.Lookup(m.Tenant)
+	if err != nil || sub == nil {
+		sc.fail(CodeUnknownTenant, fmt.Sprintf("unknown tenant %q", m.Tenant))
+		return
+	}
+	sc.sub, sc.subID = sub, m.Tenant
+	sc.width = m.Variates
+	grant := sc.grantSize(0)
+	sc.granted = grant
+	if err := sc.send(&Msg{Type: MsgHelloAck, Credits: uint32(grant)}); err != nil {
+		return
+	}
+
+	for {
+		if err := ReadMsg(sc.br, &m, &scratch); err != nil {
+			if !sc.discard.Load() && !sc.s.closed.Load() {
+				sc.s.protoErrors.Add(1)
+			}
+			return
+		}
+		switch m.Type {
+		case MsgData:
+			// A frame with nothing buffered behind it is the end of a
+			// burst: ack promptly so a quiescing client's Flush always
+			// terminates. Mid-burst, acks batch on AckEvery.
+			if !sc.handleData(&m, sc.br.Buffered() == 0) {
+				return
+			}
+		case MsgBye:
+			// Every frame ≤ lastSeq has been read in order (or the stream
+			// would have failed); confirm the accepted watermark and part.
+			sc.pmu.Lock()
+			upTo := sc.ingested
+			sc.pmu.Unlock()
+			sc.send(&Msg{Type: MsgByeAck, UpTo: upTo})
+			return
+		default:
+			sc.fail(CodeBadHandshake, fmt.Sprintf("unexpected message 0x%02x", m.Type))
+			return
+		}
+	}
+}
+
+// handleData ingests one frame (or sets it aside during a drain) and
+// keeps the ack/credit flow moving. Returns false when the connection
+// must close.
+//
+// pmu is held for the entire frame — including the blocking Ingest — so
+// a drain cut can never land between a frame entering the engine and its
+// sequence number being recorded: cut() waits for the in-flight frame,
+// and the cutoff it records is exactly the engine's high-water mark.
+func (sc *serverConn) handleData(m *Msg, idle bool) bool {
+	sc.pmu.Lock()
+	if sc.discard.Load() {
+		// Drained mid-flight: the frame is NOT ingested; the drain notice
+		// (sent once the checkpoint is durable) tells the client to
+		// resend everything past the cutoff, preserving order.
+		sc.s.discarded.Add(1)
+		sc.pmu.Unlock()
+		return true
+	}
+	if sc.expected != 0 && m.Seq != sc.expected {
+		sc.pmu.Unlock()
+		sc.fail(CodeOutOfOrder, fmt.Sprintf("seq %d, expected %d", m.Seq, sc.expected))
+		return false
+	}
+	if sc.granted <= 0 {
+		sc.pmu.Unlock()
+		sc.fail(CodeCreditExceeded, "data frame beyond granted credits")
+		return false
+	}
+	if len(m.Mags) != sc.width {
+		sc.pmu.Unlock()
+		sc.fail(CodeWidthMismatch, fmt.Sprintf("frame has %d variates, handshake declared %d", len(m.Mags), sc.width))
+		return false
+	}
+	sc.granted--
+
+	// The blocking Ingest IS the flow control: while the tenant's shard
+	// queue is full this parks, no ack or credit flows, and the client
+	// throttles to the engine's pace. Memory stays bounded at one frame
+	// per connection beyond the shard queue. Ingest copies the
+	// magnitudes, so the decoder's reusable slice is handed over as-is.
+	if err := sc.s.cfg.Engine.Ingest(sc.subID, core.Frame{Time: m.Time, Magnitudes: m.Mags}); err != nil {
+		sc.pmu.Unlock()
+		sc.fail(CodeIngest, err.Error())
+		return false
+	}
+	sc.s.frames.Add(1)
+
+	sc.expected = m.Seq + 1
+	sc.ingested = m.Seq
+	pending := sc.ingested - sc.acked
+	target := sc.grantSize(sc.granted)
+	topUp := target - sc.granted
+	needAck := int(pending) >= sc.s.cfg.AckEvery || sc.granted == 0 || topUp >= sc.s.cfg.AckEvery ||
+		(idle && pending > 0)
+	var ack Msg
+	if needAck {
+		if topUp < 0 {
+			topUp = 0
+		}
+		sc.acked = sc.ingested
+		sc.granted += topUp
+		ack = Msg{Type: MsgAck, UpTo: sc.acked, Credits: uint32(topUp)}
+	}
+	sc.pmu.Unlock()
+	if needAck {
+		sc.s.acks.Add(1)
+		if err := sc.send(&ack); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// grantSize sizes the connection's outstanding-credit target from the
+// tenant shard's queue headroom, clamped to [1, CreditWindow]: a stalled
+// shard degrades the flow to one blocking frame at a time (protocol-level
+// backpressure), never to a deadlock and never to unbounded buffering.
+func (sc *serverConn) grantSize(granted int) int {
+	window := sc.s.cfg.CreditWindow
+	head := sc.sub.QueueHeadroom()
+	target := head
+	if target > window {
+		target = window
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target < granted {
+		target = granted
+	}
+	return target
+}
+
+// cut flips the connection into discard mode and records the ingest
+// watermark. Locking pmu serializes with the reader: on return the
+// reader is either between messages or parked in a read, so cutoff is
+// the exact high-water mark of frames inside the engine.
+func (sc *serverConn) cut() {
+	sc.pmu.Lock()
+	sc.discard.Store(true)
+	sc.cutoff = sc.ingested
+	sc.pmu.Unlock()
+}
+
+// ackedCut returns the acknowledged watermark — the safe cutoff to
+// advertise when the drain checkpoint failed.
+func (sc *serverConn) ackedCut() uint64 {
+	sc.pmu.Lock()
+	defer sc.pmu.Unlock()
+	return sc.acked
+}
+
+// finishDrain sends the final cumulative ack and the drain notice, then
+// closes the connection. The client releases ≤ upTo and resends the rest
+// to the successor.
+func (sc *serverConn) finishDrain(upTo uint64) {
+	sc.send(&Msg{Type: MsgAck, UpTo: upTo, Credits: 0})
+	sc.send(&Msg{Type: MsgDrain, UpTo: upTo})
+	// Closing unblocks the reader goroutine; discard mode keeps the
+	// close from being counted as a protocol error.
+	sc.c.Close()
+}
+
+// send writes one message under the write lock and flushes it.
+func (sc *serverConn) send(m *Msg) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	buf, err := AppendMsg(nil, m)
+	if err != nil {
+		return err
+	}
+	sc.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := sc.bw.Write(buf); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// fail reports a protocol violation to the peer and counts it.
+func (sc *serverConn) fail(code uint16, text string) {
+	sc.s.protoErrors.Add(1)
+	sc.send(&Msg{Type: MsgError, Code: code, Text: text})
+}
