@@ -188,6 +188,31 @@ func DefaultRefitPolicy() RefitPolicy { return evt.DefaultRefitPolicy() }
 // bit-identical to the original SPOT until the ring first overflows.
 func ExactRefitPolicy() RefitPolicy { return evt.ExactRefitPolicy() }
 
+// IncrementalPolicy controls the AERO StreamDetector's incremental
+// streaming forward: sliding-window activation reuse on benign frames,
+// with scheduled/drift/invalidation full recomputes and an exact
+// alarm-boundary guard that keeps replay alarm sequences identical to the
+// always-exact path. The zero value disables the incremental path.
+type IncrementalPolicy = core.IncrementalPolicy
+
+// IncrementalStats counts how a detector's scored frames were served
+// (incremental vs each class of full recompute).
+type IncrementalStats = core.IncrementalStats
+
+// IncrementalInvalidator is the optional StreamBackend capability of
+// dropping cached cross-frame activations; hosts call it after mutating
+// window contents outside the ingest path.
+type IncrementalInvalidator = core.IncrementalInvalidator
+
+// DefaultIncrementalPolicy is the production default incremental schedule
+// (refresh every 64 frames, two-row cone, 25% boundary guard).
+func DefaultIncrementalPolicy() IncrementalPolicy { return core.DefaultIncrementalPolicy() }
+
+// ExactIncrementalPolicy recomputes every frame — scores stay
+// bit-identical to the non-incremental detector while caches are still
+// maintained.
+func ExactIncrementalPolicy() IncrementalPolicy { return core.ExactIncrementalPolicy() }
+
 // NewDSPOTStage wraps a backend with DSPOT alarmers calibrated on
 // per-variate score sequences (see StreamBackendScores).
 func NewDSPOTStage(inner StreamBackend, cfg DSPOTConfig, calib [][]float64) (*DSPOTStage, error) {

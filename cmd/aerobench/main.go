@@ -25,6 +25,9 @@
 // With -json FILE, a machine-readable summary — per-experiment wall times
 // and per-benchmark ns/op, B/op and allocs/op — is written to FILE, so CI
 // and tooling can track regressions without scraping table output.
+//
+// With -cpuprofile FILE / -memprofile FILE, a CPU profile of the selected
+// experiments and a post-run heap profile are written for go tool pprof.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -127,7 +131,11 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 		fmt.Fprintf(w, "%-18s %12.0f ns/op %12d B/op %9d allocs/op",
 			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		for k, v := range res.Extra {
-			fmt.Fprintf(w, " %12.0f %s", v, k)
+			if math.Abs(v) < 1 { // fractional metrics (e.g. refresh_rate)
+				fmt.Fprintf(w, " %12.4f %s", v, k)
+			} else {
+				fmt.Fprintf(w, " %12.0f %s", v, k)
+			}
 		}
 		fmt.Fprintln(w)
 	}
@@ -172,7 +180,14 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 			return nil, err
 		}
 	}
-	bare := testing.Benchmark(func(b *testing.B) {
+	// Full-recompute cost first: disable the incremental schedule so every
+	// push runs the whole tape forward, then restore the production default.
+	// The StreamPush row below measures the default incremental path and
+	// carries this exact-mode cost (full_recompute_ns) plus the fraction of
+	// frames the schedule recomputed exactly (refresh_rate) as extras, so
+	// the reuse win and its safety margin read straight off one row.
+	s.SetIncrementalPolicy(aero.IncrementalPolicy{})
+	full := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := push(); err != nil {
@@ -180,6 +195,31 @@ func runMicroBenchmarks(w *os.File) ([]benchResult, error) {
 				b.Skip(err)
 			}
 		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	fullNs := float64(full.T.Nanoseconds()) / float64(full.N)
+	s.SetIncrementalPolicy(aero.DefaultIncrementalPolicy())
+	for i := 0; i < 8; i++ { // settle back into incremental steady state
+		if err := push(); err != nil {
+			return nil, err
+		}
+	}
+	bare := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		st0 := s.IncrementalStats()
+		for i := 0; i < b.N; i++ {
+			if err := push(); err != nil {
+				benchErr = err
+				b.Skip(err)
+			}
+		}
+		if frames := s.IncrementalStats().Frames - st0.Frames; frames > 0 {
+			inc := s.IncrementalStats().Incremental - st0.Incremental
+			b.ReportMetric(float64(frames-inc)/float64(frames), "refresh_rate")
+		}
+		b.ReportMetric(fullNs, "full_recompute_ns")
 	})
 	record("StreamPush", bare)
 	if benchErr != nil {
@@ -536,7 +576,39 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 0, "seed offset for datasets and models")
 	jsonPath := flag.String("json", "", "write machine-readable results (experiment times, benchmark numbers) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the selected experiments finish")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := experiments.Options{Workers: *workers, Seed: *seed}
 	switch *scale {

@@ -153,6 +153,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos harness schedule seed (per-tenant seed = seed + tenant index)")
 	listenAddr := flag.String("listen", "", "serve the binary frame protocol on this TCP address instead of replaying (clients: aeroload); SIGUSR2 restarts with zero downtime")
 	httpAddr := flag.String("http", "", "serve HTTP endpoints on this address: POST /ingest (JSON lines), GET /stats, GET /healthz")
+	httpPprof := flag.Bool("http-pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http listener (profile a serving process in place)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -706,7 +707,7 @@ func main() {
 		// the server (checkpointing through the hook above).
 		relaunched = runServe(serveEnv{
 			eng: eng, subs: subs,
-			listenAddr: *listenAddr, httpAddr: *httpAddr,
+			listenAddr: *listenAddr, httpAddr: *httpAddr, httpPprof: *httpPprof,
 			checkpoint: checkpointAll,
 			extraStats: func() map[string]any {
 				out := make(map[string]any)

@@ -23,6 +23,7 @@ type serveEnv struct {
 	subs       []*aero.Subscription
 	listenAddr string
 	httpAddr   string
+	httpPprof  bool
 	checkpoint func() error
 	extraStats func() map[string]any
 }
@@ -37,7 +38,8 @@ func runServe(env serveEnv) bool {
 		byID[sub.ID] = sub
 	}
 	srv, err := aero.NewIngestServer(aero.IngestServerConfig{
-		Engine: env.eng,
+		Engine:      env.eng,
+		EnablePprof: env.httpPprof,
 		Lookup: func(tenant string) (*aero.Subscription, error) {
 			if sub, ok := byID[tenant]; ok {
 				return sub, nil
@@ -76,7 +78,11 @@ func runServe(env serveEnv) bool {
 				fmt.Fprintf(os.Stderr, "http: %v\n", herr)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "serving HTTP on %s (/ingest /stats /healthz)\n", env.httpAddr)
+		endpoints := "/ingest /stats /healthz"
+		if env.httpPprof {
+			endpoints += " /debug/pprof/"
+		}
+		fmt.Fprintf(os.Stderr, "serving HTTP on %s (%s)\n", env.httpAddr, endpoints)
 	}
 
 	serveErr := make(chan error, 1)

@@ -191,6 +191,15 @@ func (d *DSPOTStage) Swap(m *core.Model) error {
 	return sw.Swap(m)
 }
 
+// InvalidateIncremental passes a host-side cache invalidation through to
+// the inner backend when it reuses activations across frames (AERO's
+// incremental streaming forward); a no-op for backends without caches.
+func (d *DSPOTStage) InvalidateIncremental() {
+	if inv, ok := d.inner.(core.IncrementalInvalidator); ok {
+		inv.InvalidateIncremental()
+	}
+}
+
 // GraphSnapshot passes through the inner backend's monitoring
 // capability, when present.
 func (d *DSPOTStage) GraphSnapshot() (*tensor.Dense, error) {
@@ -259,3 +268,4 @@ func (d *DSPOTStage) RestoreState(blob []byte) error {
 }
 
 var _ core.StreamBackend = (*DSPOTStage)(nil)
+var _ core.IncrementalInvalidator = (*DSPOTStage)(nil)

@@ -1,0 +1,73 @@
+package backend_test
+
+import (
+	"testing"
+
+	"aero/internal/backend"
+	"aero/internal/core"
+)
+
+// plainInner is a minimal StreamBackend without an incremental path.
+type plainInner struct {
+	n    int
+	last float64
+	seen bool
+}
+
+func (b *plainInner) Kind() string                          { return "plain" }
+func (b *plainInner) Variates() int                         { return b.n }
+func (b *plainInner) Ready() bool                           { return true }
+func (b *plainInner) Threshold() float64                    { return 1 }
+func (b *plainInner) LastTime() (float64, bool)             { return b.last, b.seen }
+func (b *plainInner) SwapArtifact([]byte) error             { return nil }
+func (b *plainInner) SnapshotState() ([]byte, error)        { return nil, nil }
+func (b *plainInner) RestoreState([]byte) error             { return nil }
+func (b *plainInner) Push(core.Frame) ([]core.Alarm, error) { return nil, nil }
+func (b *plainInner) PushScores(f core.Frame) ([]float64, error) {
+	b.last, b.seen = f.Time, true
+	return []float64{0.1}, nil
+}
+
+// cachingInner additionally records incremental-cache invalidations.
+type cachingInner struct {
+	plainInner
+	invalidations int
+}
+
+func (b *cachingInner) InvalidateIncremental() { b.invalidations++ }
+
+func calibScores(n, frames int) [][]float64 {
+	calib := make([][]float64, n)
+	for v := range calib {
+		calib[v] = make([]float64, frames)
+		for i := range calib[v] {
+			calib[v][i] = 0.01 * float64(i%97)
+		}
+	}
+	return calib
+}
+
+// TestDSPOTStageDelegatesInvalidation pins the wrapping-stage contract of
+// core.IncrementalInvalidator: a host invalidating through the DSPOT stage
+// must reach the inner backend's caches, and wrapping a backend without an
+// incremental path must be a safe no-op.
+func TestDSPOTStageDelegatesInvalidation(t *testing.T) {
+	inner := &cachingInner{plainInner: plainInner{n: 1}}
+	stage, err := backend.NewDSPOTStage(inner, backend.DefaultDSPOTConfig(), calibScores(1, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv core.IncrementalInvalidator = stage
+	inv.InvalidateIncremental()
+	inv.InvalidateIncremental()
+	if inner.invalidations != 2 {
+		t.Fatalf("inner backend saw %d invalidations, want 2", inner.invalidations)
+	}
+
+	plain := &plainInner{n: 1}
+	noCache, err := backend.NewDSPOTStage(plain, backend.DefaultDSPOTConfig(), calibScores(1, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCache.InvalidateIncremental() // must not panic
+}

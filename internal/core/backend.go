@@ -54,8 +54,20 @@ type GraphSnapshotter interface {
 	GraphSnapshot() (*tensor.Dense, error)
 }
 
+// IncrementalInvalidator is the optional capability of backends whose
+// streaming path reuses cached activations across frames (AERO's
+// incremental forward). Hosts that mutate window contents behind the
+// backend's ingest path — e.g. the engine's frame hygiene repairing a
+// frame in place — call InvalidateIncremental so the next scored frame
+// runs a full exact pass instead of trusting stale caches. Wrapping stages
+// (DSPOT) delegate to their inner backend.
+type IncrementalInvalidator interface {
+	InvalidateIncremental()
+}
+
 // KindAERO is the backend kind tag of the paper's two-stage AERO model.
 const KindAERO = "aero"
 
 var _ StreamBackend = (*StreamDetector)(nil)
 var _ GraphSnapshotter = (*StreamDetector)(nil)
+var _ IncrementalInvalidator = (*StreamDetector)(nil)

@@ -179,7 +179,7 @@ func (m *Model) reconstruct(p *prepared, end int, sc *scratch) *tensor.Dense {
 	if m.cfg.multivariateInput() {
 		t, slot := m.inferenceTape(sc, 0)
 		long, short := m.longShort(p, 0, end, slot)
-		pred := m.temporal.forward(t, long, short, wt) // ω×N
+		pred := m.temporal.forwardCap(t, long, short, wt, sc.capFor(0)) // ω×N
 		for v := 0; v < m.n; v++ {
 			for i := 0; i < omega; i++ {
 				out.Set(v, i, pred.Value.At(i, v))
@@ -196,7 +196,7 @@ func (m *Model) reconstruct(p *prepared, end int, sc *scratch) *tensor.Dense {
 			for v := 0; v < m.n; v++ {
 				slot.tape.Reset()
 				long, short := m.longShort(p, v, end, slot)
-				pred := m.temporal.forward(slot.tape, long, short, wt) // ω×1
+				pred := m.temporal.forwardCap(slot.tape, long, short, wt, sc.capFor(v)) // ω×1
 				copy(out.Row(v), pred.Value.Data)
 			}
 			return out
@@ -219,7 +219,7 @@ func (m *Model) reconstructFan(p *prepared, end int, wt windowTimes, sc *scratch
 	sc.runSlots(m.n, func(v int, slot *varSlot) {
 		slot.tape.Reset()
 		long, short := m.longShort(p, v, end, slot)
-		pred := m.temporal.forward(slot.tape, long, short, wt) // ω×1
+		pred := m.temporal.forwardCap(slot.tape, long, short, wt, sc.capFor(v)) // ω×1
 		copy(out.Row(v), pred.Value.Data)
 	})
 }
@@ -284,15 +284,23 @@ func (m *Model) adjacency(e *tensor.Dense, dyn *dynamicGraphState, sc *scratch) 
 // so they cannot silently diverge.
 func (m *Model) windowScores(p *prepared, end int, dyn *dynamicGraphState, sc *scratch) (final, e1 *tensor.Dense) {
 	e := m.stage1Errors(p, end, sc)
+	return m.noiseScores(e, dyn, sc), e
+}
+
+// noiseScores is windowScores' second stage — graph propagation and noise
+// reconstruction over already-computed stage-1 errors. It is split out so
+// the incremental refresh path can feed it row-kernel-derived errors and
+// stay bit-identical to the tape path: both run literally this code.
+func (m *Model) noiseScores(e *tensor.Dense, dyn *dynamicGraphState, sc *scratch) (final *tensor.Dense) {
 	if !m.cfg.usesNoise() {
 		if sc != nil {
 			final = sc.final
 			for i := range final.Data {
 				final.Data[i] = math.Abs(e.Data[i])
 			}
-			return final, e
+			return final
 		}
-		return e.Apply(math.Abs), e
+		return e.Apply(math.Abs)
 	}
 	a := m.adjacency(e, dyn, sc)
 	// Propagate the stage-1 *error patterns* (Algorithm 1: M2(Y−Ŷ1, Y);
@@ -320,7 +328,7 @@ func (m *Model) windowScores(p *prepared, end int, dyn *dynamicGraphState, sc *s
 	for i := range final.Data {
 		final.Data[i] = math.Abs(e.Data[i] - yhat2.Value.Data[i])
 	}
-	return final, e
+	return final
 }
 
 // parallelVariates runs f(v) for every variate using the configured worker

@@ -28,6 +28,21 @@ type scratch struct {
 	noiseTape *ag.Tape
 
 	slots []*varSlot // per-worker stage-1 forward state
+
+	// caps, when non-nil, asks reconstruct to capture each variate's
+	// stage-1 intermediate activations (multivariate input uses index 0).
+	// Only the streaming incremental path attaches captures, and only for
+	// the duration of a refresh pass.
+	caps []*temporalCapture
+}
+
+// capFor returns the capture attached for variate v, nil-safe on every
+// axis so the batch-scoring paths stay capture-free.
+func (sc *scratch) capFor(v int) *temporalCapture {
+	if sc == nil || v >= len(sc.caps) {
+		return nil
+	}
+	return sc.caps[v]
 }
 
 // varSlot is the per-goroutine state of one stage-1 forward pass: an

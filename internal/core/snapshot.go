@@ -166,6 +166,9 @@ func (s *StreamDetector) RestoreState(blob []byte) error {
 			s.dyn.a.CopyFrom(fresh.a)
 		}
 	}
+	// The restored window has nothing in common with the cached
+	// activations; the next scored frame must run a full exact pass.
+	s.InvalidateIncremental()
 	return nil
 }
 

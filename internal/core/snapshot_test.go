@@ -145,6 +145,14 @@ func TestSnapshotRestoreDynamicGraph(t *testing.T) {
 	}
 	uninterrupted, _ := NewStreamDetector(m)
 	donor, _ := NewStreamDetector(m)
+	// Exact incremental mode: this test pins *raw scores* frame for frame,
+	// and under an approximate policy the restored detector's freshly
+	// rebuilt caches would legitimately diverge from the donor's warm ones
+	// on benign frames. Every=1 recomputes every window, so any mismatch
+	// here is a genuine EWMA round-trip bug. Alarm identity under the
+	// default policy is pinned by the incremental golden-replay tests.
+	uninterrupted.SetIncrementalPolicy(ExactIncrementalPolicy())
+	donor.SetIncrementalPolicy(ExactIncrementalPolicy())
 	cut := cfg.LongWindow + 9 // past warm-up so the EWMA state has evolved
 	for i := 0; i < cut; i++ {
 		pushAt(t, uninterrupted, d, i)
@@ -155,6 +163,7 @@ func TestSnapshotRestoreDynamicGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	restored, _ := NewStreamDetector(m)
+	restored.SetIncrementalPolicy(ExactIncrementalPolicy())
 	if err := restored.RestoreState(blob); err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,9 @@ type StreamDetector struct {
 	prep     prepared    // chronological window view, rebuilt per score
 	prepData [][]float64 // backing storage for prep.data
 	scores   []float64   // per-variate score of the newest frame
+	alarms   []Alarm     // Push's reusable alarm buffer
+
+	inc *incrementalState // nil when the incremental path is disabled
 }
 
 // Frame is one observation instant: the magnitudes of all stars at Time.
@@ -81,6 +84,7 @@ func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
 		sc:       m.newScratch(workers),
 		prepData: make([][]float64, m.n),
 		scores:   make([]float64, m.n),
+		alarms:   make([]Alarm, 0, m.n),
 	}
 	for v := 0; v < m.n; v++ {
 		s.data[v] = make([]float64, w)
@@ -91,7 +95,63 @@ func NewStreamDetectorWorkers(m *Model, workers int) (*StreamDetector, error) {
 	if m.cfg.Variant == VariantDynamicGraph {
 		s.dyn = newDynamicGraphState(m.n)
 	}
+	s.SetIncrementalPolicy(DefaultIncrementalPolicy())
 	return s, nil
+}
+
+// SetIncrementalPolicy installs an incremental streaming policy (see
+// IncrementalPolicy), rebuilding the activation caches from scratch; the
+// next scored frame runs a full exact pass that repopulates them. The zero
+// policy disables the incremental path. Accumulated stats are preserved.
+func (s *StreamDetector) SetIncrementalPolicy(pol IncrementalPolicy) {
+	var st IncrementalStats
+	if s.inc != nil {
+		st = s.inc.stats
+	}
+	if !pol.enabled() {
+		s.inc = nil
+		return
+	}
+	s.inc = newIncrementalState(s.m, pol)
+	s.inc.stats = st
+}
+
+// IncrementalPolicy returns the active incremental policy (the zero value
+// when disabled).
+func (s *StreamDetector) IncrementalPolicy() IncrementalPolicy {
+	if s.inc == nil {
+		return IncrementalPolicy{}
+	}
+	return s.inc.pol
+}
+
+// IncrementalStats reports how scored frames were served so far.
+func (s *StreamDetector) IncrementalStats() IncrementalStats {
+	if s.inc == nil {
+		return IncrementalStats{}
+	}
+	return s.inc.stats
+}
+
+// InvalidateIncremental drops every cached activation; the next scored
+// frame runs a full exact pass. Hosts call it whenever the window contents
+// changed behind the detector's back (e.g. the engine's frame hygiene
+// repaired a frame in place).
+func (s *StreamDetector) InvalidateIncremental() {
+	if s.inc != nil {
+		s.inc.valid = false
+	}
+}
+
+// rebuildIncremental re-sizes the caches for the current model (geometry
+// may change across Swap) while preserving the policy and stats.
+func (s *StreamDetector) rebuildIncremental() {
+	if s.inc != nil {
+		pol := s.inc.pol
+		st := s.inc.stats
+		s.inc = newIncrementalState(s.m, pol)
+		s.inc.stats = st
+	}
 }
 
 // Kind implements StreamBackend: the AERO backend kind tag.
@@ -114,19 +174,24 @@ func (s *StreamDetector) Ready() bool { return s.count >= s.m.cfg.LongWindow }
 func (s *StreamDetector) LastTime() (float64, bool) { return s.last, s.count > 0 }
 
 // Push appends one frame and, once the window is warm, scores it,
-// returning the alarms raised at this instant (empty when none).
+// returning the alarms raised at this instant (nil when none). The
+// returned slice is owned by the detector and reused by the next Push;
+// callers that retain alarms across pushes must copy them out.
 func (s *StreamDetector) Push(f Frame) ([]Alarm, error) {
 	scores, err := s.PushScores(f)
 	if err != nil || scores == nil {
 		return nil, err
 	}
-	var alarms []Alarm
+	s.alarms = s.alarms[:0]
 	for v, sc := range scores {
 		if sc >= s.m.thr.Z {
-			alarms = append(alarms, Alarm{Variate: v, Time: f.Time, Score: sc})
+			s.alarms = append(s.alarms, Alarm{Variate: v, Time: f.Time, Score: sc})
 		}
 	}
-	return alarms, nil
+	if len(s.alarms) == 0 {
+		return nil, nil
+	}
+	return s.alarms, nil
 }
 
 // PushScores appends one frame and, once the window is warm, returns the
@@ -174,10 +239,14 @@ func (s *StreamDetector) window() *prepared {
 	return &s.prep
 }
 
-// scoreLast runs the two-stage forward pass over the current window and
-// returns the final anomaly score of the last timestamp per variate. The
-// returned slice is reused by the next call.
+// scoreLast returns the final anomaly score of the last timestamp per
+// variate: the incremental path (with its exact alarm-boundary guard) when
+// enabled, the full two-stage forward otherwise. The returned slice is
+// reused by the next call.
 func (s *StreamDetector) scoreLast() []float64 {
+	if s.inc != nil {
+		return s.inc.score(s)
+	}
 	w := s.m.cfg.LongWindow
 	p := s.window()
 	final, _ := s.m.windowScores(p, w-1, s.dyn, s.sc)
@@ -234,6 +303,9 @@ func (s *StreamDetector) Swap(m *Model) error {
 			s.data[v][i] = m.norm.TransformValue(v, s.raw[v][i])
 		}
 	}
+	// Cached activations belong to the old weights (and possibly the old
+	// geometry): rebuild, so the next frame scores with a full exact pass.
+	s.rebuildIncremental()
 	return nil
 }
 

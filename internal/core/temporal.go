@@ -30,8 +30,17 @@ func newEncoderLayer(name string, dm, heads, hidden, band int, rng *rand.Rand) *
 }
 
 func (e *encoderLayer) forward(t *ag.Tape, x *ag.Node) *ag.Node {
-	m := e.ln1.Forward(t, t.Add(x, e.attn.Forward(t, x, x, x)))
-	return e.ln2.Forward(t, t.Add(m, e.ffn.Forward(t, m)))
+	out, _, _ := e.forwardKV(t, x)
+	return out
+}
+
+// forwardKV is forward additionally returning the layer's key/value
+// projection nodes, so the streaming capture path can cache them across
+// pushes. forward delegates here; the two cannot diverge.
+func (e *encoderLayer) forwardKV(t *ag.Tape, x *ag.Node) (out, k, v *ag.Node) {
+	attnOut, k, v := e.attn.ForwardKV(t, x, x, x)
+	m := e.ln1.Forward(t, t.Add(x, attnOut))
+	return e.ln2.Forward(t, t.Add(m, e.ffn.Forward(t, m))), k, v
 }
 
 func (e *encoderLayer) params() []*ag.Param {
@@ -91,23 +100,97 @@ type windowTimes struct {
 	posS, dtS []float64
 }
 
+// capLayer holds one encoder layer's cached key/value projection rings
+// (W×d_m each): the K = x·W_K and V = x·W_V matrices of the layer's most
+// recent captured forward, shifted row-wise as the window slides.
+type capLayer struct {
+	k, v *tensor.Dense
+}
+
+// temporalCapture snapshots the intermediate activations of one stage-1
+// forward pass that the incremental streaming path reuses across pushes.
+// Every tensor is overwritten in full by the next captured (exact) forward
+// and mutated row-wise by the benign incremental path in between; the two
+// uses share storage by design, so a refresh is also a cache rebuild.
+type temporalCapture struct {
+	encP         *tensor.Dense // W×d_m encoder input projection encProj(x)
+	sinL, cosL   *tensor.Dense // W×d_m time-embedding sin(θ)/cos(θ), long window
+	enc          []capLayer    // per encoder layer K/V rings
+	oeK, oeV     *tensor.Dense // W×d_m decoder cross-attention K/V of the encoder output
+	decP         *tensor.Dense // ω×d_m decoder input projection decProj(x)
+	sinS, cosS   *tensor.Dense // ω×d_m time-embedding parts, short window
+	selfK, selfV *tensor.Dense // ω×d_m decoder self-attention K/V
+}
+
+// newTemporalCapture allocates a capture for the module's geometry. w and
+// omega are the long/short window lengths.
+func (m *temporalModule) newTemporalCapture(w, omega int) *temporalCapture {
+	dm := m.te.dm
+	c := &temporalCapture{
+		encP: tensor.New(w, dm),
+		sinL: tensor.New(w, dm), cosL: tensor.New(w, dm),
+		oeK: tensor.New(w, dm), oeV: tensor.New(w, dm),
+		decP: tensor.New(omega, dm),
+		sinS: tensor.New(omega, dm), cosS: tensor.New(omega, dm),
+		selfK: tensor.New(omega, dm), selfV: tensor.New(omega, dm),
+	}
+	for range m.enc {
+		c.enc = append(c.enc, capLayer{k: tensor.New(w, dm), v: tensor.New(w, dm)})
+	}
+	return c
+}
+
 // forward reconstructs the short window. long is W×inDim, short is ω×inDim
 // (rows are timesteps); the result is ω×inDim in [0, 1].
 func (m *temporalModule) forward(t *ag.Tape, long, short *tensor.Dense, wt windowTimes) *ag.Node {
+	return m.forwardCap(t, long, short, wt, nil)
+}
+
+// forwardCap is forward optionally copying the intermediate activations the
+// incremental streaming path reuses into cache (no capture when nil). The
+// op sequence is identical to the historical forward — the capture copies
+// read already-computed node values — so captured and plain passes produce
+// bit-identical outputs.
+func (m *temporalModule) forwardCap(t *ag.Tape, long, short *tensor.Dense, wt windowTimes, cache *temporalCapture) *ag.Node {
 	// Input embeddings IE/ID = proj(x) + TE (Eq. 4).
-	ie := t.Add(m.encProj.Forward(t, t.Const(long)), m.te.Forward(t, wt.posL, wt.dtL))
-	id := t.Add(m.decProj.Forward(t, t.Const(short)), m.te.Forward(t, wt.posS, wt.dtS))
+	encP := m.encProj.Forward(t, t.Const(long))
+	teL, sinL, cosL := m.te.ForwardParts(t, wt.posL, wt.dtL)
+	ie := t.Add(encP, teL)
+	decP := m.decProj.Forward(t, t.Const(short))
+	teS, sinS, cosS := m.te.ForwardParts(t, wt.posS, wt.dtS)
+	id := t.Add(decP, teS)
+	if cache != nil {
+		cache.encP.CopyFrom(encP.Value)
+		cache.sinL.CopyFrom(sinL.Value)
+		cache.cosL.CopyFrom(cosL.Value)
+		cache.decP.CopyFrom(decP.Value)
+		cache.sinS.CopyFrom(sinS.Value)
+		cache.cosS.CopyFrom(cosS.Value)
+	}
 
 	// Encoder over the long context (Eq. 5–7).
 	oe := ie
-	for _, layer := range m.enc {
-		oe = layer.forward(t, oe)
+	for i, layer := range m.enc {
+		var k, v *ag.Node
+		oe, k, v = layer.forwardKV(t, oe)
+		if cache != nil {
+			cache.enc[i].k.CopyFrom(k.Value)
+			cache.enc[i].v.CopyFrom(v.Value)
+		}
 	}
 
 	// Decoder: masked-free self-attention on the short window, then
 	// cross-attention using the encoder output as keys/values (Eq. 8).
-	md := m.decLN1.Forward(t, t.Add(id, m.decSelf.Forward(t, id, id, id)))
-	od := m.decLN2.Forward(t, t.Add(md, m.decCross.Forward(t, md, oe, oe)))
+	selfOut, selfK, selfV := m.decSelf.ForwardKV(t, id, id, id)
+	md := m.decLN1.Forward(t, t.Add(id, selfOut))
+	crossOut, oeK, oeV := m.decCross.ForwardKV(t, md, oe, oe)
+	od := m.decLN2.Forward(t, t.Add(md, crossOut))
+	if cache != nil {
+		cache.selfK.CopyFrom(selfK.Value)
+		cache.selfV.CopyFrom(selfV.Value)
+		cache.oeK.CopyFrom(oeK.Value)
+		cache.oeV.CopyFrom(oeV.Value)
+	}
 
 	// Output head with sigmoid normalization (Eq. 9).
 	return t.Sigmoid(m.outFFN.Forward(t, od))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"aero/internal/ag"
 	"aero/internal/tensor"
@@ -22,6 +23,21 @@ type TimeEmbedding struct {
 	Alpha *ag.Param
 	freq  []float64
 	dm    int
+
+	// phases caches the constant matrices phase[l][j] = f_j·pos_l per
+	// (length, first position). Positions in this codebase are always
+	// window-local and contiguous (model.times emits 0..W−1 for the long
+	// window and w−ω..w−1 for its suffix), so the matrix is a pure
+	// function of the window shape and can be computed once and shared by
+	// every forward pass — training, batch scoring and streaming alike.
+	// Lock-free reads, like nn's band-mask cache.
+	phases sync.Map // phaseKey -> *tensor.Dense
+}
+
+// phaseKey identifies one cached constant phase matrix.
+type phaseKey struct {
+	l  int
+	p0 float64
 }
 
 // NewTimeEmbedding returns a time embedding of width dm with α initialised
@@ -39,23 +55,72 @@ func NewTimeEmbedding(dm int) *TimeEmbedding {
 }
 
 // Forward produces the L×d_m embedding for absolute positions pos and
-// intervals dt (both length L). The staging buffers come from the tape so
-// inference tapes reuse them across passes.
+// intervals dt (both length L).
 func (te *TimeEmbedding) Forward(t *ag.Tape, pos, dt []float64) *ag.Node {
+	emb, _, _ := te.ForwardParts(t, pos, dt)
+	return emb
+}
+
+// ForwardParts is Forward additionally returning the sin(θ) and cos(θ)
+// nodes. The incremental streaming path caches their values and advances
+// them across pushes: a window-local position shift of −1 rotates every
+// retained θ by exactly −f_j per dimension, so (sinθ, cosθ) update by the
+// angle-difference identities without re-evaluating any trigonometry.
+func (te *TimeEmbedding) ForwardParts(t *ag.Tape, pos, dt []float64) (emb, sin, cos *ag.Node) {
 	L := len(pos)
-	// Fixed part: phase[l][j] = f_j · pos_l (constant).
-	phase := t.Buffer(L, te.dm)
-	for l := 0; l < L; l++ {
+	phase := te.phase(t, pos)
+	// Learnable part: dtCol (L×1) · α (1×d_m).
+	dtCol := t.Buffer(L, 1)
+	copy(dtCol.Data, dt)
+	theta := t.Add(phase, t.MatMul(t.Const(dtCol), t.Param(te.Alpha)))
+	sin = t.Sin(theta)
+	cos = t.Cos(theta)
+	return t.Add(sin, cos), sin, cos
+}
+
+// phase returns the constant matrix phase[l][j] = f_j·pos_l as a tape node,
+// served from the per-shape cache when the positions are contiguous (the
+// only pattern the model emits) and rebuilt per pass otherwise. The cached
+// values are the same products the per-pass fill computed, so hoisting the
+// matrix is bit-identical.
+func (te *TimeEmbedding) phase(t *ag.Tape, pos []float64) *ag.Node {
+	if cached := te.cachedPhase(pos); cached != nil {
+		return t.Const(cached)
+	}
+	phase := t.Buffer(len(pos), te.dm)
+	te.fillPhase(phase, pos)
+	return t.Const(phase)
+}
+
+// cachedPhase returns the shared constant phase matrix for a contiguous
+// position vector, or nil when the positions are non-contiguous (no model
+// path emits that shape). The matrix is shared across passes — callers
+// must treat it as read-only.
+func (te *TimeEmbedding) cachedPhase(pos []float64) *tensor.Dense {
+	L := len(pos)
+	p0 := pos[0]
+	for l := 1; l < L; l++ {
+		if pos[l] != p0+float64(l) {
+			return nil
+		}
+	}
+	key := phaseKey{l: L, p0: p0}
+	if cached, ok := te.phases.Load(key); ok {
+		return cached.(*tensor.Dense)
+	}
+	phase := tensor.New(L, te.dm)
+	te.fillPhase(phase, pos)
+	cached, _ := te.phases.LoadOrStore(key, phase)
+	return cached.(*tensor.Dense)
+}
+
+func (te *TimeEmbedding) fillPhase(phase *tensor.Dense, pos []float64) {
+	for l := range pos {
 		row := phase.Row(l)
 		for j := 0; j < te.dm; j++ {
 			row[j] = te.freq[j] * pos[l]
 		}
 	}
-	// Learnable part: dtCol (L×1) · α (1×d_m).
-	dtCol := t.Buffer(L, 1)
-	copy(dtCol.Data, dt)
-	theta := t.Add(t.Const(phase), t.MatMul(t.Const(dtCol), t.Param(te.Alpha)))
-	return t.Add(t.Sin(theta), t.Cos(theta))
 }
 
 // Params implements nn.Module.

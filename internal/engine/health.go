@@ -229,6 +229,13 @@ func (sub *subscription) score(t float64, mags []float64) scoreResult {
 	}
 	if repaired {
 		atomic.AddUint64(&sub.hygieneRepaired, 1)
+		// A repaired frame is synthetic data: force backends that reuse
+		// cached activations across frames to score it with a full exact
+		// pass rather than an incremental update seeded by fabricated
+		// inputs.
+		if inv, ok := sub.det.(core.IncrementalInvalidator); ok {
+			inv.InvalidateIncremental()
+		}
 	}
 	f := core.Frame{Time: t, Magnitudes: mags}
 

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// invalidatingBackend is a scriptBackend that records host-side cache
+// invalidations, standing in for a backend with an incremental streaming
+// path (AERO).
+type invalidatingBackend struct {
+	scriptBackend
+	invalidations int
+}
+
+func (b *invalidatingBackend) InvalidateIncremental() { b.invalidations++ }
+
+// TestHygieneRepairInvalidatesIncremental pins the hygiene→incremental
+// wiring: a frame repaired in place (hold-last) must invalidate the
+// backend's activation caches before it is scored, while clean and dropped
+// frames must not.
+func TestHygieneRepairInvalidatesIncremental(t *testing.T) {
+	det := &invalidatingBackend{scriptBackend: scriptBackend{n: 2}}
+	sub := mkSub("inv", det, HygieneConfig{Policy: HygieneHoldLast}, HealthConfig{Disable: true})
+
+	if r := sub.score(1, []float64{0.5, 0.6}); r.err != nil {
+		t.Fatalf("clean frame: %v", r.err)
+	}
+	if det.invalidations != 0 {
+		t.Fatalf("clean frame invalidated caches %d times", det.invalidations)
+	}
+
+	if r := sub.score(2, []float64{math.NaN(), 0.6}); r.err != nil {
+		t.Fatalf("repairable frame: %v", r.err)
+	}
+	if det.invalidations != 1 {
+		t.Fatalf("repaired frame invalidated caches %d times, want 1", det.invalidations)
+	}
+
+	if r := sub.score(3, []float64{0.5, 0.6}); r.err != nil {
+		t.Fatalf("clean frame after repair: %v", r.err)
+	}
+	if det.invalidations != 1 {
+		t.Fatalf("clean frame after repair invalidated caches; total %d", det.invalidations)
+	}
+
+	// A stale frame is dropped before reaching the backend: no repair, no
+	// invalidation.
+	if r := sub.score(3, []float64{0.5, 0.6}); r.err == nil {
+		t.Fatal("stale frame was not dropped")
+	}
+	if det.invalidations != 1 {
+		t.Fatalf("dropped frame invalidated caches; total %d", det.invalidations)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"aero/internal/core"
 	"aero/internal/engine"
@@ -42,6 +43,10 @@ type subscriptionInfo struct {
 //	GET  /stats    engine + server + per-tenant counters as JSON
 //	GET  /healthz  200 "ok" while serving, 503 "draining" during drain
 //
+// With ServerConfig.EnablePprof, net/http/pprof's endpoints are mounted
+// under /debug/pprof/ as well (the explicit routes below, not the default
+// mux, which this handler never touches).
+//
 // The /ingest endpoint shares the engine's backpressure: each line's
 // Ingest blocks while the tenant's shard is saturated, so a slow shard
 // slows the HTTP client's request body read instead of buffering.
@@ -50,6 +55,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -51,6 +51,12 @@ type ServerConfig struct {
 	// ExtraStats contributes additional sections (e.g. triage counters)
 	// to the /stats payload. Optional.
 	ExtraStats func() map[string]any
+	// EnablePprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/ on the HTTP mux, so a serving process can be profiled
+	// in place (CPU, heap, goroutines) without a restart. Off by default:
+	// the endpoints expose internals and belong behind the operator's
+	// network boundary, not on a public ingest port.
+	EnablePprof bool
 	// Logf receives serve-loop diagnostics. Optional.
 	Logf func(format string, args ...any)
 }

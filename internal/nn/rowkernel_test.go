@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"aero/internal/ag"
+	"aero/internal/tensor"
+)
+
+// The streaming incremental path re-derives single rows with the ApplyRow/
+// AttendRow kernels instead of tape forwards. These tests pin the contract
+// those kernels advertise: fed the exact inputs, every row they produce is
+// bit-identical to the corresponding row of the tape forward — no epsilon.
+
+func TestLinearApplyRowMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLinear("l", 7, 5, rng)
+	x := tensor.Randn(9, 7, 1, rng)
+	tp := ag.NewTape()
+	out := l.Forward(tp, tp.Const(x))
+	dst := make([]float64, 5)
+	for r := 0; r < x.Rows; r++ {
+		l.ApplyRow(dst, x.Row(r))
+		for j, v := range dst {
+			if v != out.Value.At(r, j) {
+				t.Fatalf("row %d col %d: ApplyRow %v != Forward %v", r, j, v, out.Value.At(r, j))
+			}
+		}
+	}
+}
+
+func TestLayerNormApplyRowMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ln := NewLayerNorm("ln", 8)
+	// Perturb gain/bias away from identity so the test sees them applied.
+	for j := range ln.Gain.Value.Data {
+		ln.Gain.Value.Data[j] = 1 + 0.1*float64(j)
+		ln.Bias.Value.Data[j] = 0.05 * float64(j)
+	}
+	x := tensor.Randn(6, 8, 2, rng)
+	tp := ag.NewTape()
+	out := ln.Forward(tp, tp.Const(x))
+	dst := make([]float64, 8)
+	for r := 0; r < x.Rows; r++ {
+		ln.ApplyRow(dst, x.Row(r))
+		for j, v := range dst {
+			if v != out.Value.At(r, j) {
+				t.Fatalf("row %d col %d: ApplyRow %v != Forward %v", r, j, v, out.Value.At(r, j))
+			}
+		}
+	}
+	// The kernel documents that dst may alias x; verify in-place use.
+	row := append([]float64(nil), x.Row(2)...)
+	ln.ApplyRow(row, row)
+	for j, v := range row {
+		if v != out.Value.At(2, j) {
+			t.Fatalf("aliased col %d: %v != %v", j, v, out.Value.At(2, j))
+		}
+	}
+}
+
+func TestFFNApplyRowMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := NewFFN("f", 6, 10, 4, rng)
+	x := tensor.Randn(5, 6, 1, rng)
+	tp := ag.NewTape()
+	out := f.Forward(tp, tp.Const(x))
+	dst := make([]float64, 4)
+	hidden := make([]float64, 10)
+	for r := 0; r < x.Rows; r++ {
+		f.ApplyRow(dst, hidden, x.Row(r))
+		for j, v := range dst {
+			if v != out.Value.At(r, j) {
+				t.Fatalf("row %d col %d: ApplyRow %v != Forward %v", r, j, v, out.Value.At(r, j))
+			}
+		}
+	}
+}
+
+// attendAllRows reconstructs every output row of an attention forward with
+// the row kernels (Wq.ApplyRow → AttendRow → Wo.ApplyRow) and compares it
+// bitwise against the tape forward's output.
+func attendAllRows(t *testing.T, m *MultiHeadAttention, query, kv *tensor.Dense, square bool) {
+	t.Helper()
+	tp := ag.NewTape()
+	var out, k, v *ag.Node
+	if square {
+		out, k, v = m.ForwardKV(tp, tp.Const(query), tp.Const(query), tp.Const(query))
+	} else {
+		out, k, v = m.ForwardKV(tp, tp.Const(query), tp.Const(kv), tp.Const(kv))
+	}
+	q := make([]float64, m.Dim)
+	ctx := make([]float64, m.Dim)
+	dst := make([]float64, m.Dim)
+	scores := make([]float64, k.Value.Rows)
+	for r := 0; r < query.Rows; r++ {
+		m.Wq.ApplyRow(q, query.Row(r))
+		m.AttendRow(ctx, scores, q, k.Value, v.Value, r, square)
+		m.Wo.ApplyRow(dst, ctx)
+		for j, got := range dst {
+			if got != out.Value.At(r, j) {
+				t.Fatalf("row %d col %d: AttendRow path %v != Forward %v (band %d, square %v)",
+					r, j, got, out.Value.At(r, j), m.Band, square)
+			}
+		}
+	}
+}
+
+func TestAttendRowMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := tensor.Randn(12, 8, 1, rng)
+	short := tensor.Randn(5, 8, 1, rng)
+	for _, band := range []int{0, 3} {
+		m := NewMultiHeadAttention("attn", 8, 2, rng)
+		m.Band = band
+		// Self-attention (square: the band applies when > 0).
+		attendAllRows(t, m, x, nil, true)
+		// Cross-attention (query and key lengths differ: band ignored).
+		attendAllRows(t, m, short, x, false)
+	}
+}
