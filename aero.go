@@ -49,6 +49,7 @@ import (
 	"aero/internal/faultinject"
 	"aero/internal/ingest"
 	"aero/internal/lifecycle"
+	"aero/internal/metrics"
 )
 
 // Model is a trainable/trained AERO detector. See core.Model.
@@ -390,6 +391,50 @@ func NewTriagePipeline(cfg TriageConfig) *TriagePipeline { return alerts.NewPipe
 func AttachTriage(e *Engine, cfg TriageConfig, buffer int) (*TriageStream, error) {
 	return alerts.Attach(e, cfg, buffer)
 }
+
+// AttachTriageObserved is AttachTriage with an optional metrics registry:
+// each alarm's triage push is timed into aero_triage_push_seconds and
+// finalized incidents are counted. Pass a nil registry for plain Attach.
+func AttachTriageObserved(e *Engine, cfg TriageConfig, buffer int, reg *MetricsRegistry) (*TriageStream, error) {
+	return alerts.AttachObserved(e, cfg, buffer, reg)
+}
+
+// MetricsRegistry is the dependency-free metrics registry shared by every
+// layer: counters, gauges and log-linear latency histograms, scraped as
+// Prometheus text by IngestServer's GET /metrics (or WritePrometheus
+// directly). Pass one registry through EngineConfig.Metrics,
+// IngestServerConfig.Metrics, RetrainerConfig.Metrics and
+// AttachTriageObserved so every series lands in one scrape. A nil
+// registry disables instrumentation everywhere at the cost of a
+// nil-check. See internal/metrics and the Observability section of
+// DESIGN.md.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsHistogram is a lock-free log-linear latency histogram
+// (nanosecond samples, ≤6.25% relative bucket error); Record is three
+// atomic adds and allocation-free. Used standalone by aeroload for
+// client-side send→ack latency.
+type MetricsHistogram = metrics.Histogram
+
+// NewMetricsHistogram returns an unregistered histogram, for callers that
+// want percentiles without a registry (e.g. load generators).
+func NewMetricsHistogram() *MetricsHistogram { return metrics.NewHistogram() }
+
+// MetricsNow returns the shared monotonic clock reading (nanoseconds
+// since process start) every instrument stamps with.
+func MetricsNow() int64 { return metrics.Now() }
+
+// TraceConfig sizes the per-tenant flight recorder (EngineConfig.Trace):
+// ring depth and the slow-frame pin threshold.
+type TraceConfig = engine.TraceConfig
+
+// TraceSnapshot is a point-in-time copy of one tenant's flight-recorder
+// ring, from Subscription.Trace; its JSON method renders the wire form
+// served at GET /trace/{tenant}.
+type TraceSnapshot = metrics.TraceSnapshot
 
 // IngestServer is the network front door: it terminates the compact
 // length-prefixed binary frame protocol over TCP (versioned magic,

@@ -74,6 +74,12 @@ func main() {
 		}
 	}()
 
+	// One shared send→ack latency histogram across all clients: Record is
+	// atomic, so concurrent feeders aggregate without coordination. This
+	// is the client-visible round trip — wire, queueing, scoring, ack
+	// batching, and any drain/redial a frame rode out.
+	latency := aero.NewMetricsHistogram()
+
 	start := time.Now()
 	clients := make([]*aero.IngestClient, *tenants)
 	var wg sync.WaitGroup
@@ -82,7 +88,8 @@ func main() {
 		id := fmt.Sprintf("field-%03d", i)
 		c, derr := aero.DialIngest(aero.IngestClientConfig{
 			Addr: *addr, Tenant: id, Variates: len(data), Window: *window,
-			Logf: func(f string, a ...any) { fmt.Fprintf(os.Stderr, id+": "+f+"\n", a...) },
+			Latency: latency,
+			Logf:    func(f string, a ...any) { fmt.Fprintf(os.Stderr, id+": "+f+"\n", a...) },
 		})
 		if derr != nil {
 			fail("dial %s for %s: %v", *addr, id, derr)
@@ -121,6 +128,13 @@ func main() {
 		agg.Sent, *tenants, elapsed.Round(time.Millisecond),
 		float64(agg.Sent)/elapsed.Seconds(), agg.Acked, agg.Resent,
 		agg.Reconnects, agg.Drains, agg.BlockedWaits)
+	if s := latency.Snapshot(); s.Count > 0 {
+		fmt.Fprintf(os.Stderr, "send→ack latency: p50 %s, p99 %s, p99.9 %s (mean %s over %d acked)\n",
+			time.Duration(s.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.999)).Round(time.Microsecond),
+			time.Duration(s.Mean()).Round(time.Microsecond), s.Count)
+	}
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}

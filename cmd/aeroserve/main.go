@@ -154,6 +154,9 @@ func main() {
 	listenAddr := flag.String("listen", "", "serve the binary frame protocol on this TCP address instead of replaying (clients: aeroload); SIGUSR2 restarts with zero downtime")
 	httpAddr := flag.String("http", "", "serve HTTP endpoints on this address: POST /ingest (JSON lines), GET /stats, GET /healthz")
 	httpPprof := flag.Bool("http-pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http listener (profile a serving process in place)")
+	metricsOn := flag.Bool("metrics", true, "enable the zero-alloc metrics layer: stage latency histograms, queue gauges, per-tenant flight recorder; adds GET /metrics and GET /trace/{tenant} to the -http listener")
+	traceDepth := flag.Int("trace-depth", 0, "per-tenant flight-recorder ring depth (0 = default 64 frames)")
+	traceSlow := flag.Duration("trace-slow", 0, "flight-recorder slow-frame pin threshold (0 = default 250ms)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -329,8 +332,17 @@ func main() {
 		}
 	}
 
+	// One registry carries every layer's series: engine stage histograms,
+	// DSPOT refit counters, ingest flow, triage timing, retrain rounds.
+	var mreg *aero.MetricsRegistry
+	if *metricsOn {
+		mreg = aero.NewMetricsRegistry()
+	}
+
 	eng := aero.NewEngine(aero.EngineConfig{
 		Shards: *shards, Workers: *workers, QueueDepth: *queue,
+		Metrics: mreg,
+		Trace:   aero.TraceConfig{Depth: *traceDepth, SlowThreshold: *traceSlow},
 		Hygiene: aero.HygieneConfig{Policy: hygienePolicy},
 		Health: aero.HealthConfig{
 			Disable:          *noHealth,
@@ -408,6 +420,7 @@ func main() {
 			Registry: reg,
 			Source:   func(string) (*aero.Series, error) { return d.Train, nil },
 			Interval: *retrainEvery,
+			Metrics:  mreg,
 			Logf:     func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
 			OnResult: func(res aero.RetrainResult) {
 				if res.Err != nil {
@@ -503,7 +516,7 @@ func main() {
 			tcfg.Window = 2 * tcfg.BucketWidth
 		}
 		var aerr error
-		if triageStream, aerr = aero.AttachTriage(eng, tcfg, 0); aerr != nil {
+		if triageStream, aerr = aero.AttachTriageObserved(eng, tcfg, 0, mreg); aerr != nil {
 			fail("attach triage: %v", aerr)
 		}
 		// Resume triage mid-flight from the previous run's checkpoint:
@@ -672,6 +685,35 @@ func main() {
 		return fmt.Sprintf(", chaos injected %d panics/%d errors/%d nans/%d delays", panics, errs, nans, delays)
 	}
 
+	// latencySummary renders the serving kind's score-stage percentiles
+	// from the shared registry — the same histogram GET /metrics scrapes.
+	// The kind label is taken from a live subscription (chaos wrapping
+	// changes the registered kind), so lookup and registration agree.
+	kindLabel := subs[len(subs)-1].Kind()
+	latencySummary := func() string {
+		if mreg == nil {
+			return ""
+		}
+		h := mreg.FindHistogram("aero_engine_score_seconds", "kind", kindLabel)
+		if h == nil {
+			return ""
+		}
+		s := h.Snapshot()
+		if s.Count == 0 {
+			return ""
+		}
+		line := fmt.Sprintf(", score p50 %s / p99 %s",
+			time.Duration(s.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.99)).Round(time.Microsecond))
+		if th := mreg.FindHistogram("aero_dspot_step_seconds", "kind", kindLabel); th != nil {
+			if ts := th.Snapshot(); ts.Count > 0 {
+				line += fmt.Sprintf(", dspot step p99 %s",
+					time.Duration(ts.Quantile(0.99)).Round(time.Microsecond))
+			}
+		}
+		return line
+	}
+
 	// Periodic stats.
 	statsDone := make(chan struct{})
 	go func() {
@@ -683,7 +725,7 @@ func main() {
 				t := eng.Totals()
 				line := fmt.Sprintf("stats: %d frames scored (%.0f/s), %d alarms (%d blocked), %d errors (%d reports dropped), %d queued",
 					t.Frames, t.FramesPerSec, t.Alarms, t.AlarmsBlocked, t.Errors, t.ErrorsDropped, t.QueueDepth)
-				line += healthSummary() + chaosSummary()
+				line += latencySummary() + healthSummary() + chaosSummary()
 				if rs, ok := refitTotals(); ok {
 					line += fmt.Sprintf(", dspot %d exceedances / %d refits (%d warm)", rs.Exceedances, rs.Refits, rs.WarmRefits)
 				}
@@ -706,7 +748,7 @@ func main() {
 		// the test split; runServe blocks until a shutdown signal drains
 		// the server (checkpointing through the hook above).
 		relaunched = runServe(serveEnv{
-			eng: eng, subs: subs,
+			eng: eng, subs: subs, metrics: mreg,
 			listenAddr: *listenAddr, httpAddr: *httpAddr, httpPprof: *httpPprof,
 			checkpoint: checkpointAll,
 			extraStats: func() map[string]any {
@@ -823,6 +865,9 @@ func main() {
 	total := eng.Totals()
 	if h := healthSummary() + chaosSummary(); h != "" {
 		fmt.Fprintf(os.Stderr, "containment:%s\n", h[1:])
+	}
+	if l := latencySummary(); l != "" {
+		fmt.Fprintf(os.Stderr, "latency:%s\n", l[1:])
 	}
 	fmt.Fprintf(os.Stderr, "done: %d frames over %d tenants in %s (%.0f frames/s), %d alarms, %d retrains, %d hot-swaps\n",
 		total.Frames, *tenants, elapsed.Round(time.Millisecond), float64(total.Frames)/elapsed.Seconds(),

@@ -21,6 +21,7 @@ import (
 type serveEnv struct {
 	eng        *aero.Engine
 	subs       []*aero.Subscription
+	metrics    *aero.MetricsRegistry
 	listenAddr string
 	httpAddr   string
 	httpPprof  bool
@@ -39,6 +40,7 @@ func runServe(env serveEnv) bool {
 	}
 	srv, err := aero.NewIngestServer(aero.IngestServerConfig{
 		Engine:      env.eng,
+		Metrics:     env.metrics,
 		EnablePprof: env.httpPprof,
 		Lookup: func(tenant string) (*aero.Subscription, error) {
 			if sub, ok := byID[tenant]; ok {
@@ -79,6 +81,9 @@ func runServe(env serveEnv) bool {
 			}
 		}()
 		endpoints := "/ingest /stats /healthz"
+		if env.metrics != nil {
+			endpoints += " /metrics /trace/{tenant}"
+		}
 		if env.httpPprof {
 			endpoints += " /debug/pprof/"
 		}

@@ -1,6 +1,9 @@
 package alerts
 
-import "aero/internal/engine"
+import (
+	"aero/internal/engine"
+	"aero/internal/metrics"
+)
 
 // Stream is a triage pipeline attached to a live engine: the engine's
 // alarm tap pushes every alarm through the pipeline, and finalized
@@ -22,12 +25,32 @@ type Stream struct {
 // (SnapshotState) so a restart resumes mid-episode, and an end-of-feed
 // report calls Finalize explicitly.
 func Attach(e *engine.Engine, cfg Config, buffer int) (*Stream, error) {
+	return AttachObserved(e, cfg, buffer, nil)
+}
+
+// AttachObserved is Attach with an optional metrics registry: when reg is
+// non-nil, each alarm's triage push (dedup, episode assembly, ranking) is
+// timed into aero_triage_push_seconds and finalized incidents are counted.
+// The stamp pair lives in the tap callback, outside the pipeline's own
+// locks, so an unobserved stream pays nothing.
+func AttachObserved(e *engine.Engine, cfg Config, buffer int, reg *metrics.Registry) (*Stream, error) {
 	if buffer <= 0 {
 		buffer = 256
 	}
 	s := &Stream{p: NewPipeline(cfg), incidents: make(chan Incident, buffer)}
+	push := reg.Histogram("aero_triage_push_seconds", "Triage pipeline push: dedup, episode assembly, ranking for one alarm.")
+	incidents := reg.Counter("aero_triage_incidents_total", "Incidents finalized by the triage pipeline.")
 	err := e.Tap(func(a engine.Alarm) {
-		for _, inc := range s.p.Push(a) {
+		var t0 int64
+		if push != nil {
+			t0 = metrics.Now()
+		}
+		incs := s.p.Push(a)
+		if push != nil {
+			push.Record(metrics.Now() - t0)
+			incidents.Add(uint64(len(incs)))
+		}
+		for _, inc := range incs {
 			s.incidents <- inc
 		}
 	}, func() { close(s.incidents) })

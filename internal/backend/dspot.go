@@ -49,6 +49,14 @@ type DSPOTStage struct {
 	cfg   DSPOTConfig
 	spots []*evt.DSPOT
 	fired []bool // per-variate verdicts of the newest push, reused
+
+	// clock, when set via SetStageClock, stamps the boundary between the
+	// inner score and the DSPOT steps of each push so the engine's
+	// metrics layer can split "score" from "tail" latency. splitNs is
+	// read by the same goroutine that pushed (behind the subscription
+	// lock), so no atomics are needed.
+	clock   func() int64
+	splitNs int64
 }
 
 // NewDSPOTStage wraps inner with per-variate DSPOT alarmers calibrated
@@ -144,6 +152,9 @@ func (d *DSPOTStage) RefitStats() evt.RefitStats {
 // DSPOT (the verdicts back the next Push's alarms).
 func (d *DSPOTStage) PushScores(f core.Frame) ([]float64, error) {
 	scores, err := d.inner.PushScores(f)
+	if d.clock != nil {
+		d.splitNs = d.clock()
+	}
 	if err != nil || scores == nil {
 		return nil, err
 	}
@@ -198,6 +209,28 @@ func (d *DSPOTStage) InvalidateIncremental() {
 	if inv, ok := d.inner.(core.IncrementalInvalidator); ok {
 		inv.InvalidateIncremental()
 	}
+}
+
+// SetStageClock installs (or, with nil, removes) the monotonic clock the
+// stage uses to stamp the inner-score → tail-step boundary of each push.
+// The engine sets it at subscribe time only when metrics are enabled, so
+// an uninstrumented stage pays a single nil-check per push.
+func (d *DSPOTStage) SetStageClock(now func() int64) { d.clock = now }
+
+// LastSplitNanos returns the stamp taken between the newest push's inner
+// score and its DSPOT steps, or 0 when no clock is installed. Valid only
+// behind the same lock that serialized the push.
+func (d *DSPOTStage) LastSplitNanos() int64 { return d.splitNs }
+
+// IncrementalStats passes through the inner backend's incremental-path
+// counters when it maintains them (AERO's streaming forward), so the
+// engine's frame tracer can classify benign vs refresh pushes for
+// wrapped tenants too. Backends without the capability report zeros.
+func (d *DSPOTStage) IncrementalStats() core.IncrementalStats {
+	if st, ok := d.inner.(interface{ IncrementalStats() core.IncrementalStats }); ok {
+		return st.IncrementalStats()
+	}
+	return core.IncrementalStats{}
 }
 
 // GraphSnapshot passes through the inner backend's monitoring

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"aero/internal/core"
+	"aero/internal/metrics"
 )
 
 // Config parameterizes an Engine. The zero value is usable: every field
@@ -69,6 +70,16 @@ type Config struct {
 	// supervision with defaults; set Health.Disable to turn the state
 	// machine off.
 	Health HealthConfig
+	// Metrics, when non-nil, receives the engine's observability series:
+	// frame/alarm/error counters, per-shard queue gauges, per-kind score
+	// and tail latency histograms, incremental-path and refit counters —
+	// and enables the per-tenant frame-trace ring (see Trace). Nil (the
+	// default) disables observability entirely; the hot path then pays
+	// only nil-checks.
+	Metrics *metrics.Registry
+	// Trace configures the per-tenant flight recorder; effective only
+	// when Metrics is set.
+	Trace TraceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +177,14 @@ type subscription struct {
 	lastGood []float64 // per-variate last finite magnitude (NaN = never)
 	repaired []bool    // per-frame scratch: variates rewritten by hygiene
 
+	// Observability (nil / zero when Config.Metrics is unset): the trace
+	// ring and kind-labeled latency series, plus cached backend
+	// capability views. obs is written only at subscribe time; its seq
+	// and the splitter stamp are touched only by the draining worker.
+	obs      *subObs
+	splitter stageSplitter
+	incStats incrementalStatser
+
 	frames  uint64 // atomic
 	alarms  uint64 // atomic
 	blocked uint64 // atomic: alarm emissions that found the fan-in channel full
@@ -254,6 +273,8 @@ type Engine struct {
 	workerWG sync.WaitGroup
 	routerWG sync.WaitGroup
 	start    time.Time
+
+	obs *engineObs // nil when Config.Metrics is unset
 }
 
 // New starts an engine with cfg's worker pool and shard layout.
@@ -279,6 +300,9 @@ func New(cfg Config) *Engine {
 		}
 		sh.cond = sync.NewCond(&sh.mu)
 		e.shards = append(e.shards, sh)
+	}
+	if cfg.Metrics != nil {
+		e.obs = e.newEngineObs(cfg.Metrics, cfg.Trace)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.workerWG.Add(1)
@@ -347,6 +371,7 @@ func (e *Engine) SubscribeBackend(id string, det core.StreamBackend) (*Subscript
 	for v := range sub.lastGood {
 		sub.lastGood[v] = nan
 	}
+	e.attachObs(sub)
 	e.subs[id] = sub
 	sh.mu.Lock()
 	sh.subsN++
@@ -532,6 +557,11 @@ func (e *Engine) worker() {
 // emits alarms (blocking — alarm backpressure), then either reschedules
 // the shard or parks it.
 func (e *Engine) drain(sh *shard) {
+	obsOn := e.obs != nil
+	var drainStart int64
+	if obsOn {
+		drainStart = metrics.Now()
+	}
 	sh.mu.Lock()
 	nb := sh.count
 	if nb > cap(sh.batch) {
@@ -551,32 +581,48 @@ func (e *Engine) drain(sh *shard) {
 	for i := range batch {
 		it := &batch[i]
 		sub := it.sub
+		// The frame's start stamp is taken BEFORE the subscription lock so
+		// lock-wait contention shows up in the trace as its own stage
+		// instead of silently inflating the score stage. t0 == 0 means the
+		// frame is untimed (observability off and no latency watch).
+		var t0 int64
+		if obsOn || sub.health.LatencyThreshold > 0 {
+			t0 = metrics.Now()
+		}
 		sub.mu.Lock()
-		res := sub.score(it.time, it.mags)
+		res := sub.score(it.time, it.mags, t0)
 		sub.mu.Unlock()
 		if res.err != nil {
 			errsN++
 			if !e.reportError(FrameError{Sub: sub.id, Time: it.time, Err: res.err}) {
 				droppedN++
 			}
-			continue
-		}
-		atomic.AddUint64(&sub.frames, 1)
-		for _, a := range res.alarms {
-			atomic.AddUint64(&sub.alarms, 1)
-			alarmsN++
-			out := Alarm{Sub: sub.id, Alarm: a}
-			select {
-			case e.alarms <- out:
-			default:
-				// The fan-in channel is full: count the stall (the
-				// consumer is the bottleneck, not scoring), then park on
-				// the blocking send — backpressure, never loss.
-				atomic.AddUint64(&sub.blocked, 1)
-				blockedN++
-				e.alarms <- out
+		} else {
+			atomic.AddUint64(&sub.frames, 1)
+			for _, a := range res.alarms {
+				atomic.AddUint64(&sub.alarms, 1)
+				alarmsN++
+				out := Alarm{Sub: sub.id, Alarm: a}
+				select {
+				case e.alarms <- out:
+				default:
+					// The fan-in channel is full: count the stall (the
+					// consumer is the bottleneck, not scoring), then park on
+					// the blocking send — backpressure, never loss.
+					atomic.AddUint64(&sub.blocked, 1)
+					blockedN++
+					e.alarms <- out
+				}
 			}
 		}
+		if obsOn {
+			// Histograms and the trace ring are fed after sub.mu is
+			// released and after fan-in, outside every lock scoring holds.
+			sub.recordFrame(it.time, &res, t0)
+		}
+	}
+	if obsOn && len(batch) > 0 {
+		e.obs.drain.Record(metrics.Now() - drainStart)
 	}
 
 	now := time.Now()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aero/internal/core"
+	"aero/internal/metrics"
 )
 
 // HealthState is one tenant's position in the fault-containment state
@@ -207,25 +208,50 @@ func (sub *subscription) setState(s HealthState) {
 
 // scoreResult is what one guarded, supervised push hands back to the
 // drain loop: the alarms to emit (already scrubbed), whether the frame
-// counted as scored, and the error to report, if any.
+// counted as scored, the error to report, if any, and — on timed frames —
+// the stage stamps the drain loop turns into histogram samples and a
+// trace-ring entry after it releases the subscription lock.
 type scoreResult struct {
 	alarms []core.Alarm
 	scored bool
 	err    error
+
+	// Stage stamps on the shared monotonic clock (metrics.Now), zero on
+	// untimed frames. One reading serves every consumer: doneNs-pushNs
+	// is at once the health latency-watch measurement, the score
+	// histogram sample, and the trace ring's score+tail stages.
+	lockNs  int64 // subscription lock acquired (score entry)
+	pushNs  int64 // hygiene done, backend push starting
+	splitNs int64 // inner-score → tail boundary (staged backends only)
+	doneNs  int64 // backend push returned
+	path    uint8 // metrics.Path* classification of the serving path
 }
 
 // score pushes one frame through the tenant's hygiene, guard, and health
-// layers. Called under sub.mu from the draining worker. The benign path —
-// healthy tenant, clean frame, no fallback — is the old det.Push plus a
-// recover guard and a handful of branch tests: 0 allocs/op, pinned by
-// TestGuardedScoreBenignAllocs.
-func (sub *subscription) score(t float64, mags []float64) scoreResult {
+// layers. Called under sub.mu from the draining worker; t0 is the
+// drain's pre-lock stamp (0 = untimed frame: no metrics, no latency
+// watch). The benign path — healthy tenant, clean frame, no fallback —
+// is the old det.Push plus a recover guard and a handful of branch
+// tests: 0 allocs/op, pinned by TestGuardedScoreBenignAllocs and
+// TestMetricsHotPathAllocs.
+func (sub *subscription) score(t float64, mags []float64, t0 int64) scoreResult {
+	timed := t0 != 0
+	var res scoreResult
+	if timed {
+		res.lockNs = metrics.Now()
+	}
 	repaired, err := sub.scrub(t, mags)
 	if err != nil {
 		// Hygiene drops are the *feed* misbehaving, not the backend: they
 		// never count as backend faults.
 		atomic.AddUint64(&sub.hygieneDropped, 1)
-		return scoreResult{err: err}
+		res.err = err
+		res.path = metrics.PathError
+		if timed {
+			res.pushNs = metrics.Now()
+			res.doneNs = res.pushNs
+		}
+		return res
 	}
 	if repaired {
 		atomic.AddUint64(&sub.hygieneRepaired, 1)
@@ -239,17 +265,40 @@ func (sub *subscription) score(t float64, mags []float64) scoreResult {
 	}
 	f := core.Frame{Time: t, Magnitudes: mags}
 
+	// Path classification: diff the backend's incremental counters across
+	// the push. Only paid for traced frames on capable backends — two
+	// interface calls returning small structs, no allocation.
+	classify := timed && sub.obs != nil && sub.incStats != nil
+	var incBefore core.IncrementalStats
+	if classify {
+		incBefore = sub.incStats.IncrementalStats()
+	}
+	if timed {
+		res.pushNs = metrics.Now()
+	}
+	finishPrimary := func() {
+		if classify {
+			res.path = classifyPath(incBefore, sub.incStats.IncrementalStats())
+		}
+	}
+
 	if sub.health.Disable {
 		alarms, perr := GuardPush(sub.det, f)
+		sub.stampDone(&res, timed)
 		if perr != nil {
 			if _, isPanic := perr.(*PanicError); isPanic {
 				atomic.AddUint64(&sub.panics, 1)
 				atomic.AddUint64(&sub.faultsTotal, 1)
 			}
-			return scoreResult{err: perr}
+			res.err = perr
+			res.path = metrics.PathError
+			return res
 		}
+		finishPrimary()
 		sub.noteScored(t)
-		return scoreResult{alarms: sub.scrubAlarms(alarms, repaired), scored: true}
+		res.alarms = sub.scrubAlarms(alarms, repaired)
+		res.scored = true
+		return res
 	}
 
 	switch sub.state() {
@@ -261,22 +310,29 @@ func (sub *subscription) score(t float64, mags []float64) scoreResult {
 			atomic.AddUint64(&sub.probations, 1)
 		}
 		if sub.fallback == nil {
-			return scoreResult{err: ErrQuarantined}
+			res.err = ErrQuarantined
+			res.path = metrics.PathError
+			if timed {
+				res.doneNs = res.pushNs
+			}
+			return res
 		}
-		return sub.serveFallback(f, repaired)
+		return sub.serveFallback(f, repaired, res, timed)
 
 	case HealthProbation:
 		// Probe the primary with the live frame. While a fallback exists
 		// it keeps serving the alarm stream — a recovering primary's
 		// verdicts are not trusted until probation completes; without one
 		// the primary's alarms serve (degraded service beats none).
-		alarms, perr := sub.guardedPush(f)
+		alarms, perr := sub.guardedPush(f, &res, timed)
 		if perr != nil {
 			sub.fault(perr)
 			if sub.fallback == nil {
-				return scoreResult{err: perr}
+				res.err = perr
+				res.path = metrics.PathError
+				return res
 			}
-			return sub.serveFallback(f, repaired)
+			return sub.serveFallback(f, repaired, res, timed)
 		}
 		alarms, bad := splitFiniteAlarms(alarms)
 		if bad > 0 {
@@ -285,10 +341,13 @@ func (sub *subscription) score(t float64, mags []float64) scoreResult {
 			sub.recordOK()
 		}
 		if sub.fallback == nil {
+			finishPrimary()
 			sub.noteScored(t)
-			return scoreResult{alarms: sub.scrubAlarms(alarms, repaired), scored: true}
+			res.alarms = sub.scrubAlarms(alarms, repaired)
+			res.scored = true
+			return res
 		}
-		return sub.serveFallback(f, repaired)
+		return sub.serveFallback(f, repaired, res, timed)
 
 	default: // HealthHealthy, HealthDegraded
 		if sub.fallback != nil {
@@ -298,11 +357,18 @@ func (sub *subscription) score(t float64, mags []float64) scoreResult {
 			if _, ferr := GuardPushScores(sub.fallback, f); ferr != nil {
 				atomic.AddUint64(&sub.fallbackErrs, 1)
 			}
+			if timed {
+				// The warm feed is upkeep, not scoring: rebase the push
+				// stamp so the primary's latency series stays pure.
+				res.pushNs = metrics.Now()
+			}
 		}
-		alarms, perr := sub.guardedPush(f)
+		alarms, perr := sub.guardedPush(f, &res, timed)
 		if perr != nil {
 			sub.fault(perr)
-			return scoreResult{err: perr}
+			res.err = perr
+			res.path = metrics.PathError
+			return res
 		}
 		alarms, bad := splitFiniteAlarms(alarms)
 		if bad > 0 {
@@ -313,20 +379,36 @@ func (sub *subscription) score(t float64, mags []float64) scoreResult {
 		} else {
 			sub.recordOK()
 		}
+		finishPrimary()
 		sub.noteScored(t)
-		return scoreResult{alarms: sub.scrubAlarms(alarms, repaired), scored: true}
+		res.alarms = sub.scrubAlarms(alarms, repaired)
+		res.scored = true
+		return res
+	}
+}
+
+// stampDone closes the push interval on a timed frame: one clock read
+// that feeds the latency watch, the histograms and the trace ring alike
+// (one clock, one reading), plus the staged backend's split stamp when
+// the capability is present.
+func (sub *subscription) stampDone(res *scoreResult, timed bool) {
+	if !timed {
+		return
+	}
+	res.doneNs = metrics.Now()
+	if sub.splitter != nil {
+		res.splitNs = sub.splitter.LastSplitNanos()
 	}
 }
 
 // guardedPush runs the primary push under the panic guard and, when
-// configured, the latency watch.
-func (sub *subscription) guardedPush(f core.Frame) ([]core.Alarm, error) {
-	if sub.health.LatencyThreshold <= 0 {
-		return GuardPush(sub.det, f)
-	}
-	start := time.Now()
+// configured, the latency watch. The watch reuses the shared stage
+// stamps — it takes no clock reading of its own.
+func (sub *subscription) guardedPush(f core.Frame, res *scoreResult, timed bool) ([]core.Alarm, error) {
 	alarms, err := GuardPush(sub.det, f)
-	if err == nil && time.Since(start) > sub.health.LatencyThreshold {
+	sub.stampDone(res, timed)
+	if err == nil && sub.health.LatencyThreshold > 0 &&
+		res.doneNs-res.pushNs > int64(sub.health.LatencyThreshold) {
 		return alarms, errLatency
 	}
 	return alarms, err
@@ -345,19 +427,34 @@ func (sub *subscription) fault(err error) {
 }
 
 // serveFallback pushes the frame through the warm fallback, which owns
-// the alarm stream while the primary is distrusted.
-func (sub *subscription) serveFallback(f core.Frame, repaired bool) scoreResult {
+// the alarm stream while the primary is distrusted. On timed frames the
+// push interval is re-based around the fallback push (a probing
+// primary's stamps are discarded — the fallback is what served), and
+// the split stamp is cleared: fallback service has no tail stage.
+func (sub *subscription) serveFallback(f core.Frame, repaired bool, res scoreResult, timed bool) scoreResult {
+	if timed {
+		res.pushNs = metrics.Now()
+		res.splitNs = 0
+	}
 	alarms, err := GuardPush(sub.fallback, f)
+	if timed {
+		res.doneNs = metrics.Now()
+	}
 	if err != nil {
 		atomic.AddUint64(&sub.fallbackErrs, 1)
-		return scoreResult{err: err}
+		res.err = err
+		res.path = metrics.PathError
+		return res
 	}
 	atomic.AddUint64(&sub.fallbackFrames, 1)
 	if n := len(alarms); n > 0 {
 		atomic.AddUint64(&sub.fallbackAlarms, uint64(n))
 	}
 	sub.noteScored(f.Time)
-	return scoreResult{alarms: sub.scrubAlarms(alarms, repaired), scored: true}
+	res.alarms = sub.scrubAlarms(alarms, repaired)
+	res.scored = true
+	res.path = metrics.PathFallback
+	return res
 }
 
 // splitFiniteAlarms removes non-finite-scored alarms in place, returning

@@ -100,7 +100,7 @@ func TestHealthStateMachine(t *testing.T) {
 	sub.fallback = fb
 
 	push := func(i int) scoreResult {
-		return sub.score(float64(i), []float64{0.5})
+		return sub.score(float64(i), []float64{0.5}, 0)
 	}
 
 	next := 0
@@ -199,7 +199,7 @@ func TestHealthBackoffCap(t *testing.T) {
 	sub := mkSub("cap", det, HygieneConfig{}, cfg)
 	sub.fallback = fb
 	for i := 0; i < 200; i++ {
-		sub.score(float64(i), []float64{0})
+		sub.score(float64(i), []float64{0}, 0)
 		if sub.backoffBase > 8 {
 			t.Fatalf("backoffBase %d exceeded cap 8 at frame %d", sub.backoffBase, i)
 		}
@@ -216,20 +216,20 @@ func TestQuarantineWithoutFallback(t *testing.T) {
 	det := &scriptBackend{n: 1, fail: []byte("ee")}
 	cfg := HealthConfig{QuarantineAfter: 2, BackoffFrames: 3, BackoffJitter: -1, ProbationFrames: 2}
 	sub := mkSub("nofb", det, HygieneConfig{}, cfg)
-	sub.score(0, []float64{0})
-	sub.score(1, []float64{0})
+	sub.score(0, []float64{0}, 0)
+	sub.score(1, []float64{0}, 0)
 	if sub.state() != HealthQuarantined {
 		t.Fatalf("state %v", sub.state())
 	}
 	for i := 2; i < 5; i++ {
-		if r := sub.score(float64(i), []float64{0}); !errors.Is(r.err, ErrQuarantined) {
+		if r := sub.score(float64(i), []float64{0}, 0); !errors.Is(r.err, ErrQuarantined) {
 			t.Fatalf("frame %d: err %v, want ErrQuarantined", i, r.err)
 		}
 	}
 	if sub.state() != HealthProbation {
 		t.Fatalf("state %v, want probation", sub.state())
 	}
-	if r := sub.score(5, []float64{0}); r.err != nil || !r.scored {
+	if r := sub.score(5, []float64{0}, 0); r.err != nil || !r.scored {
 		t.Fatalf("probation without fallback must serve the primary: %+v", r)
 	}
 }
@@ -239,7 +239,7 @@ func TestQuarantineWithoutFallback(t *testing.T) {
 func TestNaNScoreIsFaulted(t *testing.T) {
 	det := &scriptBackend{n: 1, fail: []byte{'n'}}
 	sub := mkSub("nan", det, HygieneConfig{}, HealthConfig{})
-	r := sub.score(0, []float64{0})
+	r := sub.score(0, []float64{0}, 0)
 	if r.err != nil || !r.scored {
 		t.Fatalf("NaN-alarm frame: %+v", r)
 	}
@@ -257,7 +257,7 @@ func TestHealthDisable(t *testing.T) {
 	det := &scriptBackend{n: 1, fail: []byte("ppppppppppppppppp")}
 	sub := mkSub("off", det, HygieneConfig{}, HealthConfig{Disable: true})
 	for i := 0; i < len(det.fail); i++ {
-		r := sub.score(float64(i), []float64{0})
+		r := sub.score(float64(i), []float64{0}, 0)
 		if _, ok := r.err.(*PanicError); !ok {
 			t.Fatalf("frame %d: err %T %v, want *PanicError", i, r.err, r.err)
 		}
@@ -281,7 +281,7 @@ func TestGuardedScoreBenignAllocs(t *testing.T) {
 	ti := 0.0
 	if allocs := testing.AllocsPerRun(1000, func() {
 		ti++
-		sub.score(ti, mags)
+		sub.score(ti, mags, 0)
 	}); allocs != 0 {
 		t.Fatalf("supervised benign score allocates %.1f objects/frame, want 0", allocs)
 	}
@@ -348,7 +348,7 @@ func BenchmarkGuardedPush(b *testing.B) {
 		sub := mkSub("bench", det, HygieneConfig{Policy: HygieneHoldLast}, HealthConfig{})
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sub.score(float64(i+1), mags)
+			sub.score(float64(i+1), mags, 0)
 		}
 	})
 }

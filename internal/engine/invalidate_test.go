@@ -23,21 +23,21 @@ func TestHygieneRepairInvalidatesIncremental(t *testing.T) {
 	det := &invalidatingBackend{scriptBackend: scriptBackend{n: 2}}
 	sub := mkSub("inv", det, HygieneConfig{Policy: HygieneHoldLast}, HealthConfig{Disable: true})
 
-	if r := sub.score(1, []float64{0.5, 0.6}); r.err != nil {
+	if r := sub.score(1, []float64{0.5, 0.6}, 0); r.err != nil {
 		t.Fatalf("clean frame: %v", r.err)
 	}
 	if det.invalidations != 0 {
 		t.Fatalf("clean frame invalidated caches %d times", det.invalidations)
 	}
 
-	if r := sub.score(2, []float64{math.NaN(), 0.6}); r.err != nil {
+	if r := sub.score(2, []float64{math.NaN(), 0.6}, 0); r.err != nil {
 		t.Fatalf("repairable frame: %v", r.err)
 	}
 	if det.invalidations != 1 {
 		t.Fatalf("repaired frame invalidated caches %d times, want 1", det.invalidations)
 	}
 
-	if r := sub.score(3, []float64{0.5, 0.6}); r.err != nil {
+	if r := sub.score(3, []float64{0.5, 0.6}, 0); r.err != nil {
 		t.Fatalf("clean frame after repair: %v", r.err)
 	}
 	if det.invalidations != 1 {
@@ -46,7 +46,7 @@ func TestHygieneRepairInvalidatesIncremental(t *testing.T) {
 
 	// A stale frame is dropped before reaching the backend: no repair, no
 	// invalidation.
-	if r := sub.score(3, []float64{0.5, 0.6}); r.err == nil {
+	if r := sub.score(3, []float64{0.5, 0.6}, 0); r.err == nil {
 		t.Fatal("stale frame was not dropped")
 	}
 	if det.invalidations != 1 {

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aero/internal/core"
+	"aero/internal/metrics"
+)
+
+// instrumentedBackend is a scriptBackend that also exposes the two
+// optional observability capabilities the engine wires up: the stage
+// split clock (DSPOTStage's shape) and incremental-path counters
+// (StreamDetector's shape). Each push is served "incrementally" so path
+// classification exercises the benign branch.
+type instrumentedBackend struct {
+	scriptBackend
+	clock   func() int64
+	splitNs int64
+	inc     core.IncrementalStats
+}
+
+func (b *instrumentedBackend) SetStageClock(now func() int64) { b.clock = now }
+func (b *instrumentedBackend) LastSplitNanos() int64          { return b.splitNs }
+func (b *instrumentedBackend) IncrementalStats() core.IncrementalStats {
+	return b.inc
+}
+
+func (b *instrumentedBackend) Push(f core.Frame) ([]core.Alarm, error) {
+	if b.clock != nil {
+		b.splitNs = b.clock()
+	}
+	b.inc.Frames++
+	b.inc.Incremental++
+	return b.scriptBackend.Push(f)
+}
+
+// obsSub builds an engine with observability on, subscribes det, and
+// hands back the internal subscription plus the engine for cleanup.
+func obsSub(t testing.TB, reg *metrics.Registry, det core.StreamBackend, trace TraceConfig) (*Engine, *subscription) {
+	t.Helper()
+	e := New(Config{Shards: 1, Workers: 1, Metrics: reg, Trace: trace})
+	if _, err := e.SubscribeBackend("tenant", det); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.RLock()
+	sub := e.subs["tenant"]
+	e.mu.RUnlock()
+	return e, sub
+}
+
+// TestMetricsHotPathAllocs pins the tentpole acceptance criterion: the
+// FULLY instrumented engine score path — pre-lock stamp, hygiene +
+// push + split stamps, path classification, per-kind histogram records,
+// and the trace-ring write — allocates nothing per frame.
+func TestMetricsHotPathAllocs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	det := &instrumentedBackend{scriptBackend: scriptBackend{n: 2}}
+	e, sub := obsSub(t, reg, det, TraceConfig{Depth: 64, SlowThreshold: time.Second})
+	defer e.Close()
+	if sub.obs == nil || sub.splitter == nil || sub.incStats == nil {
+		t.Fatalf("observability wiring incomplete: obs=%v splitter=%v incStats=%v",
+			sub.obs != nil, sub.splitter != nil, sub.incStats != nil)
+	}
+	mags := []float64{0.1, 0.2}
+	ti := 0.0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		ti++
+		t0 := metrics.Now()
+		sub.mu.Lock()
+		res := sub.score(ti, mags, t0)
+		sub.mu.Unlock()
+		sub.recordFrame(ti, &res, t0)
+	}); allocs != 0 {
+		t.Fatalf("instrumented score path allocates %.1f objects/frame, want 0", allocs)
+	}
+	// The instruments really did run.
+	h := reg.FindHistogram("aero_engine_score_seconds", "kind", "script")
+	if h.Count() == 0 {
+		t.Fatalf("score histogram recorded nothing")
+	}
+	if th := reg.FindHistogram("aero_dspot_step_seconds", "kind", "script"); th == nil {
+		t.Fatalf("tail histogram not registered for a split-capable backend")
+	}
+	snap := sub.obs.ring.Snapshot()
+	if snap.Total == 0 || len(snap.Frames) == 0 {
+		t.Fatalf("trace ring recorded nothing")
+	}
+	last := snap.Frames[len(snap.Frames)-1]
+	if last.Path != metrics.PathBenign {
+		t.Fatalf("path = %s, want benign", metrics.PathName(last.Path))
+	}
+}
+
+// alarmScriptBackend alarms deterministically: every alarmEvery-th push
+// raises one alarm whose score is a pure function of the frame time.
+type alarmScriptBackend struct {
+	scriptBackend
+	alarmEvery int
+}
+
+func (b *alarmScriptBackend) Push(f core.Frame) ([]core.Alarm, error) {
+	b.step(f.Time)
+	if b.pushes%b.alarmEvery == 0 {
+		b.alarms[0] = core.Alarm{Variate: 0, Time: f.Time, Score: math.Sin(f.Time) * 10}
+		return b.alarms[:], nil
+	}
+	return nil, nil
+}
+
+// TestInstrumentedGoldenAlarmIdentity proves observability changes no
+// verdict: the same frame sequence through an instrumented engine and an
+// uninstrumented one yields bit-identical alarm streams.
+func TestInstrumentedGoldenAlarmIdentity(t *testing.T) {
+	run := func(reg *metrics.Registry) []Alarm {
+		e := New(Config{Shards: 1, Workers: 1, Metrics: reg,
+			Trace: TraceConfig{Depth: 16, SlowThreshold: time.Nanosecond}})
+		if _, err := e.SubscribeBackend("gold", &alarmScriptBackend{
+			scriptBackend: scriptBackend{n: 1}, alarmEvery: 7}); err != nil {
+			t.Fatal(err)
+		}
+		var got []Alarm
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for a := range e.Alarms() {
+				got = append(got, a)
+			}
+		}()
+		for i := 0; i < 500; i++ {
+			if err := e.Ingest("gold", core.Frame{Time: float64(i), Magnitudes: []float64{0.5}}); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		e.Close()
+		<-done
+		return got
+	}
+	bare := run(nil)
+	instr := run(metrics.NewRegistry())
+	if len(bare) != len(instr) {
+		t.Fatalf("alarm counts differ: bare %d, instrumented %d", len(bare), len(instr))
+	}
+	if len(bare) == 0 {
+		t.Fatalf("golden run produced no alarms")
+	}
+	for i := range bare {
+		a, b := bare[i], instr[i]
+		if a.Sub != b.Sub || a.Variate != b.Variate ||
+			math.Float64bits(a.Time) != math.Float64bits(b.Time) ||
+			math.Float64bits(a.Score) != math.Float64bits(b.Score) {
+			t.Fatalf("alarm %d differs: bare %+v, instrumented %+v", i, a, b)
+		}
+	}
+}
+
+// TestEngineMetricsExposition wires a full engine and checks the scrape
+// surface end to end: series exist, names lint clean, histograms carry
+// samples, and the trace snapshot classifies paths.
+func TestEngineMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	det := &instrumentedBackend{scriptBackend: scriptBackend{n: 1}}
+	e := New(Config{Shards: 2, Workers: 1, Metrics: reg,
+		Trace: TraceConfig{Depth: 8, SlowThreshold: time.Second}})
+	defer e.Close()
+	s, err := e.SubscribeBackend("t0", det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range e.Alarms() {
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := e.Ingest("t0", core.Frame{Time: float64(i), Magnitudes: []float64{0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"aero_engine_frames_total 50",
+		`aero_engine_queue_depth{shard="0"}`,
+		`aero_engine_queue_headroom{shard="1"}`,
+		`aero_engine_score_seconds_count{kind="script"} 50`,
+		`aero_engine_tenants{health="healthy"} 1`,
+		"aero_incremental_served_total 50",
+		"aero_engine_drain_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+	for _, name := range reg.SeriesNames() {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !metrics.ValidName(base) {
+			t.Fatalf("registered series %q has invalid base name %q", name, base)
+		}
+	}
+	snap, ok := s.Trace()
+	if !ok || snap.Total != 50 {
+		t.Fatalf("trace: ok=%v total=%d, want 50", ok, snap.Total)
+	}
+	for _, fr := range snap.Frames {
+		if fr.Path != metrics.PathBenign {
+			t.Fatalf("frame %d path %s, want benign", fr.Seq, metrics.PathName(fr.Path))
+		}
+	}
+}
+
+// TestTraceDisabledWithoutMetrics: no registry, no tracing, nil-check
+// only.
+func TestTraceDisabledWithoutMetrics(t *testing.T) {
+	e := New(Config{Shards: 1, Workers: 1})
+	defer e.Close()
+	s, err := e.SubscribeBackend("t0", &scriptBackend{n: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Trace(); ok {
+		t.Fatalf("trace reported available on an uninstrumented engine")
+	}
+}
+
+// BenchmarkInstrumentedPush quantifies the observability tax on the
+// engine score path: the bare supervised push vs the same push with the
+// full instrument set (stamps, classification, histograms, trace ring).
+// CI runs it at -benchtime=1x; the alloc budget is pinned by
+// TestMetricsHotPathAllocs.
+func BenchmarkInstrumentedPush(b *testing.B) {
+	mags := []float64{0.1, 0.2}
+	b.Run("bare", func(b *testing.B) {
+		det := &scriptBackend{n: 2}
+		sub := mkSub("bare", det, HygieneConfig{Policy: HygieneHoldLast}, HealthConfig{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sub.mu.Lock()
+			sub.score(float64(i+1), mags, 0)
+			sub.mu.Unlock()
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		det := &instrumentedBackend{scriptBackend: scriptBackend{n: 2}}
+		e, sub := obsSub(b, reg, det, TraceConfig{})
+		defer e.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := metrics.Now()
+			sub.mu.Lock()
+			res := sub.score(float64(i+1), mags, t0)
+			sub.mu.Unlock()
+			sub.recordFrame(float64(i+1), &res, t0)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package evt
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrNotReady is returned by SPOT.Step and DSPOT.Step when the detector
 // has not been calibrated yet (Fit has not run, or a restore left it
@@ -98,6 +101,12 @@ type RefitStats struct {
 	// GridRefits counts refits that ran the full Grimshaw grid scan —
 	// exact-mode fits, cold first fits, and warm-start fallbacks.
 	GridRefits uint64 `json:"grid_refits"`
+	// RefitNanos is cumulative wall time spent inside refits. Refits are
+	// rare (hundreds of µs each, amortized across many exceedances), so
+	// the two clock reads per refit are noise; the counter lets the
+	// metrics layer expose refit cost as a rate without touching the
+	// benign path.
+	RefitNanos uint64 `json:"refit_nanos"`
 }
 
 // Add returns the element-wise sum of two counter sets.
@@ -107,6 +116,7 @@ func (a RefitStats) Add(b RefitStats) RefitStats {
 		Refits:      a.Refits + b.Refits,
 		WarmRefits:  a.WarmRefits + b.WarmRefits,
 		GridRefits:  a.GridRefits + b.GridRefits,
+		RefitNanos:  a.RefitNanos + b.RefitNanos,
 	}
 }
 
@@ -141,6 +151,7 @@ type SPOT struct {
 	ready      bool
 
 	refits, warmRefits, gridRefits uint64
+	refitNanos                     uint64
 }
 
 // NewSPOT returns a SPOT detector with the given initial quantile level and
@@ -192,6 +203,7 @@ func (s *SPOT) RefitStats() RefitStats {
 		Refits:      s.refits,
 		WarmRefits:  s.warmRefits,
 		GridRefits:  s.gridRefits,
+		RefitNanos:  s.refitNanos,
 	}
 }
 
@@ -245,6 +257,7 @@ func (s *SPOT) shouldRefit() bool {
 // amortized mode, the full Grimshaw grid scan in exact mode or when the
 // warm start diverges — and rebases the threshold and drift reference.
 func (s *SPOT) refit() {
+	start := time.Now()
 	if s.Policy.Every > 1 && s.fitted {
 		if g, ok := fitGPDWarm(s.excesses, s.model, s.sum, s.sumsq); ok {
 			s.model = g
@@ -262,6 +275,7 @@ func (s *SPOT) refit() {
 	s.z = s.model.Quantile(s.t, s.Q, s.n, s.peaks)
 	s.sinceRefit = 0
 	s.refitMean = s.tailMean()
+	s.refitNanos += uint64(time.Since(start))
 }
 
 // Step consumes one score and reports whether it is an anomaly.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aero/internal/core"
+	"aero/internal/metrics"
 )
 
 // ClientConfig parameterizes Dial.
@@ -33,6 +34,11 @@ type ClientConfig struct {
 	RedialDelay time.Duration
 	// Logf receives reconnect diagnostics. Optional.
 	Logf func(format string, args ...any)
+	// Latency, when non-nil, records each frame's send→ack round trip —
+	// the client-visible latency including queueing, scoring, ack batching,
+	// and any drain/redial the frame rode out. Shareable across clients
+	// (Record is atomic).
+	Latency *metrics.Histogram
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -75,9 +81,10 @@ var ErrClientClosed = errors.New("ingest: client closed")
 // pendFrame is one sent-but-unacknowledged frame, owned by the client
 // for retransmission.
 type pendFrame struct {
-	seq  uint64
-	time float64
-	mags []float64
+	seq    uint64
+	time   float64
+	mags   []float64
+	sentNs int64 // Send timestamp for ack-latency measurement; 0 when untimed
 }
 
 // Client is one tenant's connection to the ingest server: an ordered,
@@ -207,7 +214,11 @@ func (c *Client) Send(f core.Frame) error {
 	seq := c.nextSeq
 	mags := c.getBuf(len(f.Magnitudes))
 	copy(mags, f.Magnitudes)
-	c.pending = append(c.pending, pendFrame{seq: seq, time: f.Time, mags: mags})
+	var sentNs int64
+	if c.cfg.Latency != nil {
+		sentNs = metrics.Now()
+	}
+	c.pending = append(c.pending, pendFrame{seq: seq, time: f.Time, mags: mags, sentNs: sentNs})
 	c.credits--
 	c.stats.Sent++
 	bw, conn := c.bw, c.conn
@@ -301,7 +312,14 @@ func (c *Client) release(upTo uint64) {
 		return
 	}
 	n := 0
+	var now int64
+	if c.cfg.Latency != nil {
+		now = metrics.Now() // one clock read covers the whole ack batch
+	}
 	for n < len(c.pending) && c.pending[n].seq <= upTo {
+		if p := &c.pending[n]; p.sentNs != 0 {
+			c.cfg.Latency.Record(now - p.sentNs)
+		}
 		c.free = append(c.free, c.pending[n].mags)
 		n++
 	}

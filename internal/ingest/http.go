@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
 	"aero/internal/core"
 	"aero/internal/engine"
@@ -43,6 +44,11 @@ type subscriptionInfo struct {
 //	GET  /stats    engine + server + per-tenant counters as JSON
 //	GET  /healthz  200 "ok" while serving, 503 "draining" during drain
 //
+// With ServerConfig.Metrics, two observability routes are added:
+//
+//	GET  /metrics        Prometheus text exposition of the registry
+//	GET  /trace/{tenant} the tenant's flight-recorder ring as JSON
+//
 // With ServerConfig.EnablePprof, net/http/pprof's endpoints are mounted
 // under /debug/pprof/ as well (the explicit routes below, not the default
 // mux, which this handler never touches).
@@ -55,6 +61,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	if s.cfg.Metrics != nil {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/trace/", s.handleTrace)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -98,6 +108,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(p)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WritePrometheus(w)
+}
+
+// handleTrace serves GET /trace/{tenant}: the tenant's flight-recorder
+// snapshot — recent frames with per-stage latencies, plus the slowest
+// frame pinned since startup — as JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tenant := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if tenant == "" || strings.ContainsRune(tenant, '/') {
+		http.Error(w, "GET /trace/{tenant}", http.StatusNotFound)
+		return
+	}
+	sub, err := s.cfg.Lookup(tenant)
+	if err != nil || sub == nil {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", tenant), http.StatusNotFound)
+		return
+	}
+	snap, ok := sub.Trace()
+	if !ok {
+		http.Error(w, "frame tracing disabled for this tenant", http.StatusNotFound)
+		return
+	}
+	doc := snap.JSON()
+	doc.Tenant = sub.ID
+	doc.Kind = sub.Kind()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

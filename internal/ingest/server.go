@@ -11,6 +11,7 @@ import (
 
 	"aero/internal/core"
 	"aero/internal/engine"
+	"aero/internal/metrics"
 )
 
 // Protocol error codes carried by MsgError.
@@ -51,6 +52,12 @@ type ServerConfig struct {
 	// ExtraStats contributes additional sections (e.g. triage counters)
 	// to the /stats payload. Optional.
 	ExtraStats func() map[string]any
+	// Metrics, when non-nil, registers the front end's counters and
+	// conn-loop stage histograms (read wait, engine wait, frame
+	// round-trip) and enables GET /metrics (Prometheus text) and
+	// GET /trace/{tenant} (flight-recorder JSON) on Handler(). Optional;
+	// nil disables all of it at the cost of one nil-check per frame.
+	Metrics *metrics.Registry
 	// EnablePprof mounts net/http/pprof's profiling endpoints under
 	// /debug/pprof/ on the HTTP mux, so a serving process can be profiled
 	// in place (CPU, heap, goroutines) without a restart. Off by default:
@@ -119,6 +126,48 @@ type Server struct {
 	acks        atomic.Uint64
 	discarded   atomic.Uint64
 	protoErrors atomic.Uint64
+
+	obs *serverObs
+}
+
+// serverObs holds the ingest hot-path instruments. A nil *serverObs is
+// inert; when non-nil, every field is non-nil too, so the conn loop pays
+// one nil-check per frame when metrics are off.
+type serverObs struct {
+	// readWait: time parked in ReadMsg between data frames — how starved
+	// the server is for input (large = client or network is the bottleneck).
+	readWait *metrics.Histogram
+	// engineWait: time parked in the blocking Engine.Ingest — protocol
+	// backpressure (large = a shard queue is full and credits are choked).
+	engineWait *metrics.Histogram
+	// frame: decode-complete → ingested + ack decided, the server-side
+	// round-trip for one data frame.
+	frame *metrics.Histogram
+}
+
+// newServerObs registers the ingest series. Scrape-time counters read the
+// atomics the hot path already maintains, so exposition adds no per-frame
+// cost.
+func (s *Server) newServerObs(reg *metrics.Registry) *serverObs {
+	uf := func(c *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(c.Load()) }
+	}
+	reg.CounterFunc("aero_ingest_accepted_total", "Protocol connections accepted.", uf(&s.accepted))
+	reg.CounterFunc("aero_ingest_frames_total", "Data frames ingested over the binary protocol.", uf(&s.frames))
+	reg.CounterFunc("aero_ingest_http_frames_total", "Frames accepted through the JSON-lines endpoint.", uf(&s.httpFrames))
+	reg.CounterFunc("aero_ingest_acks_total", "Cumulative-ack messages sent.", uf(&s.acks))
+	reg.CounterFunc("aero_ingest_discarded_total", "In-flight frames set aside during a drain.", uf(&s.discarded))
+	reg.CounterFunc("aero_ingest_proto_errors_total", "Connections terminated for protocol violations.", uf(&s.protoErrors))
+	reg.GaugeFunc("aero_ingest_conns", "Live protocol connections.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	return &serverObs{
+		readWait:   reg.Histogram("aero_ingest_read_wait_seconds", "Time parked waiting for the next frame on a connection."),
+		engineWait: reg.Histogram("aero_ingest_engine_wait_seconds", "Time parked in the blocking engine ingest (backpressure)."),
+		frame:      reg.Histogram("aero_ingest_frame_seconds", "Server-side round-trip for one data frame: decode to ack."),
+	}
 }
 
 // NewServer validates cfg and returns an idle server; call Serve with a
@@ -130,7 +179,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Lookup == nil {
 		return nil, errors.New("ingest: ServerConfig.Lookup is required")
 	}
-	return &Server{cfg: cfg.withDefaults(), conns: make(map[*serverConn]struct{})}, nil
+	s := &Server{cfg: cfg.withDefaults(), conns: make(map[*serverConn]struct{})}
+	if cfg.Metrics != nil {
+		s.obs = s.newServerObs(cfg.Metrics)
+	}
+	return s, nil
 }
 
 // Serve accepts protocol connections on l until Drain or Close. It
@@ -359,7 +412,12 @@ func (sc *serverConn) run() {
 		return
 	}
 
+	obs := sc.s.obs
 	for {
+		var tRead int64
+		if obs != nil {
+			tRead = metrics.Now()
+		}
 		if err := ReadMsg(sc.br, &m, &scratch); err != nil {
 			if !sc.discard.Load() && !sc.s.closed.Load() {
 				sc.s.protoErrors.Add(1)
@@ -368,11 +426,19 @@ func (sc *serverConn) run() {
 		}
 		switch m.Type {
 		case MsgData:
+			var tFrame int64
+			if obs != nil {
+				tFrame = metrics.Now()
+				obs.readWait.Record(tFrame - tRead)
+			}
 			// A frame with nothing buffered behind it is the end of a
 			// burst: ack promptly so a quiescing client's Flush always
 			// terminates. Mid-burst, acks batch on AckEvery.
 			if !sc.handleData(&m, sc.br.Buffered() == 0) {
 				return
+			}
+			if obs != nil {
+				obs.frame.Record(metrics.Now() - tFrame)
 			}
 		case MsgBye:
 			// Every frame ≤ lastSeq has been read in order (or the stream
@@ -429,10 +495,18 @@ func (sc *serverConn) handleData(m *Msg, idle bool) bool {
 	// throttles to the engine's pace. Memory stays bounded at one frame
 	// per connection beyond the shard queue. Ingest copies the
 	// magnitudes, so the decoder's reusable slice is handed over as-is.
+	obs := sc.s.obs
+	var tIn int64
+	if obs != nil {
+		tIn = metrics.Now()
+	}
 	if err := sc.s.cfg.Engine.Ingest(sc.subID, core.Frame{Time: m.Time, Magnitudes: m.Mags}); err != nil {
 		sc.pmu.Unlock()
 		sc.fail(CodeIngest, err.Error())
 		return false
+	}
+	if obs != nil {
+		obs.engineWait.Record(metrics.Now() - tIn)
 	}
 	sc.s.frames.Add(1)
 

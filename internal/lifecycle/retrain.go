@@ -7,6 +7,7 @@ import (
 
 	"aero/internal/core"
 	"aero/internal/dataset"
+	"aero/internal/metrics"
 )
 
 // RetrainerConfig wires a Retrainer to its data, its registry and its
@@ -43,6 +44,11 @@ type RetrainerConfig struct {
 	OnResult func(Result)
 	// Logf, when non-nil, receives progress lines (seed, version, epochs).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, times each retrain round (fetch + fit +
+	// publish) into aero_lifecycle_retrain_seconds and counts completions,
+	// failures and published versions. Retraining is a background path, so
+	// this costs one histogram record per round, not per frame.
+	Metrics *metrics.Registry
 }
 
 // Result reports one finished retrain.
@@ -91,6 +97,25 @@ type Retrainer struct {
 
 	wg       sync.WaitGroup
 	stopTick chan struct{}
+
+	obs *retrainObs
+}
+
+// retrainObs holds the retrainer's instruments; nil when unobserved.
+type retrainObs struct {
+	rounds    *metrics.Histogram // wall time of one fetch + fit + publish
+	retrains  *metrics.Counter
+	errors    *metrics.Counter
+	publishes *metrics.Counter
+}
+
+func newRetrainObs(reg *metrics.Registry) *retrainObs {
+	return &retrainObs{
+		rounds:    reg.Histogram("aero_lifecycle_retrain_seconds", "Wall time of one retrain round: fetch, fit, publish."),
+		retrains:  reg.Counter("aero_lifecycle_retrains_total", "Retrain rounds finished (failures included)."),
+		errors:    reg.Counter("aero_lifecycle_retrain_errors_total", "Retrain rounds that failed."),
+		publishes: reg.Counter("aero_lifecycle_publishes_total", "Model versions published to the registry."),
+	}
 }
 
 // job is one queued retrain; the round is fixed at trigger time so results
@@ -125,6 +150,9 @@ func NewRetrainer(cfg RetrainerConfig) (*Retrainer, error) {
 		stopTick: make(chan struct{}),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
+	if cfg.Metrics != nil {
+		rt.obs = newRetrainObs(cfg.Metrics)
+	}
 	return rt, nil
 }
 
@@ -242,6 +270,15 @@ func (rt *Retrainer) worker() {
 		rt.mu.Unlock()
 
 		res := rt.retrain(j)
+		if rt.obs != nil {
+			rt.obs.rounds.Record(int64(res.Duration))
+			rt.obs.retrains.Inc()
+			if res.Err != nil {
+				rt.obs.errors.Inc()
+			} else {
+				rt.obs.publishes.Inc()
+			}
+		}
 		if res.Err != nil {
 			rt.cfg.Logf("lifecycle: retrain %s round %d failed: %v", j.tenant, j.round, res.Err)
 		} else {

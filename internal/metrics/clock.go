@@ -1,0 +1,20 @@
+// Package metrics is a dependency-free observability layer: a sharded
+// registry of counters, gauges and log-linear latency histograms with
+// Prometheus text exposition, plus a per-subscription frame trace ring
+// (flight recorder). Every hot-path primitive is built from atomics and
+// fixed-size arrays so that recording a sample never allocates, and every
+// instrument is nil-safe so a disabled stack pays only a nil-check.
+package metrics
+
+import "time"
+
+// base anchors the process-wide monotonic clock. All stamps produced by
+// Now are nanoseconds since this instant, so stamps taken in different
+// packages (engine drain, DSPOT stage split, ingest conn loop) are
+// directly comparable.
+var base = time.Now()
+
+// Now returns the current monotonic time in nanoseconds since process
+// start. It is the single clock for stage stamps, the health latency
+// watch, histograms and the trace ring: one reading feeds all consumers.
+func Now() int64 { return int64(time.Since(base)) }

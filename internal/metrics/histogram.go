@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket log-linear (HDR-style) latency histogram.
+// Values are nanoseconds. Each power-of-two octave is split into 16
+// linear sub-buckets, so the relative error of any recorded value is at
+// most 1/16 = 6.25%. The bucket array is fixed at construction: Record
+// is three atomic adds and never allocates; Snapshot copies the buckets
+// under no lock (counts are monotone, so a torn read only smears samples
+// between adjacent snapshots, never loses them).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+const (
+	// histSubBits fixes 2^histSubBits linear sub-buckets per octave.
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // 16
+
+	// histMaxExp is the top octave: values at or above 2^(histMaxExp+1)
+	// nanoseconds (~9.8 weeks) clamp into the last bucket.
+	histMaxExp = 47
+
+	// histBuckets = 16 exact buckets for v < 16, plus 16 sub-buckets for
+	// each octave exp = 4..47: 16 + 44*16 = 720 uint64s ≈ 5.8 KiB.
+	histBuckets = histSubCount + (histMaxExp-histSubBits+1)*histSubCount
+)
+
+// NewHistogram returns a standalone histogram not attached to any
+// registry (e.g. the aeroload client-side send→ack latency recorder).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	if exp > histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int(v>>uint(exp-histSubBits)) - histSubCount
+	return histSubCount + (exp-histSubBits)*histSubCount + sub
+}
+
+// bucketLower returns the smallest value mapping to bucket i.
+func bucketLower(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	g := (i - histSubCount) / histSubCount
+	sub := (i - histSubCount) % histSubCount
+	exp := uint(g + histSubBits)
+	return int64(1)<<exp + int64(sub)<<(exp-histSubBits)
+}
+
+// bucketWidth returns the width of bucket i.
+func bucketWidth(i int) int64 {
+	if i < histSubCount {
+		return 1
+	}
+	g := (i - histSubCount) / histSubCount
+	return int64(1) << uint(g)
+}
+
+// Record adds one nanosecond observation. Nil-safe and allocation-free.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of recorded observations. Nil-safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64
+	buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram for quantile queries and rendering.
+// Nil-safe: a nil histogram yields an empty snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	// Load count first: any sample fully recorded before this load is in
+	// its bucket already (bucket add precedes count add), so the walk in
+	// Quantile never runs out of bucket mass before reaching rank Count.
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the value at quantile q in [0, 1] as the midpoint of
+// the containing bucket (relative error ≤ 6.25%). Zero when empty.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += s.buckets[i]
+		if seen > rank {
+			return bucketLower(i) + bucketWidth(i)/2
+		}
+	}
+	return bucketLower(histBuckets-1) + bucketWidth(histBuckets-1)/2
+}
+
+// Mean returns the exact mean of recorded values (sum/count), zero when
+// empty.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,316 @@
+package metrics
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone cumulative counter. All methods are nil-safe and
+// allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer instantaneous value. Nil-safe, allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// metricKind discriminates registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// metric is one registered series: a base name, a rendered label suffix
+// (`{k="v",...}` or empty) and exactly one live instrument.
+type metric struct {
+	name   string // base name, aero_* snake_case
+	labels string // rendered label block, "" when unlabeled
+	help   string
+	kind   metricKind
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64
+}
+
+func (m *metric) key() string { return m.name + m.labels }
+
+// Registry holds all registered series, sharded by series-key hash so
+// concurrent registrations and scrapes do not serialize on one lock.
+// Registration is the slow path (startup/subscribe time); the hot path
+// only touches the returned instrument pointers.
+type Registry struct {
+	shards [registryShards]regShard
+}
+
+const registryShards = 16
+
+type regShard struct {
+	mu sync.RWMutex
+	m  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]*metric)
+	}
+	return r
+}
+
+// ValidName reports whether name is a valid metric name for this stack:
+// `aero_`-prefixed snake_case — lowercase letters, digits and single
+// underscores, no leading/trailing/doubled underscore after the prefix.
+func ValidName(name string) bool {
+	const prefix = "aero_"
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return false
+	}
+	prev := byte('_') // prefix ends with '_': next rune must not be '_'
+	for i := len(prefix); i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prev = c
+		case c == '_':
+			if prev == '_' {
+				return false
+			}
+			prev = c
+		default:
+			return false
+		}
+	}
+	return prev != '_'
+}
+
+// renderLabels turns k,v pairs into a deterministic `{k="v",...}` block.
+// Pairs are sorted by key so the same label set always produces the same
+// series key regardless of call-site ordering.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key/value list")
+	}
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ps = append(ps, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	out := "{"
+	for i, p := range ps {
+		if i > 0 {
+			out += ","
+		}
+		out += p.k + `="` + escapeLabel(p.v) + `"`
+	}
+	return out + "}"
+}
+
+func escapeLabel(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+func shardFor(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32() % registryShards
+}
+
+// register installs a series or returns the existing one. It panics on
+// an invalid name or when the key is already registered with a different
+// kind — both are programmer errors caught at wiring time, never during
+// steady-state serving.
+func (r *Registry) register(name, help string, kind metricKind, labels []string) *metric {
+	if !ValidName(name) {
+		panic("metrics: invalid metric name " + name)
+	}
+	m := &metric{name: name, labels: renderLabels(labels), help: help, kind: kind}
+	sh := &r.shards[shardFor(m.key())]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.m[m.key()]; ok {
+		if prev.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as a different kind", m.key()))
+		}
+		return prev
+	}
+	switch kind {
+	case kindCounter:
+		m.ctr = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	sh.m[m.key()] = m
+	return m
+}
+
+// Counter registers (or fetches) a counter series. labels are k,v pairs.
+// Nil-safe: a nil registry returns a nil instrument, which is itself
+// nil-safe, so disabled stacks wire through without branches.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, labels).ctr
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, labels).gauge
+}
+
+// Histogram registers (or fetches) a latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, labels).hist
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — used to surface counters the hot path already maintains
+// (shard stats, refit totals) without double-counting writes.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounterFunc, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge series computed at scrape time (queue
+// depth, headroom, tenant health states).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGaugeFunc, labels).fn = fn
+}
+
+// FindHistogram returns a previously registered histogram series, or nil
+// when absent. Callers like aeroserve use it to read quantiles for
+// series the engine registered internally.
+func (r *Registry) FindHistogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := name + renderLabels(labels)
+	sh := &r.shards[shardFor(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if m, ok := sh.m[key]; ok && m.kind == kindHistogram {
+		return m.hist
+	}
+	return nil
+}
+
+// SeriesNames returns every registered series key (name plus rendered
+// labels), sorted. The metric-name lint test walks this.
+func (r *Registry) SeriesNames() []string {
+	if r == nil {
+		return nil
+	}
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshotMetrics returns all series sorted by key for exposition.
+func (r *Registry) snapshotMetrics() []*metric {
+	var out []*metric
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.m {
+			out = append(out, m)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4). Latency histograms are emitted as
+// native `histogram` series with cumulative `le` bounds in seconds at
+// octave boundaries — coarse enough to keep scrape size sane (45 bounds)
+// while the full-resolution quantiles stay available in-process.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	ms := r.snapshotMetrics()
+	lastName := ""
+	for _, m := range ms {
+		if m.name != lastName {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, promType(m.kind))
+			lastName = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, m.labels, m.ctr.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, m.labels, m.gauge.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, m.labels,
+				strconv.FormatFloat(m.fn(), 'g', -1, 64))
+		case kindHistogram:
+			writePromHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writePromHistogram emits cumulative buckets with one `le` bound per
+// octave: 16ns, 32ns, ... up to 2^47 ns, rendered in seconds.
+func writePromHistogram(w *bufio.Writer, m *metric) {
+	s := m.hist.Snapshot()
+	var cum uint64
+	i := 0
+	for exp := histSubBits; exp <= histMaxExp; exp++ {
+		// Sum all fine buckets whose upper bound is ≤ 2^(exp+1); for the
+		// first octave this includes the 16 exact buckets below 16ns.
+		bound := int64(1) << uint(exp+1)
+		for ; i < histBuckets && bucketLower(i) < bound; i++ {
+			cum += s.buckets[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", m.name,
+			withLE(m.labels, float64(bound)/1e9), cum)
+	}
+	for ; i < histBuckets; i++ {
+		cum += s.buckets[i]
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLE(m.labels, -1), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels,
+		strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, s.Count)
+}
+
+// withLE splices an le label into an existing rendered label block.
+// le < 0 renders +Inf.
+func withLE(labels string, le float64) string {
+	v := "+Inf"
+	if le >= 0 {
+		v = strconv.FormatFloat(le, 'g', -1, 64)
+	}
+	if labels == "" {
+		return `{le="` + v + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + v + `"}`
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage indices of a FrameTrace. Durations are nanoseconds on the shared
+// monotonic clock; a stage a frame never entered reads zero.
+const (
+	StageWait    = iota // drain pickup → subscription lock acquired
+	StageHygiene        // frame hygiene scrub
+	StageScore          // primary detector push (inner backend when staged)
+	StageTail           // adaptive tail step (DSPOT) after the inner score
+	StageFanIn          // alarm fan-in emission after the lock is released
+	NumStages
+)
+
+// StageNames maps stage indices to their JSON field spellings.
+var StageNames = [NumStages]string{"wait", "hygiene", "score", "tail", "fan_in"}
+
+// Score-path classifications recorded per frame.
+const (
+	PathFull     = iota // full recompute (backend without incremental stats)
+	PathBenign          // incremental O(1) update
+	PathRefresh         // scheduled / drift / invalidation refresh
+	PathGuard           // alarm-boundary guard recompute
+	PathFallback        // served by the warm fallback detector
+	PathError           // push returned an error (fault, latency breach)
+	numPaths
+)
+
+var pathNames = [numPaths]string{"full", "benign", "refresh", "guard", "fallback", "error"}
+
+// PathName returns the JSON spelling of a path classification.
+func PathName(p uint8) string {
+	if int(p) < numPaths {
+		return pathNames[p]
+	}
+	return "unknown"
+}
+
+// FrameTrace is one flight-recorder entry: where a single frame spent
+// its time on the way through the scoring stack. It is a fixed-size
+// value (no pointers) so ring writes are a plain copy.
+type FrameTrace struct {
+	Seq     uint64           // per-subscription frame ordinal, 1-based
+	Time    float64          // feed timestamp of the frame
+	StartNs int64            // monotonic stamp at drain pickup
+	Stage   [NumStages]int64 // per-stage duration, ns
+	Path    uint8            // PathFull..PathError
+	Alarms  uint8            // alarms emitted (saturates at 255)
+	Err     bool             // scoring returned an error
+}
+
+// TotalNs returns the frame's end-to-end latency (sum of stages).
+func (t *FrameTrace) TotalNs() int64 {
+	var sum int64
+	for _, d := range t.Stage {
+		sum += d
+	}
+	return sum
+}
+
+// TraceRing is a per-subscription flight recorder: a fixed-depth ring of
+// the most recent frame traces plus a pinned capture of the slowest
+// frame at or above SlowThreshold. The single writer is the shard drain
+// worker (one shard owns a subscription, one worker drains a shard at a
+// time), readers are scrape handlers; a small mutex arbitrates, held
+// only for the struct copy — never across a clock read or a detector
+// push.
+type TraceRing struct {
+	mu        sync.Mutex
+	buf       []FrameTrace
+	total     uint64 // frames recorded since creation
+	slowNs    int64  // capture threshold; 0 disables
+	slow      FrameTrace
+	slowSet   bool
+	slowCount uint64
+}
+
+// NewTraceRing returns a ring retaining depth frames, pinning the
+// slowest frame whose total latency reaches slowThreshold (0 disables
+// slow capture). Memory is bounded at depth × sizeof(FrameTrace) ≈
+// depth × 80 bytes, allocated once up front.
+func NewTraceRing(depth int, slowThreshold time.Duration) *TraceRing {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &TraceRing{buf: make([]FrameTrace, depth), slowNs: int64(slowThreshold)}
+}
+
+// Record appends a frame trace, overwriting the oldest entry. Nil-safe
+// and allocation-free.
+func (r *TraceRing) Record(t *FrameTrace) {
+	if r == nil {
+		return
+	}
+	total := t.TotalNs()
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = *t
+	r.total++
+	if r.slowNs > 0 && total >= r.slowNs {
+		r.slowCount++
+		if !r.slowSet || total > r.slow.TotalNs() {
+			r.slow = *t
+			r.slowSet = true
+		}
+	}
+	r.mu.Unlock()
+}
+
+// TraceSnapshot is a point-in-time copy of a ring for serialization.
+type TraceSnapshot struct {
+	Frames          []FrameTrace // oldest → newest
+	Total           uint64       // frames recorded since ring creation
+	Depth           int
+	SlowThresholdNs int64
+	SlowCount       uint64
+	Slow            *FrameTrace // slowest frame ≥ threshold, nil if none
+}
+
+// Snapshot copies the ring. Nil-safe: a nil ring yields a zero snapshot.
+func (r *TraceRing) Snapshot() TraceSnapshot {
+	if r == nil {
+		return TraceSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	depth := uint64(len(r.buf))
+	if n > depth {
+		n = depth
+	}
+	s := TraceSnapshot{
+		Frames:          make([]FrameTrace, n),
+		Total:           r.total,
+		Depth:           len(r.buf),
+		SlowThresholdNs: r.slowNs,
+		SlowCount:       r.slowCount,
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Frames[i] = r.buf[(r.total-n+i)%depth]
+	}
+	if r.slowSet {
+		sl := r.slow
+		s.Slow = &sl
+	}
+	return s
+}

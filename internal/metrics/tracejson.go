@@ -1,0 +1,66 @@
+package metrics
+
+// FrameTraceJSON is the wire form of one flight-recorder entry, used by
+// the /trace/{tenant} handler and aeroserve dumps.
+type FrameTraceJSON struct {
+	Seq       uint64  `json:"seq"`
+	Time      float64 `json:"time"`
+	StartNs   int64   `json:"start_ns"`
+	WaitNs    int64   `json:"wait_ns"`
+	HygieneNs int64   `json:"hygiene_ns"`
+	ScoreNs   int64   `json:"score_ns"`
+	TailNs    int64   `json:"tail_ns"`
+	FanInNs   int64   `json:"fan_in_ns"`
+	TotalNs   int64   `json:"total_ns"`
+	Path      string  `json:"path"`
+	Alarms    uint8   `json:"alarms"`
+	Err       bool    `json:"err,omitempty"`
+}
+
+// TraceJSON is the wire form of a ring snapshot.
+type TraceJSON struct {
+	Tenant          string           `json:"tenant,omitempty"`
+	Kind            string           `json:"kind,omitempty"`
+	Total           uint64           `json:"total_frames"`
+	Depth           int              `json:"depth"`
+	SlowThresholdNs int64            `json:"slow_threshold_ns"`
+	SlowCount       uint64           `json:"slow_count"`
+	Slow            *FrameTraceJSON  `json:"slow,omitempty"`
+	Frames          []FrameTraceJSON `json:"frames"`
+}
+
+func frameJSON(t *FrameTrace) FrameTraceJSON {
+	return FrameTraceJSON{
+		Seq:       t.Seq,
+		Time:      t.Time,
+		StartNs:   t.StartNs,
+		WaitNs:    t.Stage[StageWait],
+		HygieneNs: t.Stage[StageHygiene],
+		ScoreNs:   t.Stage[StageScore],
+		TailNs:    t.Stage[StageTail],
+		FanInNs:   t.Stage[StageFanIn],
+		TotalNs:   t.TotalNs(),
+		Path:      PathName(t.Path),
+		Alarms:    t.Alarms,
+		Err:       t.Err,
+	}
+}
+
+// JSON converts a snapshot to its wire form.
+func (s *TraceSnapshot) JSON() TraceJSON {
+	out := TraceJSON{
+		Total:           s.Total,
+		Depth:           s.Depth,
+		SlowThresholdNs: s.SlowThresholdNs,
+		SlowCount:       s.SlowCount,
+		Frames:          make([]FrameTraceJSON, len(s.Frames)),
+	}
+	for i := range s.Frames {
+		out.Frames[i] = frameJSON(&s.Frames[i])
+	}
+	if s.Slow != nil {
+		sl := frameJSON(s.Slow)
+		out.Slow = &sl
+	}
+	return out
+}
